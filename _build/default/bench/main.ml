@@ -1,0 +1,171 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every reproduction table (the paper has no
+   empirical tables of its own — every theorem/lemma became an
+   experiment E1..E12/L1/L2; see DESIGN.md) in full mode and verifies
+   the shape checks.
+
+   Part 2 times the system with Bechamel: one Test.make per experiment
+   (quick mode), plus micro-benchmarks of the engine's hot paths. *)
+
+open Bechamel
+open Toolkit
+
+(* --- part 1: regenerate all paper tables --- *)
+
+let regenerate_tables () =
+  Format.printf "==============================================================@.";
+  Format.printf " Reproduction tables (full mode) — one per theorem/lemma@.";
+  Format.printf "==============================================================@.@.";
+  let results = Experiments.Registry.run_all ~seed:0 Format.std_formatter () in
+  let failed =
+    List.filter
+      (fun r -> not (Experiments.Exp_result.all_passed r))
+      results
+  in
+  if failed = [] then Format.printf "All shape checks passed.@.@."
+  else
+    Format.printf "WARNING: shape checks failed in %s@.@."
+      (String.concat ", "
+         (List.map (fun (r : Experiments.Exp_result.t) -> r.id) failed))
+
+(* --- part 2: bechamel micro-benchmarks --- *)
+
+module Config = Mobile_network.Config
+module Simulation = Mobile_network.Simulation
+module Rumor_set = Mobile_network.Rumor_set
+
+(* engine hot paths *)
+
+let bench_walk_step =
+  let grid = Grid.create ~side:64 () in
+  let rng = Prng.of_seed 1 in
+  let pos = ref (Grid.center grid) in
+  Test.make ~name:"walk.step (lazy 1/5)"
+    (Staged.stage (fun () -> pos := Walk.step grid Walk.Lazy_one_fifth rng !pos))
+
+let bench_prng_int =
+  let rng = Prng.of_seed 2 in
+  Test.make ~name:"prng.int 1000" (Staged.stage (fun () -> Prng.int rng 1000))
+
+let bench_sim_run ~k ~radius =
+  (* a capped 200-step run: measures creation plus 200 live steps, so the
+     cost does not collapse to a no-op once a long-lived sim completes *)
+  let cfg = Config.make ~side:64 ~agents:k ~radius ~max_steps:200 () in
+  Test.make ~name:(Printf.sprintf "simulation: 200 steps, k=%d r=%d" k radius)
+    (Staged.stage (fun () -> ignore (Simulation.run_config cfg)))
+
+let bench_snapshot ~k ~radius =
+  let grid = Grid.create ~side:64 () in
+  let rng = Prng.of_seed 3 in
+  let positions = Array.init k (fun _ -> Grid.random_node grid rng) in
+  Test.make
+    ~name:(Printf.sprintf "visibility.snapshot k=%d r=%d" k radius)
+    (Staged.stage (fun () ->
+         ignore (Visibility.snapshot grid ~radius ~positions)))
+
+let bench_rumor_union =
+  let a = Rumor_set.create ~capacity:256 in
+  let b = Rumor_set.create ~capacity:256 in
+  for i = 0 to 127 do
+    ignore (Rumor_set.add a (2 * i))
+  done;
+  Test.make ~name:"rumor_set.union_into (256 bits)"
+    (Staged.stage (fun () -> ignore (Rumor_set.union_into ~src:a ~dst:b)))
+
+let bench_dsu =
+  let d = Dsu.create 256 in
+  Test.make ~name:"dsu.reset+unions (256 elems)"
+    (Staged.stage (fun () ->
+         Dsu.reset d;
+         for i = 0 to 254 do
+           if i land 3 = 0 then ignore (Dsu.union d i (i + 1))
+         done))
+
+(* one Test.make per reproduction experiment (quick mode) *)
+let experiment_tests =
+  List.map
+    (fun (e : Experiments.Registry.entry) ->
+      Test.make
+        ~name:(Printf.sprintf "experiment %s (quick)" e.Experiments.Registry.id)
+        (Staged.stage (fun () ->
+             ignore (e.Experiments.Registry.run ~quick:true ~seed:0 ()))))
+    Experiments.Registry.all
+
+let bench_torus_run =
+  let cfg =
+    Config.make ~torus:true ~side:64 ~agents:64 ~radius:0 ~max_steps:200 ()
+  in
+  Test.make ~name:"simulation: 200 steps, k=64 torus"
+    (Staged.stage (fun () -> ignore (Simulation.run_config cfg)))
+
+let bench_line_of_sight =
+  let grid = Grid.create ~side:64 () in
+  let domain = Barriers.Domain.rooms grid ~rooms_per_side:3 ~door:2 in
+  let a = Grid.index grid ~x:3 ~y:3 and b = Grid.index grid ~x:60 ~y:58 in
+  Test.make ~name:"barriers: line_of_sight across 64x64 rooms"
+    (Staged.stage (fun () -> ignore (Barriers.Domain.line_of_sight domain a b)))
+
+let bench_continuum_components =
+  let k = 256 and box = 16. in
+  let rng = Prng.of_seed 5 in
+  Test.make ~name:"continuum: giant fraction k=256"
+    (Staged.stage (fun () ->
+         ignore
+           (Continuum.giant_fraction rng ~box_side:box ~agents:k ~radius:1.2
+              ~trials:1)))
+
+let bench_chi_square =
+  let counts = Array.init 64 (fun i -> 100 + (i mod 7)) in
+  Test.make ~name:"stats: chi-square uniform test (64 bins)"
+    (Staged.stage (fun () ->
+         ignore (Stats.Chi_square.test_uniform ~counts ~confidence:0.999)))
+
+let engine_tests =
+  [
+    bench_prng_int; bench_walk_step; bench_rumor_union; bench_dsu;
+    bench_sim_run ~k:64 ~radius:0; bench_sim_run ~k:256 ~radius:0;
+    bench_sim_run ~k:64 ~radius:8; bench_torus_run;
+    bench_snapshot ~k:64 ~radius:0; bench_snapshot ~k:256 ~radius:8;
+    bench_line_of_sight; bench_continuum_components; bench_chi_square;
+  ]
+
+let run_benchmarks tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"all" tests) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Format.printf "%-44s %16s@." "benchmark" "time/run";
+  Format.printf "%s@." (String.make 62 '-');
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+          let human =
+            if est >= 1e9 then Printf.sprintf "%8.2f s " (est /. 1e9)
+            else if est >= 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
+            else if est >= 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
+            else Printf.sprintf "%8.2f ns" est
+          in
+          Format.printf "%-44s %16s@." name human
+      | Some _ | None -> Format.printf "%-44s %16s@." name "n/a")
+    rows
+
+let () =
+  regenerate_tables ();
+  Format.printf "==============================================================@.";
+  Format.printf " Engine micro-benchmarks (Bechamel)@.";
+  Format.printf "==============================================================@.";
+  run_benchmarks engine_tests;
+  Format.printf "@.";
+  Format.printf "==============================================================@.";
+  Format.printf " Experiment runtimes, quick mode (Bechamel)@.";
+  Format.printf "==============================================================@.";
+  run_benchmarks experiment_tests

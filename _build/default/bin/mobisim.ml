@@ -1,0 +1,475 @@
+(* mobisim — command-line front end for the sparse mobile network
+   simulator and the paper-reproduction experiments. *)
+
+open Cmdliner
+
+module Config = Mobile_network.Config
+module Protocol = Mobile_network.Protocol
+module Simulation = Mobile_network.Simulation
+
+(* --- shared argument definitions ----------------------------------------- *)
+
+let side_arg =
+  let doc = "Grid side length (the paper's n is side * side)." in
+  Arg.(value & opt int 64 & info [ "side" ] ~docv:"SIDE" ~doc)
+
+let agents_arg =
+  let doc = "Number of agents (the paper's k)." in
+  Arg.(value & opt int 32 & info [ "k"; "agents" ] ~docv:"K" ~doc)
+
+let radius_arg =
+  let doc = "Transmission radius r (Manhattan distance)." in
+  Arg.(value & opt int 0 & info [ "r"; "radius" ] ~docv:"R" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic master seed." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let trial_arg =
+  let doc = "Trial (replicate) index; distinct trials are independent." in
+  Arg.(value & opt int 0 & info [ "trial" ] ~docv:"TRIAL" ~doc)
+
+let protocol_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "broadcast" -> Ok Protocol.Broadcast
+    | "gossip" -> Ok Protocol.Gossip
+    | "frog" -> Ok Protocol.Frog
+    | "broadcast-cover" -> Ok Protocol.Broadcast_cover
+    | "cover-walks" -> Ok Protocol.Cover_walks
+    | s -> (
+        match String.index_opt s ':' with
+        | Some i when String.sub s 0 i = "predator-prey" -> (
+            let rest = String.sub s (i + 1) (String.length s - i - 1) in
+            match int_of_string_opt rest with
+            | Some preys when preys >= 0 ->
+                Ok (Protocol.Predator_prey { preys })
+            | Some _ | None ->
+                Error (`Msg "predator-prey:<preys> needs a non-negative int"))
+        | Some _ | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "unknown protocol %S (expected broadcast, gossip, frog, \
+                     broadcast-cover, cover-walks or predator-prey:<preys>)"
+                    s)))
+  in
+  let print fmt p = Format.pp_print_string fmt (Protocol.to_string p) in
+  let protocol_conv = Arg.conv (parse, print) in
+  let doc =
+    "Protocol: broadcast, gossip, frog, broadcast-cover, cover-walks or \
+     predator-prey:<preys>."
+  in
+  Arg.(value & opt protocol_conv Protocol.Broadcast & info [ "protocol" ] ~docv:"PROTO" ~doc)
+
+let kernel_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "lazy" | "lazy-1/5" | "paper" -> Ok Walk.Lazy_one_fifth
+    | "simple" | "srw" -> Ok Walk.Simple
+    | "lazy-half" | "lazy-1/2" -> Ok Walk.Lazy_half
+    | s -> Error (`Msg (Printf.sprintf "unknown kernel %S" s))
+  in
+  let print fmt k = Format.pp_print_string fmt (Walk.kernel_to_string k) in
+  let kernel_conv = Arg.conv (parse, print) in
+  let doc = "Mobility kernel: lazy (paper's 1/5 walk), simple, lazy-half." in
+  Arg.(value & opt kernel_conv Walk.Lazy_one_fifth & info [ "kernel" ] ~docv:"KERNEL" ~doc)
+
+let torus_arg =
+  let doc = "Use a torus (periodic boundary) instead of the bounded grid." in
+  Arg.(value & flag & info [ "torus" ] ~doc)
+
+let max_steps_arg =
+  let doc = "Step cap (default: a generous cap derived from n)." in
+  Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"STEPS" ~doc)
+
+let quick_arg =
+  let doc = "Shrink grids and trial counts (used by tests/CI)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let csv_dir_arg =
+  let doc = "Also write each experiment's table as CSV into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+(* --- simulate ------------------------------------------------------------- *)
+
+let run_simulate side agents radius protocol kernel seed trial max_steps
+    trace render torus trace_out =
+  let cfg =
+    Config.make ~torus ~side ~agents ~radius ~protocol ~kernel ~seed ~trial
+      ?max_steps ()
+  in
+  match Config.validate cfg with
+  | Error msg ->
+      Printf.eprintf "invalid configuration: %s\n" msg;
+      exit 2
+  | Ok () ->
+      Printf.printf "config: %s\n" (Config.to_string cfg);
+      Printf.printf "n = %d nodes, r_c = %.2f, subcritical: %b\n"
+        (Config.n cfg)
+        (Config.percolation_radius cfg)
+        (Config.is_subcritical cfg);
+      let on_step sim =
+        if trace > 0 && Simulation.time sim mod trace = 0 then
+          Printf.printf
+            "t=%7d informed=%5d frontier_x=%4d max_island=%3d covered=%d\n"
+            (Simulation.time sim)
+            (Simulation.informed_count sim)
+            (Simulation.frontier_x sim)
+            (Simulation.max_island sim)
+            (Simulation.covered_count sim);
+        if render > 0 && Simulation.time sim mod render = 0 then
+          print_string (Render.frame sim)
+      in
+      let report = Simulation.run_config ~on_step cfg in
+      (match report.Simulation.outcome with
+      | Simulation.Completed ->
+          Printf.printf "completed in %d steps\n" report.Simulation.steps
+      | Simulation.Timed_out ->
+          Printf.printf "TIMED OUT after %d steps\n" report.Simulation.steps);
+      Printf.printf "final: informed=%d covered=%d\n" report.Simulation.informed
+        report.Simulation.covered;
+      Option.iter
+        (fun path ->
+          (* re-run deterministically through the trace recorder *)
+          let t = Trace.capture cfg in
+          let oc = open_out path in
+          output_string oc (Trace.to_jsonl t);
+          close_out oc;
+          Printf.printf "wrote trace (%d entries) to %s\n"
+            (Array.length t.Trace.entries)
+            path)
+        trace_out
+
+let simulate_cmd =
+  let trace =
+    let doc = "Print a status line every $(docv) steps (0 = silent)." in
+    Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc)
+  in
+  let render =
+    let doc = "Print an ASCII frame every $(docv) steps (0 = never)." in
+    Arg.(value & opt int 0 & info [ "render" ] ~docv:"N" ~doc)
+  in
+  let trace_out =
+    let doc = "Write the run's per-step metrics as JSONL to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let term =
+    Term.(
+      const run_simulate $ side_arg $ agents_arg $ radius_arg $ protocol_arg
+      $ kernel_arg $ seed_arg $ trial_arg $ max_steps_arg $ trace $ render
+      $ torus_arg $ trace_out)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a single simulation and report its outcome.")
+    term
+
+(* --- experiments ---------------------------------------------------------- *)
+
+let write_csv dir (result : Experiments.Exp_result.t) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (String.lowercase_ascii result.id ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (Experiments.Exp_result.to_csv result);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let run_experiments ids quick seed csv_dir =
+  let entries =
+    match ids with
+    | [] -> Experiments.Registry.all
+    | ids ->
+        List.map
+          (fun id ->
+            match Experiments.Registry.find id with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %S; known: %s\n" id
+                  (String.concat ", " (Experiments.Registry.ids ()));
+                exit 2)
+          ids
+  in
+  let fmt = Format.std_formatter in
+  let results =
+    List.map
+      (fun (e : Experiments.Registry.entry) ->
+        let result = e.run ~quick ~seed () in
+        Experiments.Exp_result.render fmt result;
+        Option.iter (fun dir -> write_csv dir result) csv_dir;
+        result)
+      entries
+  in
+  let failed =
+    List.filter (fun r -> not (Experiments.Exp_result.all_passed r)) results
+  in
+  Format.pp_print_flush fmt ();
+  if failed <> [] then begin
+    Printf.printf "shape checks FAILED in: %s\n"
+      (String.concat ", "
+         (List.map (fun (r : Experiments.Exp_result.t) -> r.id) failed));
+    exit 1
+  end
+  else Printf.printf "all shape checks passed.\n"
+
+let exp_cmd =
+  let ids =
+    let doc = "Experiment ids to run (default: all). See 'mobisim list'." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let term =
+    Term.(const run_experiments $ ids $ quick_arg $ seed_arg $ csv_dir_arg)
+  in
+  Cmd.v
+    (Cmd.info "exp"
+       ~doc:"Run reproduction experiments and verify the paper's shapes.")
+    term
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        Printf.printf "%-4s %s\n" e.id e.summary)
+      Experiments.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List all reproduction experiments.")
+    Term.(const run $ const ())
+
+(* --- percolation ---------------------------------------------------------- *)
+
+let run_percolation side agents seed trials =
+  let grid = Grid.create ~side () in
+  let n = side * side in
+  let rng = Prng.of_seed seed in
+  let rc = Visibility.Percolation.rc_theory ~n ~k:agents in
+  Printf.printf "n=%d k=%d: r_c (theory) = %.2f, Theorem-2 threshold = %.3f\n"
+    n agents rc
+    (Visibility.Percolation.sub_critical_radius ~n ~k:agents);
+  let est = Visibility.Percolation.estimate_rc grid rng ~k:agents ~trials () in
+  Printf.printf "estimated r_c (giant fraction >= 0.5): %d\n" est;
+  List.iter
+    (fun mult ->
+      let radius = int_of_float (mult *. rc) in
+      let frac =
+        Visibility.Percolation.giant_fraction_at grid rng ~k:agents ~radius
+          ~trials
+      in
+      Printf.printf "r = %.2f rc (%3d): giant fraction %.3f\n" mult radius frac)
+    [ 0.25; 0.5; 1.0; 1.5; 2.0 ]
+
+let percolation_cmd =
+  let trials =
+    let doc = "Placements per radius." in
+    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"T" ~doc)
+  in
+  let term =
+    Term.(const run_percolation $ side_arg $ agents_arg $ seed_arg $ trials)
+  in
+  Cmd.v
+    (Cmd.info "percolation"
+       ~doc:"Estimate the percolation radius of the visibility graph.")
+    term
+
+(* --- barrier domains --------------------------------------------------------- *)
+
+let parse_plan side plan =
+  let grid = Grid.create ~side () in
+  match String.split_on_char ':' (String.lowercase_ascii plan) with
+  | [ "open" ] -> Ok (Barriers.Domain.unobstructed grid)
+  | [ "wall"; gap ] -> (
+      match int_of_string_opt gap with
+      | Some gap when gap >= 1 -> Ok (Barriers.Domain.central_wall grid ~gap)
+      | Some _ | None -> Error "wall:<gap> needs a positive integer gap")
+  | [ "rooms"; per_side; door ] -> (
+      match (int_of_string_opt per_side, int_of_string_opt door) with
+      | Some p, Some d when p >= 1 && d >= 1 ->
+          Ok (Barriers.Domain.rooms grid ~rooms_per_side:p ~door:d)
+      | _ -> Error "rooms:<per-side>:<door> needs positive integers")
+  | _ -> Error "expected open, wall:<gap> or rooms:<per-side>:<door>"
+
+let run_barrier side agents radius plan los seed trial max_steps show_map =
+  match parse_plan side plan with
+  | Error msg ->
+      Printf.eprintf "invalid floor plan %S: %s\n" plan msg;
+      exit 2
+  | Ok domain ->
+      if show_map then
+        print_string (Render.domain_ascii ~max_width:64 domain);
+      Printf.printf
+        "plan=%s free=%d/%d connected=%b agents=%d r=%d los-blocking=%b\n"
+        plan
+        (Barriers.Domain.free_count domain)
+        (side * side)
+        (Barriers.Domain.is_connected domain)
+        agents radius los;
+      let report =
+        Barriers.Barrier_sim.broadcast
+          { Barriers.Barrier_sim.domain; agents; radius; los_blocking = los;
+            seed; trial;
+            max_steps =
+              (match max_steps with Some m -> m | None -> 100 * side * side) }
+      in
+      (match report.Barriers.Barrier_sim.outcome with
+      | Barriers.Barrier_sim.Completed ->
+          Printf.printf "completed in %d steps\n"
+            report.Barriers.Barrier_sim.steps
+      | Barriers.Barrier_sim.Timed_out ->
+          Printf.printf "TIMED OUT after %d steps (informed %d/%d)\n"
+            report.Barriers.Barrier_sim.steps
+            report.Barriers.Barrier_sim.informed agents)
+
+let barrier_cmd =
+  let plan =
+    let doc =
+      "Floor plan: open, wall:<gap> (central wall with a gap) or \
+       rooms:<per-side>:<door>."
+    in
+    Arg.(value & opt string "wall:2" & info [ "plan" ] ~docv:"PLAN" ~doc)
+  in
+  let los =
+    let doc = "Walls also block radio (line-of-sight connectivity)." in
+    Arg.(value & flag & info [ "los-blocking" ] ~doc)
+  in
+  let show_map =
+    let doc = "Print the floor plan before simulating." in
+    Arg.(value & flag & info [ "map" ] ~doc)
+  in
+  let term =
+    Term.(
+      const run_barrier $ side_arg $ agents_arg $ radius_arg $ plan $ los
+      $ seed_arg $ trial_arg $ max_steps_arg $ show_map)
+  in
+  Cmd.v
+    (Cmd.info "barrier"
+       ~doc:
+         "Broadcast on a domain with mobility/communication barriers (the \
+          paper's par. 4 future work).")
+    term
+
+(* --- continuum ---------------------------------------------------------------- *)
+
+let run_continuum agents density radius_mult sigma_frac seed trial =
+  let box_side = sqrt (float_of_int agents /. density) in
+  let rc = Continuum.critical_radius ~box_side ~agents in
+  let radius = radius_mult *. rc in
+  Printf.printf
+    "k=%d box=%.2f density=%.2f r_c=%.3f r=%.3f (%.2f r_c) sigma=%.3f\n"
+    agents box_side density rc radius radius_mult (radius *. sigma_frac);
+  let report =
+    Continuum.broadcast
+      { Continuum.box_side; agents; radius; sigma = radius *. sigma_frac;
+        seed; trial; max_steps = 1_000_000 }
+  in
+  match report.Continuum.outcome with
+  | Continuum.Completed ->
+      Printf.printf "completed in %d steps\n" report.Continuum.steps
+  | Continuum.Timed_out ->
+      Printf.printf "TIMED OUT after %d steps (informed %d/%d)\n"
+        report.Continuum.steps report.Continuum.informed agents
+
+let continuum_cmd =
+  let density =
+    let doc = "Agents per unit area (the box side follows from k)." in
+    Arg.(value & opt float 1.0 & info [ "density" ] ~docv:"LAMBDA" ~doc)
+  in
+  let radius_mult =
+    let doc = "Connection radius as a multiple of the percolation radius." in
+    Arg.(value & opt float 0.5 & info [ "rc-mult" ] ~docv:"M" ~doc)
+  in
+  let sigma_frac =
+    let doc = "Brownian step std as a fraction of the connection radius." in
+    Arg.(value & opt float 0.25 & info [ "sigma-frac" ] ~docv:"F" ~doc)
+  in
+  let term =
+    Term.(
+      const run_continuum $ agents_arg $ density $ radius_mult $ sigma_frac
+      $ seed_arg $ trial_arg)
+  in
+  Cmd.v
+    (Cmd.info "continuum"
+       ~doc:
+         "Broadcast among Brownian agents in continuous space (the Peres et \
+          al. model of par. 1.1).")
+    term
+
+(* --- trace validation --------------------------------------------------------- *)
+
+let run_validate_trace path =
+  let text =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Trace.of_jsonl text with
+  | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      exit 1
+  | Ok t -> (
+      Format.printf "%a@." Trace.pp_summary t;
+      match Trace.validate t with
+      | Ok () -> Printf.printf "trace is internally consistent.\n"
+      | Error e ->
+          Printf.eprintf "INVALID trace: %s\n" e;
+          exit 1)
+
+let validate_trace_cmd =
+  let path =
+    let doc = "Trace file written by 'simulate --trace-out'." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "validate-trace"
+       ~doc:"Parse a JSONL run trace and re-check the engine's invariants.")
+    Term.(const run_validate_trace $ path)
+
+(* --- theory ----------------------------------------------------------------- *)
+
+let run_theory side agents =
+  let module Theory = Mobile_network.Theory in
+  let n = side * side in
+  let k = agents in
+  Printf.printf "theory curves for n = %d (side %d), k = %d\n\n" n side k;
+  let rows =
+    [
+      ("T_B = Theta~(n / sqrt k)         [Thm 1+2]", Theory.broadcast_theta ~n ~k);
+      ("T_B lower bound n/(sqrt k ln^2 n) [Thm 2]", Theory.broadcast_lower ~n ~k);
+      ("T_G gossip                        [Cor 2]", Theory.gossip_theta ~n ~k);
+      ("cover time of k walks             [par.4]", Theory.cover_time_multi ~n ~k);
+      ("predator-prey extinction          [par.4]", Theory.extinction_time ~n ~k);
+      ("Wang et al. claim (refuted)     [par.1.1]", Theory.wang_claimed ~n ~k);
+      ("Dimitriou et al. O(t* log k)    [par.1.1]", Theory.dimitriou_bound ~n ~k);
+      ("Peres et al. polylog (r > r_c)  [par.1.1]", Theory.peres_polylog ~k);
+    ]
+  in
+  List.iter (fun (label, v) -> Printf.printf "  %-45s %12.1f\n" label v) rows;
+  Printf.printf "\nradii:\n";
+  Printf.printf "  %-45s %12.2f\n" "percolation r_c = sqrt(n/k)"
+    (Theory.percolation_radius ~n ~k);
+  Printf.printf "  %-45s %12.3f\n" "Theorem 2 threshold sqrt(n/(64 e^6 k))"
+    (Theory.subcritical_radius ~n ~k);
+  Printf.printf "  %-45s %12.3f\n" "Lemma 6 island parameter gamma"
+    (Theory.island_parameter ~n ~k);
+  Printf.printf "  %-45s %12.2f\n" "Lemma 6 island size bound ln n"
+    (Theory.island_size_bound ~n)
+
+let theory_cmd =
+  let term = Term.(const run_theory $ side_arg $ agents_arg) in
+  Cmd.v
+    (Cmd.info "theory"
+       ~doc:"Print the paper's closed-form curves for given n and k.")
+    term
+
+(* --- main ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "mobisim"
+      ~doc:
+        "Simulator for information dissemination in sparse mobile networks \
+         (Pettarin, Pietracaprina, Pucci, Upfal; PODC 2011)."
+  in
+  let group = Cmd.group info [ simulate_cmd; exp_cmd; list_cmd; percolation_cmd; theory_cmd;
+       barrier_cmd; continuum_cmd; validate_trace_cmd ] in
+  exit (Cmd.eval group)

@@ -1,0 +1,1 @@
+examples/epidemic_predator.ml: Array Experiments Format List Mobile_network Printf

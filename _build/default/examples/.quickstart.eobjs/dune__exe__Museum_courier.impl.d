@@ -1,0 +1,1 @@
+examples/museum_courier.ml: Array Barriers Experiments Format Grid Printf Render

@@ -1,0 +1,1 @@
+examples/museum_courier.mli:

@@ -1,0 +1,1 @@
+examples/vehicular_gossip.ml: Array Experiments Format List Mobile_network Printf

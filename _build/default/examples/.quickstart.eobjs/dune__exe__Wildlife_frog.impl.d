@@ -1,0 +1,1 @@
+examples/wildlife_frog.ml: Array Experiments Format List Mobile_network Printf

@@ -1,0 +1,62 @@
+(* Containment scenario for the §4 predator-prey by-product: k patrol
+   drones ("predators") sweep a region to intercept infected carriers
+   ("preys") that move unpredictably. A carrier is neutralised on
+   contact with any drone; infection does NOT spread between carriers in
+   this model — the question is purely how long full containment takes.
+
+   The paper bounds the extinction time by O(n log^2 n / k): doubling
+   the fleet roughly halves containment time.
+
+   Run with: dune exec examples/epidemic_predator.exe *)
+
+module Config = Mobile_network.Config
+module Protocol = Mobile_network.Protocol
+module Simulation = Mobile_network.Simulation
+module Theory = Mobile_network.Theory
+module Table = Experiments.Table
+
+let () =
+  let side = 32 in
+  let n = side * side in
+  let carriers = 24 in
+  Printf.printf
+    "containment: patrol drones intercepting %d mobile carriers on a %dx%d \
+     grid\n\n"
+    carriers side side;
+  let table =
+    Table.create
+      ~header:
+        [ "drones k"; "median containment time"; "bound n*ln^2(n)/k";
+          "halving vs previous row" ]
+  in
+  let previous = ref None in
+  List.iter
+    (fun drones ->
+      let trials = 5 in
+      let times =
+        Array.init trials (fun trial ->
+            let cfg =
+              Config.make ~side ~agents:drones
+                ~protocol:(Protocol.Predator_prey { preys = carriers })
+                ~seed:5 ~trial ()
+            in
+            float_of_int (Simulation.run_config cfg).Simulation.steps)
+      in
+      Array.sort compare times;
+      let median = times.(trials / 2) in
+      let halving =
+        match !previous with
+        | None -> "-"
+        | Some prev -> Printf.sprintf "%.2fx" (prev /. median)
+      in
+      previous := Some median;
+      Table.add_row table
+        [ Table.cell_int drones; Table.cell_float median;
+          Table.cell_float (Theory.extinction_time ~n ~k:drones); halving ])
+    [ 2; 4; 8; 16; 32 ];
+  Table.render Format.std_formatter table;
+  Printf.printf
+    "\nEach doubling of the fleet buys roughly a 2x faster containment —\n\
+     the linear speed-up of the paper's O(n log^2 n / k) extinction bound.\n\
+     One drone must still re-walk the whole region (cover-time behaviour);\n\
+     many drones split the region diffusively.\n"

@@ -1,0 +1,55 @@
+(* Vehicular ad-hoc network scenario (the paper's §1 motivation: MANETs,
+   vehicular networks): every vehicle starts with its own observation
+   (an accident, a traffic jam) and all vehicles must learn all of them
+   — the gossip problem. We sweep the radio range across the percolation
+   point and watch the paper's headline phenomenon: below r_c the gossip
+   time simply does not care about the radio range.
+
+   Run with: dune exec examples/vehicular_gossip.exe *)
+
+module Config = Mobile_network.Config
+module Protocol = Mobile_network.Protocol
+module Simulation = Mobile_network.Simulation
+module Table = Experiments.Table
+
+let () =
+  let side = 48 and vehicles = 36 in
+  let n = side * side in
+  let rc = Mobile_network.Theory.percolation_radius ~n ~k:vehicles in
+  Printf.printf "vehicular gossip: %d vehicles on a %dx%d street grid\n"
+    vehicles side side;
+  Printf.printf "every vehicle holds one observation; done when everyone \
+                 knows everything (gossip time T_G)\n";
+  Printf.printf "percolation radius r_c = %.1f\n\n" rc;
+
+  let table =
+    Table.create ~header:[ "radio range r"; "r/rc"; "median T_G"; "regime" ]
+  in
+  let trials = 5 in
+  List.iter
+    (fun radius ->
+      let times =
+        Array.init trials (fun trial ->
+            let cfg =
+              Config.make ~side ~agents:vehicles ~radius
+                ~protocol:Protocol.Gossip ~seed:7 ~trial ()
+            in
+            float_of_int (Simulation.run_config cfg).Simulation.steps)
+      in
+      Array.sort compare times;
+      let median = times.(trials / 2) in
+      let regime =
+        if float_of_int radius < rc /. 2. then "sparse"
+        else if float_of_int radius < 1.5 *. rc then "near-critical"
+        else "connected"
+      in
+      Table.add_row table
+        [ Table.cell_int radius;
+          Table.cell_float (float_of_int radius /. rc);
+          Table.cell_float median; regime ])
+    [ 0; 1; 2; 3; 6; 12; 24 ];
+  Table.render Format.std_formatter table;
+  Printf.printf
+    "\nNote how T_G is flat while r stays below r_c (the paper's Theorem 1 + \n\
+     Corollary 2: T_G = Theta~(n / sqrt k) for ALL r < r_c), then collapses\n\
+     once a giant connected component appears (Peres et al. regime).\n"

@@ -1,0 +1,59 @@
+(* Wildlife-tracking scenario (the paper cites ZebraNet: sensor collars
+   on animals in a nature reserve). A firmware update is injected into
+   one collar; collars exchange data on contact. We compare two
+   dissemination modes:
+
+   - mobile:  every animal roams all the time (the paper's main model);
+   - frog:    an animal only starts roaming once its collar is updated
+              (the Frog Model of §4 — think of dormant relay nodes that
+              activate on first contact).
+
+   The paper proves both obey T_B = O~(n / sqrt k).
+
+   Run with: dune exec examples/wildlife_frog.exe *)
+
+module Config = Mobile_network.Config
+module Protocol = Mobile_network.Protocol
+module Simulation = Mobile_network.Simulation
+module Table = Experiments.Table
+
+let median_time ~side ~herd ~protocol =
+  let trials = 5 in
+  let times =
+    Array.init trials (fun trial ->
+        let cfg =
+          Config.make ~side ~agents:herd ~radius:0 ~protocol ~seed:19 ~trial ()
+        in
+        float_of_int (Simulation.run_config cfg).Simulation.steps)
+  in
+  Array.sort compare times;
+  times.(trials / 2)
+
+let () =
+  let side = 48 in
+  Printf.printf
+    "wildlife tracking: firmware update spreading through sensor collars\n";
+  Printf.printf "reserve modelled as a %dx%d grid; update passes on contact\n\n"
+    side side;
+  let table =
+    Table.create
+      ~header:
+        [ "herd size k"; "mobile T_B"; "frog T_B"; "frog / mobile";
+          "n/sqrt(k)" ]
+  in
+  List.iter
+    (fun herd ->
+      let mobile = median_time ~side ~herd ~protocol:Protocol.Broadcast in
+      let frog = median_time ~side ~herd ~protocol:Protocol.Frog in
+      let theory =
+        Mobile_network.Theory.broadcast_theta ~n:(side * side) ~k:herd
+      in
+      Table.add_row table
+        [ Table.cell_int herd; Table.cell_float mobile; Table.cell_float frog;
+          Table.cell_float (frog /. mobile); Table.cell_float theory ])
+    [ 8; 16; 32; 64; 128 ];
+  Table.render Format.std_formatter table;
+  Printf.printf
+    "\nBoth columns shrink like 1/sqrt(k) as the herd grows (§4: the Frog\n\
+     Model obeys the same Theta~(n/sqrt k) bound); immobile-until-informed\n\
+     collars cost only a constant-factor slowdown.\n"

@@ -1,0 +1,1 @@
+lib/baselines/clementi.ml: Array Grid Prng Spatial

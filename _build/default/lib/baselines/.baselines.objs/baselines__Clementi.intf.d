@@ -1,0 +1,1 @@
+lib/baselines/clementi.mli:

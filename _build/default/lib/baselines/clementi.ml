@@ -1,0 +1,87 @@
+type config = {
+  side : int;
+  agents : int;
+  big_r : int;
+  rho : int;
+  seed : int;
+  trial : int;
+  max_steps : int;
+}
+
+type outcome =
+  | Completed
+  | Timed_out
+
+type report = {
+  outcome : outcome;
+  steps : int;
+  informed : int;
+}
+
+(* Uniform over the Manhattan ball of radius rho around v, intersected
+   with the grid, by rejection from the bounding square. The acceptance
+   rate is >= 1/2 in the interior and bounded below by ~1/8 at corners. *)
+let jump grid rng rho v =
+  if rho = 0 then v
+  else begin
+    let side = Grid.side grid in
+    let x = Grid.x_of grid v and y = Grid.y_of grid v in
+    let rec draw () =
+      let dx = Prng.int_incl rng (-rho) rho in
+      let dy = Prng.int_incl rng (-rho) rho in
+      if abs dx + abs dy > rho then draw ()
+      else
+        let nx = x + dx and ny = y + dy in
+        if nx < 0 || nx >= side || ny < 0 || ny >= side then draw ()
+        else (ny * side) + nx
+    in
+    draw ()
+  end
+
+let broadcast cfg =
+  if cfg.side <= 0 then invalid_arg "Clementi.broadcast: side <= 0";
+  if cfg.agents <= 0 then invalid_arg "Clementi.broadcast: agents <= 0";
+  if cfg.big_r < 0 || cfg.rho < 0 then
+    invalid_arg "Clementi.broadcast: negative radius";
+  if cfg.max_steps < 0 then invalid_arg "Clementi.broadcast: negative cap";
+  let grid = Grid.create ~side:cfg.side () in
+  let k = cfg.agents in
+  let master =
+    Prng.split (Prng.of_seed ((cfg.seed * 0x9E3779B9) lxor cfg.trial))
+  in
+  let rngs = Array.init k (fun _ -> Prng.split master) in
+  let pos = Array.init k (fun _ -> Grid.random_node grid master) in
+  let informed = Array.make k false in
+  informed.(Prng.int master k) <- true;
+  let informed_count = ref 1 in
+  let spatial = Spatial.create grid ~radius:cfg.big_r in
+  let newly = Array.make k false in
+  (* their exchange is one-hop: every agent within R of an informed
+     agent learns the rumor this step, based on pre-step knowledge *)
+  let exchange () =
+    Spatial.rebuild spatial ~positions:pos;
+    Array.fill newly 0 k false;
+    Spatial.iter_close_pairs spatial ~f:(fun i j ->
+        if informed.(i) && not informed.(j) then newly.(j) <- true
+        else if informed.(j) && not informed.(i) then newly.(i) <- true);
+    for i = 0 to k - 1 do
+      if newly.(i) then begin
+        informed.(i) <- true;
+        incr informed_count
+      end
+    done
+  in
+  exchange ();
+  let time = ref 0 in
+  while !informed_count < k && !time < cfg.max_steps do
+    incr time;
+    for i = 0 to k - 1 do
+      pos.(i) <- jump grid rngs.(i) cfg.rho pos.(i)
+    done;
+    exchange ()
+  done;
+  {
+    outcome = (if !informed_count = k then Completed else Timed_out);
+    steps = !time;
+    informed = !informed_count;
+  }

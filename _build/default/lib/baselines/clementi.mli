@@ -1,0 +1,43 @@
+(** The dense-regime baseline of Clementi, Monti, Pasquale and Silvestri
+    ([7, 8] in the paper's §1.1), built here as the comparison system the
+    paper positions itself against.
+
+    Their model differs from the paper's in every load-bearing respect:
+    - {b density}: the number of agents is linear in the number of grid
+      nodes ([k = Θ(n)]), not decoupled from it;
+    - {b mobility}: at each step an agent {e jumps} to a uniformly random
+      node within distance [rho] of its position — not a neighbour walk;
+    - {b exchange}: an agent exchanges with all agents within distance
+      [R], one hop per time step (information travels at speed ~[R]).
+
+    Their results: [T_B = Θ(√n / R)] w.h.p. when [rho = O(R)], and
+    [T_B = O(√n / rho + log n)] when [rho] dominates — so in the dense
+    regime the broadcast time {e does} depend on the transmission radius,
+    which is exactly the behaviour the paper proves disappears below the
+    percolation point. Experiment X2 reproduces that contrast. *)
+
+type config = {
+  side : int;
+  agents : int;  (** use [k = Θ(side²)] to honour the model's regime *)
+  big_r : int;  (** transmission radius R *)
+  rho : int;  (** jump radius ρ *)
+  seed : int;
+  trial : int;
+  max_steps : int;
+}
+
+type outcome =
+  | Completed
+  | Timed_out
+
+type report = {
+  outcome : outcome;
+  steps : int;
+  informed : int;
+}
+
+val broadcast : config -> report
+(** Single-rumor broadcast from a random source under the
+    jump-and-exchange dynamics. Deterministic given [(seed, trial)].
+    @raise Invalid_argument on non-positive [agents]/[side], negative
+    radii or a negative step cap. *)

@@ -1,0 +1,156 @@
+type config = {
+  box_side : float;
+  agents : int;
+  radius : float;
+  sigma : float;
+  seed : int;
+  trial : int;
+  max_steps : int;
+}
+
+type outcome =
+  | Completed
+  | Timed_out
+
+type report = {
+  outcome : outcome;
+  steps : int;
+  informed : int;
+}
+
+(* continuum percolation constant for Gilbert disk graphs:
+   lambda_c * r^2 ~ 1.436 (Quintanilla et al. estimates) *)
+let percolation_constant = 1.436
+
+let critical_radius ~box_side ~agents =
+  if not (box_side > 0.) then invalid_arg "Continuum.critical_radius: box <= 0";
+  if agents <= 0 then invalid_arg "Continuum.critical_radius: agents <= 0";
+  let lambda = float_of_int agents /. (box_side *. box_side) in
+  sqrt (percolation_constant /. lambda)
+
+(* Reflect a coordinate into [0, l] (folding handles overshoots of any
+   size, though sigma << l in practice). *)
+let rec reflect l x =
+  if x < 0. then reflect l (-.x)
+  else if x > l then reflect l ((2. *. l) -. x)
+  else x
+
+(* Bucket-grid over float positions with cell side = radius: close pairs
+   lie in the same or 8-adjacent cells. *)
+let components ~box_side ~radius ~xs ~ys =
+  let k = Array.length xs in
+  let dsu = Dsu.create k in
+  if radius > 0. then begin
+    let cell = radius in
+    let per_row = max 1 (int_of_float (Float.ceil (box_side /. cell))) in
+    let buckets : (int, int list) Hashtbl.t = Hashtbl.create (2 * k) in
+    let bucket_of i =
+      let bx = min (per_row - 1) (int_of_float (xs.(i) /. cell)) in
+      let by = min (per_row - 1) (int_of_float (ys.(i) /. cell)) in
+      (by * per_row) + bx
+    in
+    for i = 0 to k - 1 do
+      let b = bucket_of i in
+      Hashtbl.replace buckets b
+        (i :: Option.value (Hashtbl.find_opt buckets b) ~default:[])
+    done;
+    let r2 = radius *. radius in
+    let close i j =
+      let dx = xs.(i) -. xs.(j) and dy = ys.(i) -. ys.(j) in
+      (dx *. dx) +. (dy *. dy) <= r2
+    in
+    Hashtbl.iter
+      (fun b members ->
+        (* intra-bucket pairs *)
+        let rec intra = function
+          | [] -> ()
+          | i :: rest ->
+              List.iter (fun j -> if close i j then ignore (Dsu.union dsu i j)) rest;
+              intra rest
+        in
+        intra members;
+        (* forward neighbours: E, N, NE, NW *)
+        let bx = b mod per_row and by = b / per_row in
+        let scan dx dy =
+          let nx = bx + dx and ny = by + dy in
+          if nx >= 0 && nx < per_row && ny >= 0 && ny < per_row then
+            match Hashtbl.find_opt buckets ((ny * per_row) + nx) with
+            | None -> ()
+            | Some others ->
+                List.iter
+                  (fun i ->
+                    List.iter
+                      (fun j -> if close i j then ignore (Dsu.union dsu i j))
+                      others)
+                  members
+        in
+        scan 1 0;
+        scan 0 1;
+        scan 1 1;
+        scan (-1) 1)
+      buckets
+  end;
+  dsu
+
+let giant_fraction rng ~box_side ~agents ~radius ~trials =
+  if trials <= 0 then invalid_arg "Continuum.giant_fraction: trials <= 0";
+  let acc = ref 0. in
+  for _ = 1 to trials do
+    let xs = Array.init agents (fun _ -> Prng.float rng box_side) in
+    let ys = Array.init agents (fun _ -> Prng.float rng box_side) in
+    let dsu = components ~box_side ~radius ~xs ~ys in
+    acc := !acc +. (float_of_int (Dsu.max_set_size dsu) /. float_of_int agents)
+  done;
+  !acc /. float_of_int trials
+
+let broadcast cfg =
+  if not (cfg.box_side > 0.) then invalid_arg "Continuum.broadcast: box <= 0";
+  if cfg.agents <= 0 then invalid_arg "Continuum.broadcast: agents <= 0";
+  if not (cfg.sigma > 0.) then invalid_arg "Continuum.broadcast: sigma <= 0";
+  if cfg.radius < 0. then invalid_arg "Continuum.broadcast: negative radius";
+  if cfg.max_steps < 0 then invalid_arg "Continuum.broadcast: negative cap";
+  let k = cfg.agents in
+  let master =
+    Prng.split (Prng.of_seed ((cfg.seed * 0x9E3779B9) lxor cfg.trial))
+  in
+  let rngs = Array.init k (fun _ -> Prng.split master) in
+  let xs = Array.init k (fun _ -> Prng.float master cfg.box_side) in
+  let ys = Array.init k (fun _ -> Prng.float master cfg.box_side) in
+  let informed = Array.make k false in
+  informed.(Prng.int master k) <- true;
+  let informed_count = ref 1 in
+  let root_informed = Array.make k false in
+  let exchange () =
+    let dsu =
+      components ~box_side:cfg.box_side ~radius:cfg.radius ~xs ~ys
+    in
+    Array.fill root_informed 0 k false;
+    for i = 0 to k - 1 do
+      if informed.(i) then root_informed.(Dsu.find dsu i) <- true
+    done;
+    for i = 0 to k - 1 do
+      if (not informed.(i)) && root_informed.(Dsu.find dsu i) then begin
+        informed.(i) <- true;
+        incr informed_count
+      end
+    done
+  in
+  exchange ();
+  let time = ref 0 in
+  while !informed_count < k && !time < cfg.max_steps do
+    incr time;
+    for i = 0 to k - 1 do
+      xs.(i) <-
+        reflect cfg.box_side
+          (xs.(i) +. Prng.gaussian rngs.(i) ~mean:0. ~stddev:cfg.sigma);
+      ys.(i) <-
+        reflect cfg.box_side
+          (ys.(i) +. Prng.gaussian rngs.(i) ~mean:0. ~stddev:cfg.sigma)
+    done;
+    exchange ()
+  done;
+  {
+    outcome = (if !informed_count = k then Completed else Timed_out);
+    steps = !time;
+    informed = !informed_count;
+  }

@@ -1,0 +1,1 @@
+lib/core/rumor_set.mli:

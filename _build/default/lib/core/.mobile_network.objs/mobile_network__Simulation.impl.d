@@ -1,0 +1,1 @@
+lib/core/simulation.ml: Array Bytes Char Config Dsu Grid Hashtbl Intbuf List Option Prng Protocol Rumor_set Spatial Walk

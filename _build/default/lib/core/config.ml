@@ -1,0 +1,137 @@
+type exchange =
+  | Flood_component
+  | Single_hop
+
+let exchange_to_string = function
+  | Flood_component -> "flood"
+  | Single_hop -> "single-hop"
+
+type t = {
+  side : int;
+  torus : bool;
+  agents : int;
+  radius : int;
+  kernel : Walk.kernel;
+  protocol : Protocol.t;
+  exchange : exchange;
+  seed : int;
+  trial : int;
+  source : int option;
+  sources : int;
+  max_steps : int option;
+  record_history : bool;
+}
+
+let make ?(torus = false) ?(radius = 0) ?(kernel = Walk.Lazy_one_fifth)
+    ?(protocol = Protocol.Broadcast) ?(exchange = Flood_component)
+    ?(seed = 0) ?(trial = 0) ?source ?(sources = 1) ?max_steps
+    ?(record_history = false) ~side ~agents () =
+  {
+    side;
+    torus;
+    agents;
+    radius;
+    kernel;
+    protocol;
+    exchange;
+    seed;
+    trial;
+    source;
+    sources;
+    max_steps;
+    record_history;
+  }
+
+let n t = t.side * t.side
+
+let ilog2 v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go (max 1 v) 0
+
+let default_max_steps t =
+  let nodes = n t in
+  let lg = ilog2 nodes + 1 in
+  (* slowest process we simulate is ~ n log^2 n (single-walk cover time);
+     64x headroom keeps timeouts rare without letting runs escape *)
+  min 200_000_000 (64 * nodes * lg * lg)
+
+let effective_max_steps t =
+  match t.max_steps with Some cap -> cap | None -> default_max_steps t
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let check cond msg = if cond then Ok () else Error msg in
+  let* () = check (t.side > 0) "side must be positive" in
+  let* () = check ((not t.torus) || t.side >= 3) "torus needs side >= 3" in
+  let* () = check (t.agents > 0) "agents must be positive" in
+  let* () = check (t.radius >= 0) "radius must be non-negative" in
+  let* () =
+    check
+      (match t.max_steps with Some s -> s >= 0 | None -> true)
+      "max_steps must be non-negative"
+  in
+  let* () =
+    check
+      (match t.source with
+      | Some s -> s >= 0 && s < t.agents
+      | None -> true)
+      "source agent index out of range"
+  in
+  let* () =
+    check
+      (match t.protocol with
+      | Protocol.Predator_prey { preys } -> preys >= 0
+      | Protocol.Broadcast | Protocol.Gossip | Protocol.Frog
+      | Protocol.Broadcast_cover | Protocol.Cover_walks ->
+          true)
+      "prey count must be non-negative"
+  in
+  let* () =
+    check
+      (match (t.protocol, t.source) with
+      | (Protocol.Gossip | Protocol.Cover_walks | Protocol.Predator_prey _), Some _ ->
+          false
+      | _ -> true)
+      "source is only meaningful for broadcast-like protocols"
+  in
+  let* () =
+    check
+      (t.sources >= 1 && t.sources <= t.agents)
+      "sources must lie in [1, agents]"
+  in
+  let* () =
+    check
+      (t.sources = 1 || t.source = None)
+      "an explicit source requires sources = 1"
+  in
+  Ok ()
+
+let rng_for t =
+  (* fold seed and trial into one well-mixed root stream in O(1); the
+     golden-ratio multiplier separates adjacent (seed, trial) pairs and
+     the split discards any residual structure *)
+  let mixed = Prng.of_seed ((t.seed * 0x9E3779B9) lxor t.trial) in
+  Prng.split mixed
+
+let to_string t =
+  Printf.sprintf
+    "side=%d%s k=%d r=%d kernel=%s proto=%s xchg=%s seed=%d trial=%d%s%s%s"
+    t.side
+    (if t.torus then " torus" else "")
+    t.agents t.radius
+    (Walk.kernel_to_string t.kernel)
+    (Protocol.to_string t.protocol)
+    (exchange_to_string t.exchange)
+    t.seed t.trial
+    (match t.source with Some s -> Printf.sprintf " src=%d" s | None -> "")
+    (if t.sources <> 1 then Printf.sprintf " srcs=%d" t.sources else "")
+    (match t.max_steps with
+    | Some m -> Printf.sprintf " cap=%d" m
+    | None -> "")
+
+let percolation_radius t =
+  Visibility.Percolation.rc_theory ~n:(n t) ~k:t.agents
+
+let is_subcritical t =
+  float_of_int t.radius
+  < Visibility.Percolation.sub_critical_radius ~n:(n t) ~k:t.agents

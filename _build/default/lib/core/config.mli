@@ -1,0 +1,85 @@
+(** Parameters of one simulation run.
+
+    A configuration is a pure value: running the same configuration twice
+    produces identical results, because every random draw derives from
+    [(seed, trial)] through splittable streams. Sweeps vary [trial] to
+    obtain independent replicates of the same parameter point. *)
+
+(** How information moves within one time step. *)
+type exchange =
+  | Flood_component
+      (** the paper's model (§2): a rumor crosses an entire connected
+          component of [G_t(r)] before the next move — radio is much
+          faster than motion *)
+  | Single_hop
+      (** ablation: a rumor crosses at most one visibility edge per time
+          step. Below the percolation point components are tiny, so this
+          barely differs from flooding — measuring that difference is
+          exactly what validates the paper's modelling assumption
+          (experiment A1) *)
+
+type t = {
+  side : int;  (** grid side; the paper's [n] is [side * side] *)
+  torus : bool;
+      (** periodic boundary (default [false], the paper's bounded grid);
+          used by the boundary-effects ablation X5 *)
+  agents : int;  (** the paper's [k] (predator count for predator–prey) *)
+  radius : int;  (** transmission radius [r >= 0], Manhattan *)
+  kernel : Walk.kernel;  (** mobility kernel; the paper's is {!Walk.Lazy_one_fifth} *)
+  protocol : Protocol.t;
+  exchange : exchange;  (** see {!exchange}; the paper's is [Flood_component] *)
+  seed : int;  (** experiment-level seed *)
+  trial : int;  (** replicate index; distinct trials are independent *)
+  source : int option;
+      (** index of the initially informed agent for broadcast-like
+          protocols; [None] picks uniformly at random (the paper's
+          "arbitrary agent" with its uniform placement) *)
+  sources : int;
+      (** how many agents start informed for broadcast-like protocols
+          (default 1, the paper's setting); when [> 1] they are drawn
+          uniformly without replacement and [source] must be [None] *)
+  max_steps : int option;
+      (** hard safety cap; [None] uses {!default_max_steps} *)
+  record_history : bool;
+      (** whether per-step series (informed count, frontier, island
+          sizes) are retained in the report *)
+}
+
+val make :
+  ?torus:bool -> ?radius:int -> ?kernel:Walk.kernel -> ?protocol:Protocol.t ->
+  ?exchange:exchange -> ?seed:int -> ?trial:int -> ?source:int ->
+  ?sources:int -> ?max_steps:int -> ?record_history:bool ->
+  side:int -> agents:int -> unit -> t
+(** Defaults: [radius = 0], the paper's lazy kernel, [Broadcast],
+    [Flood_component], [seed = 0], [trial = 0], one random source,
+    computed step cap, no history. *)
+
+val exchange_to_string : exchange -> string
+
+val n : t -> int
+(** Number of grid nodes, [side * side]. *)
+
+val default_max_steps : t -> int
+(** Safety cap used when [max_steps = None]: generous slack above every
+    theory curve in this repo (including the slowest, single-walk cover
+    time [~ n log^2 n]), so a mis-parameterised run terminates and is
+    reported as timed out rather than hanging. *)
+
+val effective_max_steps : t -> int
+
+val validate : t -> (unit, string) result
+(** Check structural validity (positive sizes, source in range, agents
+    fit on the grid for sparse placement, ...). *)
+
+val rng_for : t -> Prng.t
+(** The root random stream of this (seed, trial) pair. *)
+
+val to_string : t -> string
+
+val percolation_radius : t -> float
+(** [r_c = sqrt (n / k)] for this configuration. *)
+
+val is_subcritical : t -> bool
+(** Whether [radius] lies strictly below the Theorem 2 threshold
+    [sqrt (n / (64 e^6 k))] — the regime where the paper's lower bound
+    applies. *)

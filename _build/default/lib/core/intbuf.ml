@@ -1,0 +1,26 @@
+type t = {
+  mutable data : int array;
+  mutable length : int;
+}
+
+let create ?(initial_capacity = 64) () =
+  { data = Array.make (max 1 initial_capacity) 0; length = 0 }
+
+let length t = t.length
+
+let push t v =
+  if t.length = Array.length t.data then begin
+    let bigger = Array.make (2 * Array.length t.data) 0 in
+    Array.blit t.data 0 bigger 0 t.length;
+    t.data <- bigger
+  end;
+  t.data.(t.length) <- v;
+  t.length <- t.length + 1
+
+let get t i =
+  if i < 0 || i >= t.length then invalid_arg "Intbuf.get: index out of range";
+  t.data.(i)
+
+let last t = if t.length = 0 then None else Some t.data.(t.length - 1)
+
+let to_array t = Array.sub t.data 0 t.length

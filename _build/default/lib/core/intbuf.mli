@@ -1,0 +1,21 @@
+(** Growable integer buffer for per-step metric series.
+
+    The simulator appends one value per time step when history recording
+    is on; amortised O(1) pushes, O(n) conversion at the end. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+val length : t -> int
+
+val push : t -> int -> unit
+
+val get : t -> int -> int
+(** @raise Invalid_argument if the index is out of range. *)
+
+val last : t -> int option
+(** Most recently pushed value, if any. *)
+
+val to_array : t -> int array
+(** Fresh array of the pushed values in push order. *)

@@ -1,0 +1,38 @@
+type t =
+  | Broadcast
+  | Gossip
+  | Frog
+  | Broadcast_cover
+  | Cover_walks
+  | Predator_prey of { preys : int }
+
+let to_string = function
+  | Broadcast -> "broadcast"
+  | Gossip -> "gossip"
+  | Frog -> "frog"
+  | Broadcast_cover -> "broadcast-cover"
+  | Cover_walks -> "cover-walks"
+  | Predator_prey { preys } -> Printf.sprintf "predator-prey(%d)" preys
+
+let equal a b =
+  match (a, b) with
+  | Broadcast, Broadcast
+  | Gossip, Gossip
+  | Frog, Frog
+  | Broadcast_cover, Broadcast_cover
+  | Cover_walks, Cover_walks ->
+      true
+  | Predator_prey { preys = p1 }, Predator_prey { preys = p2 } -> p1 = p2
+  | ( ( Broadcast | Gossip | Frog | Broadcast_cover | Cover_walks
+      | Predator_prey _ ),
+      _ ) ->
+      false
+
+let is_flooding = function
+  | Broadcast | Gossip | Frog | Broadcast_cover | Cover_walks -> true
+  | Predator_prey _ -> false
+
+let population t ~k =
+  match t with
+  | Broadcast | Gossip | Frog | Broadcast_cover | Cover_walks -> k
+  | Predator_prey { preys } -> k + preys

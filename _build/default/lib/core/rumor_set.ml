@@ -1,0 +1,73 @@
+type t = {
+  bits : Bytes.t;
+  capacity : int;
+  mutable cardinal : int;
+}
+
+(* popcount of a byte, precomputed once *)
+let popcount_table =
+  Array.init 256 (fun b ->
+      let rec count b acc = if b = 0 then acc else count (b lsr 1) (acc + (b land 1)) in
+      count b 0)
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Rumor_set.create: negative capacity";
+  { bits = Bytes.make ((capacity + 7) / 8) '\000'; capacity; cardinal = 0 }
+
+let capacity t = t.capacity
+
+let cardinal t = t.cardinal
+
+let is_full t = t.cardinal = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Rumor_set: id out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  if byte land mask <> 0 then 0
+  else begin
+    Bytes.set t.bits (i lsr 3) (Char.chr (byte lor mask));
+    t.cardinal <- t.cardinal + 1;
+    1
+  end
+
+let singleton ~capacity i =
+  let t = create ~capacity in
+  ignore (add t i);
+  t
+
+let union_into ~src ~dst =
+  if src.capacity <> dst.capacity then
+    invalid_arg "Rumor_set.union_into: capacity mismatch";
+  let added = ref 0 in
+  for byte = 0 to Bytes.length src.bits - 1 do
+    let s = Char.code (Bytes.get src.bits byte) in
+    if s <> 0 then begin
+      let d = Char.code (Bytes.get dst.bits byte) in
+      let fresh = s land lnot d land 0xFF in
+      if fresh <> 0 then begin
+        Bytes.set dst.bits byte (Char.chr (d lor s));
+        added := !added + popcount_table.(fresh)
+      end
+    end
+  done;
+  dst.cardinal <- dst.cardinal + !added;
+  !added
+
+let copy t =
+  { bits = Bytes.copy t.bits; capacity = t.capacity; cardinal = t.cardinal }
+
+let equal a b = a.capacity = b.capacity && Bytes.equal a.bits b.bits
+
+let iter t ~f =
+  for i = 0 to t.capacity - 1 do
+    if Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0 then
+      f i
+  done

@@ -1,0 +1,130 @@
+(** The discrete-time simulation engine for the paper's model (§2).
+
+    One step of the process:
+    + every {e active} agent performs one transition of the mobility
+      kernel (all agents for broadcast/gossip; only informed agents in
+      the Frog model; only uncaught individuals in predator–prey);
+    + the visibility graph [G_t(r)] is rebuilt from the new positions;
+    + information is exchanged — for flooding protocols the rumor set of
+      every agent becomes the union over its connected component (the
+      paper's "radio is faster than motion" rule); for predator–prey,
+      each prey within range of a predator is caught;
+    + metrics are updated (informed count, rightmost informed coordinate
+      [x(t)], largest island, coverage).
+
+    Time 0 already performs an exchange on the initial uniform placement,
+    so a broadcast among [k = 1] agents completes in 0 steps.
+
+    The engine is deterministic: all randomness derives from
+    [(config.seed, config.trial)] via splittable streams, one per agent,
+    so results do not depend on evaluation order. *)
+
+type t
+
+(** Why a run stopped. *)
+type outcome =
+  | Completed  (** the protocol's stopping predicate became true *)
+  | Timed_out  (** the step cap was reached first *)
+
+(** Per-step series, recorded when [config.record_history] is set.
+    Index [i] is the state after step [i]; index 0 is the initial
+    state. *)
+type history = {
+  informed : int array;
+      (** informed agents (caught preys for predator–prey) *)
+  frontier_x : int array;
+      (** rightmost x-coordinate ever occupied by an informed agent —
+          the frontier of the informed area [I(t)] of §3.2 *)
+  max_island : int array;
+      (** largest connected component of [G_t(r)]; 0 for predator–prey *)
+  covered : int array;
+      (** covered-node count; all zeros unless the protocol tracks
+          coverage *)
+}
+
+type report = {
+  config : Config.t;
+  outcome : outcome;
+  steps : int;
+      (** number of steps executed; on [Completed] this is the protocol's
+          completion time ([T_B], [T_G], [T_C], cover or extinction
+          time) *)
+  informed : int;  (** final informed/caught count *)
+  covered : int;  (** final covered-node count (0 when not tracked) *)
+  history : history option;
+}
+
+val create : Config.t -> t
+(** @raise Invalid_argument if {!Config.validate} rejects the
+    configuration. *)
+
+(** {1 Inspection} *)
+
+val config : t -> Config.t
+
+val grid : t -> Grid.t
+
+val time : t -> int
+
+val population : t -> int
+(** Number of walking individuals ([k], plus preys for predator–prey). *)
+
+val informed_count : t -> int
+(** Informed agents; for predator–prey, the number of caught preys. *)
+
+val is_informed : t -> int -> bool
+(** Whether agent [i] is informed (for predator–prey: [i] is a predator,
+    or a caught prey). @raise Invalid_argument if out of range. *)
+
+val rumors_known : t -> int -> int
+(** Number of distinct rumors agent [i] knows. For single-rumor
+    protocols this is 0 or 1. *)
+
+val position : t -> int -> Grid.node
+(** Current position of agent [i]. *)
+
+val positions : t -> Grid.node array
+(** Copy of all current positions (index = agent id). *)
+
+val source : t -> int option
+(** The initially informed agent, for broadcast-like protocols. *)
+
+val frontier_x : t -> int
+(** Rightmost x-coordinate of the informed area so far; [-1] when no
+    agent is informed (gossip/cover protocols track the rumor-0
+    holder). *)
+
+val max_island : t -> int
+(** Largest visibility-graph component at the last exchange; 0 for
+    predator–prey. *)
+
+val island_sizes : t -> int array
+(** Sizes of all visibility-graph components at the last exchange, in no
+    particular order (sum = population). Empty for predator–prey, whose
+    exchange does not build components. O(population); allocates. *)
+
+val covered_count : t -> int
+(** Number of grid nodes covered so far (0 when the protocol does not
+    track coverage). *)
+
+val live_preys : t -> int
+(** Remaining preys (0 for non-predator protocols). *)
+
+val is_done : t -> bool
+
+(** {1 Running} *)
+
+val step : t -> unit
+(** Advance one time step. No-op once {!is_done} (stepping a finished
+    simulation is allowed and does nothing). *)
+
+val run : ?on_step:(t -> unit) -> t -> report
+(** Step until done or the step cap is hit. [on_step] fires after every
+    executed step (not for the initial state). *)
+
+val run_config : ?on_step:(t -> unit) -> Config.t -> report
+(** [create] + [run]. *)
+
+val completion_time : Config.t -> int option
+(** Convenience: run and return [Some steps] on completion, [None] on
+    timeout. *)

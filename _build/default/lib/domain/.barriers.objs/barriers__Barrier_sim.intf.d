@@ -1,0 +1,1 @@
+lib/domain/barrier_sim.mli: Domain

@@ -1,0 +1,1 @@
+lib/domain/domain.ml: Array Bytes Char Float Grid List Prng Queue

@@ -1,0 +1,1 @@
+lib/domain/domain.mli: Grid Prng

@@ -1,0 +1,88 @@
+type t = {
+  parent : int array;
+  size : int array;
+  mutable sets : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Dsu.create: negative size";
+  { parent = Array.init n (fun i -> i); size = Array.make n 1; sets = n }
+
+let length t = Array.length t.parent
+
+let reset t =
+  for i = 0 to Array.length t.parent - 1 do
+    t.parent.(i) <- i;
+    t.size.(i) <- 1
+  done;
+  t.sets <- Array.length t.parent
+
+let check t i =
+  if i < 0 || i >= Array.length t.parent then
+    invalid_arg "Dsu: element out of range"
+
+let rec find_root t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    (* path halving: point to grandparent as we walk up *)
+    let gp = t.parent.(p) in
+    t.parent.(i) <- gp;
+    find_root t gp
+  end
+
+let find t i =
+  check t i;
+  find_root t i
+
+let union t i j =
+  check t i;
+  check t j;
+  let ri = find_root t i and rj = find_root t j in
+  if ri = rj then false
+  else begin
+    let big, small =
+      if t.size.(ri) >= t.size.(rj) then (ri, rj) else (rj, ri)
+    in
+    t.parent.(small) <- big;
+    t.size.(big) <- t.size.(big) + t.size.(small);
+    t.sets <- t.sets - 1;
+    true
+  end
+
+let same_set t i j =
+  check t i;
+  check t j;
+  find_root t i = find_root t j
+
+let set_size t i =
+  check t i;
+  t.size.(find_root t i)
+
+let set_count t = t.sets
+
+let max_set_size t =
+  let best = ref 0 in
+  for i = 0 to Array.length t.parent - 1 do
+    if t.parent.(i) = i && t.size.(i) > !best then best := t.size.(i)
+  done;
+  !best
+
+let groups t =
+  let n = Array.length t.parent in
+  let acc = Array.make n [] in
+  (* walk downward so member lists come out increasing *)
+  for i = n - 1 downto 0 do
+    let r = find_root t i in
+    acc.(r) <- i :: acc.(r)
+  done;
+  acc
+
+let iter_sets t ~f =
+  let acc = groups t in
+  Array.iteri
+    (fun r members ->
+      match members with
+      | [] -> ()
+      | _ :: _ -> f ~representative:r ~members)
+    acc

@@ -1,0 +1,50 @@
+(** Disjoint-set union (union–find) over integer elements [0, n).
+
+    Used every simulation step to compute the connected components of the
+    visibility graph [G_t(r)]: agents are elements, and each pair within
+    transmission range is {!union}ed. Path compression plus union by size
+    give effectively-constant amortised operations.
+
+    The structure is mutable and supports O(n) {!reset} so the simulator
+    can reuse one allocation across all steps. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a forest of [n] singleton sets, elements [0 .. n-1].
+    @raise Invalid_argument if [n < 0]. *)
+
+val length : t -> int
+(** Number of elements. *)
+
+val reset : t -> unit
+(** Return every element to its own singleton set. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. Performs path
+    compression. @raise Invalid_argument if out of range. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two elements' sets. Returns [true] iff they were previously
+    in different sets. *)
+
+val same_set : t -> int -> int -> bool
+(** Whether the two elements currently share a set. *)
+
+val set_size : t -> int -> int
+(** Size of the set containing the element. *)
+
+val set_count : t -> int
+(** Current number of disjoint sets. *)
+
+val max_set_size : t -> int
+(** Size of the largest set — the "largest island" of Lemma 6. O(n). *)
+
+val iter_sets : t -> f:(representative:int -> members:int list -> unit) -> unit
+(** Iterate over every set, passing its representative and full member
+    list. Member lists are in increasing order. O(n) total. *)
+
+val groups : t -> int list array
+(** [groups t] is an array indexed by representative; entry [r] holds the
+    members of [r]'s set (increasing order) and non-representative entries
+    hold [[]]. O(n). *)

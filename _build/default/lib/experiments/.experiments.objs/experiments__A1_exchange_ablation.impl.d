@@ -1,0 +1,1 @@
+lib/experiments/a1_exchange_ablation.ml: Exp_result Float List Mobile_network Printf Sweep Table

@@ -1,0 +1,1 @@
+lib/experiments/a1_exchange_ablation.mli: Exp_result

@@ -1,0 +1,1 @@
+lib/experiments/a2_kernel_ablation.ml: Exp_result Mobile_network Printf Sweep Table Walk

@@ -1,0 +1,1 @@
+lib/experiments/a2_kernel_ablation.mli: Exp_result

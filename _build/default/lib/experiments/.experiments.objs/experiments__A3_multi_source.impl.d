@@ -1,0 +1,1 @@
+lib/experiments/a3_multi_source.ml: Array Exp_result List Mobile_network Printf Stats Sweep Table

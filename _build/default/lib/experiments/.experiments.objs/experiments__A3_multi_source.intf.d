@@ -1,0 +1,1 @@
+lib/experiments/a3_multi_source.mli: Exp_result

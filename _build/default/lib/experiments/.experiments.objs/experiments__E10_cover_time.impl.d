@@ -1,0 +1,1 @@
+lib/experiments/e10_cover_time.ml: Array Exp_result Float List Mobile_network Printf Stats Sweep Table

@@ -1,0 +1,1 @@
+lib/experiments/e10_cover_time.mli: Exp_result

@@ -1,0 +1,1 @@
+lib/experiments/e11_predator_prey.ml: Array Exp_result Float List Mobile_network Printf Stats Sweep Table

@@ -1,0 +1,1 @@
+lib/experiments/e11_predator_prey.mli: Exp_result

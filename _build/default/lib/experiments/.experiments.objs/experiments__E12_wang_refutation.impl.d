@@ -1,0 +1,1 @@
+lib/experiments/e12_wang_refutation.ml: Array Exp_result Float List Mobile_network Printf Stats Sweep Table

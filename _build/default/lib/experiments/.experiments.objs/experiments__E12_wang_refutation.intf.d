@@ -1,0 +1,1 @@
+lib/experiments/e12_wang_refutation.mli: Exp_result

@@ -1,0 +1,1 @@
+lib/experiments/e13_joint_fit.ml: Array Exp_result List Mobile_network Printf Stats Sweep Table

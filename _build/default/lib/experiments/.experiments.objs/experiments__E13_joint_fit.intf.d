@@ -1,0 +1,1 @@
+lib/experiments/e13_joint_fit.mli: Exp_result

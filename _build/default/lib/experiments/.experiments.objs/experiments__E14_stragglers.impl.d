@@ -1,0 +1,1 @@
+lib/experiments/e14_stragglers.ml: Array Exp_result Float List Mobile_network Printf Stats Table

@@ -1,0 +1,1 @@
+lib/experiments/e15_cell_wave.ml: Array Exp_result Float Grid Hashtbl List Mobile_network Printf Stats Table

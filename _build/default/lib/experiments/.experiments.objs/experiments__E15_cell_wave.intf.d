@@ -1,0 +1,1 @@
+lib/experiments/e15_cell_wave.mli: Exp_result

@@ -1,0 +1,1 @@
+lib/experiments/e16_finite_size.ml: Array Exp_result Float List Mobile_network Printf Stats Sweep Table

@@ -1,0 +1,1 @@
+lib/experiments/e16_finite_size.mli: Exp_result

@@ -1,0 +1,1 @@
+lib/experiments/e1_broadcast_vs_k.ml: Array Ascii_plot Exp_result List Mobile_network Printf Stats Sweep Table

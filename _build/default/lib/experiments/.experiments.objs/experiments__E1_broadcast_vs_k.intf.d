@@ -1,0 +1,1 @@
+lib/experiments/e1_broadcast_vs_k.mli: Exp_result

@@ -1,0 +1,1 @@
+lib/experiments/e2_broadcast_vs_n.ml: Array Exp_result List Mobile_network Printf Stats Sweep Table

@@ -1,0 +1,1 @@
+lib/experiments/e2_broadcast_vs_n.mli: Exp_result

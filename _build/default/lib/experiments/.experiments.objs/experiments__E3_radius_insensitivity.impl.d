@@ -1,0 +1,1 @@
+lib/experiments/e3_radius_insensitivity.ml: Ascii_plot Exp_result Float Grid List Mobile_network Printf Prng Stats Sweep Table Visibility

@@ -1,0 +1,1 @@
+lib/experiments/e3_radius_insensitivity.mli: Exp_result

@@ -1,0 +1,1 @@
+lib/experiments/e4_meeting_probability.ml: Exp_result Float Grid List Printf Prng Sweep Table Walk

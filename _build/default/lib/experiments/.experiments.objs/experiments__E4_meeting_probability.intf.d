@@ -1,0 +1,1 @@
+lib/experiments/e4_meeting_probability.mli: Exp_result

@@ -1,0 +1,1 @@
+lib/experiments/e5_island_sizes.ml: Array Exp_result Float Grid List Mobile_network Printf Prng Stats Table Visibility

@@ -1,0 +1,1 @@
+lib/experiments/e5_island_sizes.mli: Exp_result

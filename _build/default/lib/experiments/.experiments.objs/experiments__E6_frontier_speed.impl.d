@@ -1,0 +1,1 @@
+lib/experiments/e6_frontier_speed.ml: Array Exp_result List Mobile_network Printf Stats Table

@@ -1,0 +1,1 @@
+lib/experiments/e6_frontier_speed.mli: Exp_result

@@ -1,0 +1,1 @@
+lib/experiments/e7_gossip_vs_broadcast.ml: Exp_result Float List Mobile_network Printf Sweep Table

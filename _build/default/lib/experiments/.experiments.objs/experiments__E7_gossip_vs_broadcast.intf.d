@@ -1,0 +1,1 @@
+lib/experiments/e7_gossip_vs_broadcast.mli: Exp_result

@@ -1,0 +1,1 @@
+lib/experiments/e8_frog_model.ml: Array Exp_result List Mobile_network Printf Stats Sweep Table

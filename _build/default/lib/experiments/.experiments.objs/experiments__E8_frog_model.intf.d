@@ -1,0 +1,1 @@
+lib/experiments/e8_frog_model.mli: Exp_result

@@ -1,0 +1,1 @@
+lib/experiments/e9_coverage_time.ml: Array Exp_result Float List Mobile_network Printf Stats Sweep Table

@@ -1,0 +1,1 @@
+lib/experiments/e9_coverage_time.mli: Exp_result

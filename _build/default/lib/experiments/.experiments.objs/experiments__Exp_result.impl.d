@@ -1,0 +1,1 @@
+lib/experiments/exp_result.ml: Format List Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/l1_hitting_probability.ml: Exp_result Float Grid List Printf Prng Sweep Table Walk

@@ -1,0 +1,1 @@
+lib/experiments/l1_hitting_probability.mli: Exp_result

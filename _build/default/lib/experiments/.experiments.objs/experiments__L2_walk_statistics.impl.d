@@ -1,0 +1,1 @@
+lib/experiments/l2_walk_statistics.ml: Array Exp_result Float Grid List Mobile_network Printf Prng Stats String Table Walk

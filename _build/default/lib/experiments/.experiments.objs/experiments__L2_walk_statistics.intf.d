@@ -1,0 +1,1 @@
+lib/experiments/l2_walk_statistics.mli: Exp_result

@@ -1,0 +1,1 @@
+lib/experiments/l3_stationarity.ml: Array Exp_result Float Grid Hashtbl List Printf Prng Stats Table Walk

@@ -1,0 +1,1 @@
+lib/experiments/l3_stationarity.mli: Exp_result

@@ -1,0 +1,1 @@
+lib/experiments/l4_meeting_tail.ml: Array Exp_result Float Grid List Printf Prng Table Walk

@@ -1,0 +1,1 @@
+lib/experiments/l4_meeting_tail.mli: Exp_result

@@ -1,0 +1,1 @@
+lib/experiments/l5_meeting_time.ml: Array Exp_result Float Grid List Printf Prng Stats Table Walk

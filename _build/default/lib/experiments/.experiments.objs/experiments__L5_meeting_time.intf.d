@@ -1,0 +1,1 @@
+lib/experiments/l5_meeting_time.mli: Exp_result

@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Array List Mobile_network Stats

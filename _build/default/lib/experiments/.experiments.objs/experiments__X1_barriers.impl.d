@@ -1,0 +1,1 @@
+lib/experiments/x1_barriers.ml: Array Barriers Exp_result Grid List Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/x2_dense_baseline.ml: Array Ascii_plot Baselines Exp_result Float List Mobile_network Printf Stats Sweep Table

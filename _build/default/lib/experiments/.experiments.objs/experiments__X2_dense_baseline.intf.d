@@ -1,0 +1,1 @@
+lib/experiments/x2_dense_baseline.mli: Exp_result

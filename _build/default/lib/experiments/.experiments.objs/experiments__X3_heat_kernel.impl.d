@@ -1,0 +1,1 @@
+lib/experiments/x3_heat_kernel.ml: Array Exp_result Float Grid List Printf Prng Stats Table Walk

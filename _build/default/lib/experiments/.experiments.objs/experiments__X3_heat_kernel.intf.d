@@ -1,0 +1,1 @@
+lib/experiments/x3_heat_kernel.mli: Exp_result

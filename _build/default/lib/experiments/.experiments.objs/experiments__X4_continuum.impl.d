@@ -1,0 +1,1 @@
+lib/experiments/x4_continuum.ml: Array Ascii_plot Continuum Exp_result Float List Printf Prng Stats Table

@@ -1,0 +1,1 @@
+lib/experiments/x4_continuum.mli: Exp_result

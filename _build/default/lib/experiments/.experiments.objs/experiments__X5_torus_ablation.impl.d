@@ -1,0 +1,1 @@
+lib/experiments/x5_torus_ablation.ml: Array Exp_result Float List Mobile_network Printf Stats Sweep Table

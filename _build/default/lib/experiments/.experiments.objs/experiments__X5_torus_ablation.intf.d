@@ -1,0 +1,1 @@
+lib/experiments/x5_torus_ablation.mli: Exp_result

@@ -1,0 +1,17 @@
+(** A1 — ablation of the instant-flooding assumption (§2).
+
+    The paper assumes a rumor crosses an entire connected component of
+    [G_t(r)] within one time step ("the speed of radio transmission is
+    much faster than the motion of the agents"). This ablation replaces
+    component flooding with a one-edge-per-step exchange and measures
+    the broadcast-time ratio:
+
+    - below the percolation point components hold O(log n) agents
+      (Lemma 6), so at most a polylog of extra steps can ever accrue and
+      the ratio must stay near 1 — this is what makes the modelling
+      assumption harmless exactly in the regime the paper studies;
+    - above the percolation point the giant component makes flooding
+      near-instant while single-hop still pays graph-distance many
+      steps, so the ratio must blow up. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

@@ -1,0 +1,63 @@
+module Config = Mobile_network.Config
+
+let run ?(quick = false) ~seed () =
+  let side = if quick then 24 else 40 in
+  let k = if quick then 12 else 24 in
+  let trials = if quick then 3 else 7 in
+  (* a cap high enough for any completing configuration, low enough to
+     expose the parity deadlock quickly *)
+  let cap = 40 * side * side in
+  let table =
+    Table.create
+      ~header:[ "kernel"; "r"; "median T_B"; "timeouts"; "note" ]
+  in
+  let measure kernel radius =
+    Sweep.completion_times ~trials ~cfg:(fun ~trial ->
+        Config.make ~side ~agents:k ~radius ~kernel ~seed ~trial
+          ~max_steps:cap ())
+  in
+  let add kernel radius note =
+    let m = measure kernel radius in
+    let med = Sweep.median m.Sweep.times in
+    Table.add_row table
+      [ Walk.kernel_to_string kernel; Table.cell_int radius;
+        Table.cell_float med; Table.cell_int m.Sweep.timeouts; note ];
+    (med, m.Sweep.timeouts)
+  in
+  let lazy15, lazy15_to = add Walk.Lazy_one_fifth 0 "the paper's kernel" in
+  let lazy12, lazy12_to = add Walk.Lazy_half 0 "more laziness = slower" in
+  let _, simple0_to = add Walk.Simple 0 "parity trap: cannot finish" in
+  let simple1, simple1_to = add Walk.Simple 1 "r=1 defeats the parity trap" in
+  let slowdown = lazy12 /. lazy15 in
+  {
+    Exp_result.id = "A2";
+    title = "Ablation: mobility kernels (laziness and the parity trap)";
+    claim = "The lazy kernel is essential at r = 0 (simple-walk parity makes meetings impossible for half the pairs); among lazy kernels only a constant-factor speed changes";
+    table;
+    findings =
+      [
+        Printf.sprintf "lazy-1/2 vs lazy-1/5 slowdown: %.2fx" slowdown;
+        Printf.sprintf
+          "simple kernel at r=0 timed out in %d/%d trials; at r=1 in %d/%d"
+          simple0_to trials simple1_to trials;
+      ];
+    figures = [];
+    checks =
+      [
+        Exp_result.check ~label:"lazy kernels complete at r=0"
+          ~passed:(lazy15_to = 0 && lazy12_to = 0)
+          ~detail:
+            (Printf.sprintf "timeouts: lazy-1/5 %d, lazy-1/2 %d (want 0)"
+               lazy15_to lazy12_to);
+        Exp_result.check ~label:"simple kernel deadlocks at r=0 (parity)"
+          ~passed:(simple0_to = trials)
+          ~detail:
+            (Printf.sprintf "%d/%d trials timed out (want all)" simple0_to
+               trials);
+        Exp_result.check ~label:"r=1 rescues the simple kernel"
+          ~passed:(simple1_to = 0 && simple1 > 0.)
+          ~detail:(Printf.sprintf "timeouts at r=1: %d (want 0)" simple1_to);
+        Exp_result.check_in_range ~label:"laziness costs only a constant"
+          ~value:slowdown ~lo:1.05 ~hi:3.0;
+      ];
+  }

@@ -1,0 +1,20 @@
+(** A2 — ablation of the mobility kernel: why the paper's walk is lazy.
+
+    The paper's agents move to each existing neighbour with probability
+    1/5 and stay otherwise (§2). Two properties make this kernel the
+    right choice, and this ablation demonstrates both:
+
+    - {b parity}: under the non-lazy simple random walk, the parity of
+      [x + y + t] is invariant per agent, so two agents whose initial
+      parities differ can {e never} occupy the same node — with [r = 0]
+      broadcast deadlocks on roughly half the agents. Laziness (or any
+      positive holding probability) breaks the parity trap. The
+      experiment shows simple-kernel runs at [r = 0] time out while all
+      lazy runs complete (and the same simple kernel completes fine at
+      [r = 1]).
+    - {b speed}: among lazy kernels only the holding probability
+      matters, as a constant time rescaling — lazy-1/2 (holding 1/2) is
+      a constant factor slower than lazy-1/5 (holding 1/5 on interior
+      nodes), with the same scaling law. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

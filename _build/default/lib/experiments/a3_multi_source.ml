@@ -1,0 +1,71 @@
+module Config = Mobile_network.Config
+
+let run ?(quick = false) ~seed () =
+  let side = if quick then 32 else 48 in
+  let k = if quick then 32 else 64 in
+  let sources_list = if quick then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16; 32 ] in
+  let trials = if quick then 3 else 7 in
+  let table =
+    Table.create
+      ~header:[ "sources m"; "median T_B"; "speed-up vs m=1"; "timeouts" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun sources ->
+      let measured =
+        Sweep.completion_times ~trials ~cfg:(fun ~trial ->
+            Config.make ~side ~agents:k ~radius:0 ~sources ~seed ~trial ())
+      in
+      let med = Sweep.median measured.times in
+      points := (float_of_int sources, med, measured.Sweep.timeouts) :: !points)
+    sources_list;
+  let points = List.rev !points in
+  let base = match points with (_, m, _) :: _ -> m | [] -> nan in
+  List.iter
+    (fun (m, med, timeouts) ->
+      Table.add_row table
+        [ Table.cell_int (int_of_float m); Table.cell_float med;
+          Table.cell_float ~decimals:2 (base /. med);
+          Table.cell_int timeouts ])
+    points;
+  let fit =
+    Stats.Regression.log_log
+      (Array.of_list (List.map (fun (m, med, _) -> (m, med)) points))
+  in
+  let monotone =
+    (* allow mild noise: each doubling of m may regress by at most 30% *)
+    let rec check = function
+      | (_, a, _) :: ((_, b, _) :: _ as rest) -> a >= 0.7 *. b && check rest
+      | _ -> true
+    in
+    check points
+  in
+  let final_speedup =
+    let _, last, _ = List.nth points (List.length points - 1) in
+    base /. last
+  in
+  {
+    Exp_result.id = "A3";
+    title = "Extension: broadcast from m simultaneous sources";
+    claim = "Independent informed seeds spread in parallel: T_B decreases in m with a negative power-law exponent";
+    table;
+    findings =
+      [
+        Printf.sprintf "fitted exponent of T_B in m: %.3f (R^2 = %.3f)"
+          fit.Stats.Regression.slope fit.Stats.Regression.r_squared;
+        Printf.sprintf "speed-up at the largest m: %.2fx" final_speedup;
+      ];
+    figures = [];
+    checks =
+      [
+        Exp_result.check_in_range ~label:"decay exponent in m"
+          ~value:fit.Stats.Regression.slope ~lo:(-1.0) ~hi:(-0.1);
+        Exp_result.check ~label:"speed-up is (noise-tolerantly) monotone"
+          ~passed:monotone ~detail:"each doubling of m loses at most 30%";
+        Exp_result.check ~label:"many sources help substantially"
+          ~passed:(final_speedup > 2.)
+          ~detail:
+            (Printf.sprintf "speed-up at largest m = %.2fx (want > 2x)"
+               final_speedup);
+      ];
+  }

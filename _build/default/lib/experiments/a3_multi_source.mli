@@ -1,0 +1,12 @@
+(** A3 — extension: broadcast from multiple sources.
+
+    The paper's broadcast starts from one arbitrary agent; a natural
+    systems question (and an easy corollary of its techniques) is how
+    the time falls when [m] agents start informed. Until the informed
+    sets merge, the [m] rumor copies spread independently, so the time
+    for the {e last} uninformed agent drops roughly like a parallel
+    speed-up in [m], saturating at the single-meeting timescale. The
+    experiment sweeps [m], checks monotone speed-up, and fits the decay
+    exponent (expected in (-1, 0)). *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

@@ -1,0 +1,70 @@
+type series = {
+  label : string;
+  marker : char;
+  points : (float * float) list;
+}
+
+let render ?(width = 60) ?(height = 20) ?(log_x = true) ?(log_y = true)
+    ~title ~x_label ~y_label series =
+  if width < 2 || height < 2 then
+    invalid_arg "Ascii_plot.render: canvas too small";
+  let transform log v = if log then log10 v else v in
+  let usable =
+    List.map
+      (fun s ->
+        let pts =
+          List.filter_map
+            (fun (x, y) ->
+              if (log_x && x <= 0.) || (log_y && y <= 0.) then None
+              else Some (transform log_x x, transform log_y y))
+            s.points
+        in
+        (s, pts))
+      series
+  in
+  let all = List.concat_map snd usable in
+  if all = [] then invalid_arg "Ascii_plot.render: no plottable points";
+  let xs = List.map fst all and ys = List.map snd all in
+  let x_lo = List.fold_left Float.min infinity xs in
+  let x_hi = List.fold_left Float.max neg_infinity xs in
+  let y_lo = List.fold_left Float.min infinity ys in
+  let y_hi = List.fold_left Float.max neg_infinity ys in
+  (* degenerate ranges get padded so single points still render *)
+  let pad lo hi = if hi -. lo < 1e-12 then (lo -. 0.5, hi +. 0.5) else (lo, hi) in
+  let x_lo, x_hi = pad x_lo x_hi and y_lo, y_hi = pad y_lo y_hi in
+  let canvas = Array.make_matrix height width '.' in
+  let place (x, y) marker =
+    let col =
+      int_of_float
+        (Float.round ((x -. x_lo) /. (x_hi -. x_lo) *. float_of_int (width - 1)))
+    in
+    let row =
+      int_of_float
+        (Float.round ((y -. y_lo) /. (y_hi -. y_lo) *. float_of_int (height - 1)))
+    in
+    (* row 0 is the top of the canvas = largest y *)
+    canvas.(height - 1 - row).(col) <- marker
+  in
+  List.iter
+    (fun (s, pts) -> List.iter (fun p -> place p s.marker) pts)
+    usable;
+  let buf = Buffer.create (width * height * 2) in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf (String.init width (fun i -> row.(i)));
+      Buffer.add_char buf '\n')
+    canvas;
+  let back log v = if log then 10. ** v else v in
+  Buffer.add_string buf
+    (Printf.sprintf "x: %s in [%.3g, %.3g]%s   y: %s in [%.3g, %.3g]%s\n"
+       x_label (back log_x x_lo) (back log_x x_hi)
+       (if log_x then " (log)" else "")
+       y_label (back log_y y_lo) (back log_y y_hi)
+       (if log_y then " (log)" else ""));
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "  %c = %s\n" s.marker s.label))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,94 @@
+module Config = Mobile_network.Config
+module Protocol = Mobile_network.Protocol
+module Theory = Mobile_network.Theory
+
+let run ?(quick = false) ~seed () =
+  let side = 32 in
+  let n = side * side in
+  let ks =
+    if quick then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16; 32; 64 ]
+  in
+  let trials = if quick then 3 else 5 in
+  let table =
+    Table.create
+      ~header:
+        [ "k"; "median cover time"; "bound n*ln^2(n)/k + n*ln(n)";
+          "measured/bound"; "speedup vs k=1"; "timeouts" ]
+  in
+  let medians = ref [] in
+  List.iter
+    (fun k ->
+      let measured =
+        Sweep.completion_times ~trials ~cfg:(fun ~trial ->
+            Config.make ~side ~agents:k ~radius:0
+              ~protocol:Protocol.Cover_walks ~seed ~trial ())
+      in
+      let med = Sweep.median measured.times in
+      medians := (k, med, measured.timeouts) :: !medians)
+    ks;
+  let medians = List.rev !medians in
+  let base =
+    match medians with (_, m, _) :: _ -> m | [] -> nan
+  in
+  let ratios = ref [] in
+  List.iter
+    (fun (k, med, timeouts) ->
+      let bound = Theory.cover_time_multi ~n ~k in
+      ratios := (med /. bound) :: !ratios;
+      Table.add_row table
+        [ Table.cell_int k; Table.cell_float med; Table.cell_float bound;
+          Table.cell_float ~decimals:3 (med /. bound);
+          Table.cell_float (base /. med); Table.cell_int timeouts ])
+    medians;
+  (* fit the speed-up regime: k in the lower half of the sweep *)
+  let small =
+    List.filter (fun (k, _, _) -> k <= (if quick then 4 else 8)) medians
+  in
+  let fit =
+    Stats.Regression.log_log
+      (Array.of_list
+         (List.map (fun (k, m, _) -> (float_of_int k, m)) small))
+  in
+  let ratio_max = List.fold_left Float.max neg_infinity !ratios in
+  (* total speed-up achieved by the largest k; the paper's bound promises
+     at least ~ k / log n of it before the additive n log n floor binds
+     (not yet visible at n = 1024 — see EXPERIMENTS.md) *)
+  let total_speedup =
+    match List.rev medians with (_, ml, _) :: _ -> base /. ml | [] -> nan
+  in
+  let k_max = List.fold_left (fun acc (k, _, _) -> max acc k) 1 medians in
+  let checks =
+    [
+      Exp_result.check_in_range ~label:"near-linear speed-up at small k"
+        ~value:fit.Stats.Regression.slope ~lo:(-1.3) ~hi:(-0.45);
+      Exp_result.check ~label:"within the paper's upper bound"
+        ~passed:(ratio_max < 1.5)
+        ~detail:
+          (Printf.sprintf
+             "max measured/bound = %.3f (want < 1.5: bound holds up to its \
+              hidden constant)"
+             ratio_max);
+      Exp_result.check ~label:"speed-up persists across the sweep"
+        ~passed:(total_speedup > 0.3 *. float_of_int k_max)
+        ~detail:
+          (Printf.sprintf
+             "cover time fell %.1fx from k=1 to k=%d (want > %.1fx: many \
+              walks genuinely parallelise coverage)"
+             total_speedup k_max
+             (0.3 *. float_of_int k_max));
+    ]
+  in
+  {
+    Exp_result.id = "E10";
+    title = "Cover time of k independent walks (§4)";
+    claim = "Cover time = O(n log^2 n / k + n log n): linear speed-up for small k, flattening beyond";
+    table;
+    findings =
+      [
+        Printf.sprintf
+          "fitted small-k exponent: %.3f (R^2 = %.3f); max measured/bound %.3f"
+          fit.Stats.Regression.slope fit.Stats.Regression.r_squared ratio_max;
+      ];
+    figures = [];
+    checks;
+  }

@@ -1,0 +1,11 @@
+(** E10 — cover time of [k] independent random walks (§4):
+    [O((n log^2 n) / k + n log n)].
+
+    Measures the first time every grid node is visited by at least one of
+    [k] walks. For small [k] the cover time should shrink roughly like
+    [1/k] (log-log slope near [-1]); for larger [k] the additive
+    [n log n]-type term flattens the curve — the experiment verifies both
+    the near-linear speed-up regime and the flattening, and compares each
+    point against the paper's bound. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

@@ -1,0 +1,60 @@
+module Config = Mobile_network.Config
+module Protocol = Mobile_network.Protocol
+module Theory = Mobile_network.Theory
+
+let run ?(quick = false) ~seed () =
+  let side = 32 in
+  let n = side * side in
+  let preys = if quick then 16 else 32 in
+  let ks = if quick then [ 4; 16 ] else [ 4; 8; 16; 32; 64 ] in
+  let trials = if quick then 3 else 5 in
+  let table =
+    Table.create
+      ~header:
+        [ "predators k"; "median extinction"; "bound n*ln^2(n)/k";
+          "measured/bound"; "timeouts" ]
+  in
+  let points = ref [] in
+  let ratios = ref [] in
+  List.iter
+    (fun k ->
+      let measured =
+        Sweep.completion_times ~trials ~cfg:(fun ~trial ->
+            Config.make ~side ~agents:k ~radius:0
+              ~protocol:(Protocol.Predator_prey { preys }) ~seed ~trial ())
+      in
+      let med = Sweep.median measured.times in
+      let bound = Theory.extinction_time ~n ~k in
+      points := (float_of_int k, med) :: !points;
+      ratios := (med /. bound) :: !ratios;
+      Table.add_row table
+        [ Table.cell_int k; Table.cell_float med; Table.cell_float bound;
+          Table.cell_float ~decimals:3 (med /. bound);
+          Table.cell_int measured.timeouts ])
+    ks;
+  let fit = Stats.Regression.log_log (Array.of_list (List.rev !points)) in
+  let ratio_max = List.fold_left Float.max neg_infinity !ratios in
+  let slope_lo, slope_hi = if quick then (-1.5, -0.3) else (-1.3, -0.5) in
+  {
+    Exp_result.id = "E11";
+    title = "Predator-prey extinction time vs predator count (§4)";
+    claim = "Extinction time = O(n log^2 n / k): more predators help linearly";
+    table;
+    findings =
+      [
+        Printf.sprintf "fitted exponent vs k: %.3f (R^2 = %.3f)"
+          fit.Stats.Regression.slope fit.Stats.Regression.r_squared;
+        Printf.sprintf "%d preys on a %dx%d grid, %d trials per point" preys
+          side side trials;
+      ];
+    figures = [];
+    checks =
+      [
+        Exp_result.check_in_range ~label:"extinction scaling exponent vs k"
+          ~value:fit.Stats.Regression.slope ~lo:slope_lo ~hi:slope_hi;
+        Exp_result.check ~label:"within the paper's bound"
+          ~passed:(ratio_max < 1.5)
+          ~detail:
+            (Printf.sprintf "max measured/bound = %.3f (want < 1.5)" ratio_max);
+      ];
+  }

@@ -1,0 +1,10 @@
+(** E11 — predator–prey extinction time (§4):
+    [O((n log^2 n) / k)] for [k] predators catching independently walking
+    preys by direct contact.
+
+    Sweeps the number of predators at fixed grid and prey count; the
+    extinction time (last prey caught) should decay roughly like [1/k]
+    (log-log slope near [-1]) and stay below the paper's bound up to its
+    hidden constant. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

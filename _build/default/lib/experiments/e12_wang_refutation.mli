@@ -1,0 +1,12 @@
+(** E12 — refutation of the Wang et al. claimed bound (§1.1).
+
+    Wang, Kapadia and Krishnamachari claimed the grid infection time is
+    [Θ((n log n log k) / k)], i.e. decays like [1/k]; this paper proves
+    the truth is [Θ~(n / sqrt k)]. The experiment runs the broadcast
+    sweep over [k] and compares the measured times against both shapes:
+    the paper's normalisation [T_B * sqrt k / n] must stay flat while
+    Wang's normalisation [T_B * k / (n log n log k)] must drift upward by
+    a polynomial factor — the data can only be consistent with one of the
+    two claims. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

@@ -1,0 +1,64 @@
+module Config = Mobile_network.Config
+
+let run ?(quick = false) ~seed () =
+  let sides = if quick then [ 24; 32 ] else [ 32; 48; 64 ] in
+  let ks = if quick then [ 8; 32 ] else [ 8; 16; 32; 64; 128 ] in
+  let trials = if quick then 3 else 5 in
+  let table =
+    Table.create ~header:[ "side"; "n"; "k"; "median T_B"; "fit residual" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun side ->
+      let n = side * side in
+      List.iter
+        (fun k ->
+          let measured =
+            Sweep.completion_times ~trials ~cfg:(fun ~trial ->
+                Config.make ~side ~agents:k ~radius:0 ~seed ~trial ())
+          in
+          let med = Sweep.median measured.times in
+          points := (float_of_int n, float_of_int k, med) :: !points)
+        ks)
+    sides;
+  let points = List.rev !points in
+  let fit = Stats.Regression.log_log2 (Array.of_list points) in
+  List.iter
+    (fun (n, k, med) ->
+      let predicted =
+        exp (Stats.Regression.predict2 fit (log n) (log k))
+      in
+      Table.add_row table
+        [ Table.cell_int (int_of_float (sqrt n)); Table.cell_int (int_of_float n);
+          Table.cell_int (int_of_float k); Table.cell_float med;
+          Table.cell_float ~decimals:2 (med /. predicted) ])
+    points;
+  let a = fit.Stats.Regression.slope_x and b = fit.Stats.Regression.slope_y in
+  let a_lo, a_hi = if quick then (0.6, 1.5) else (0.75, 1.3) in
+  let b_lo, b_hi = if quick then (-0.95, -0.1) else (-0.8, -0.3) in
+  {
+    Exp_result.id = "E13";
+    title = "Joint power-law fit T_B ~ n^a * k^b over a 2-D sweep";
+    claim = "T_B = Theta~(n / sqrt k): jointly fitted exponents (a, b) near (1, -1/2)";
+    table;
+    findings =
+      [
+        Printf.sprintf
+          "fitted T_B ~ n^%.3f * k^%.3f (R^2 = %.3f over %d parameter points)"
+          a b fit.Stats.Regression.r_squared2 fit.Stats.Regression.n2;
+        Printf.sprintf "prefactor exp(c) = %.2f" (exp fit.Stats.Regression.intercept2);
+      ];
+    figures = [];
+    checks =
+      [
+        Exp_result.check_in_range ~label:"exponent of n" ~value:a ~lo:a_lo
+          ~hi:a_hi;
+        Exp_result.check_in_range ~label:"exponent of k" ~value:b ~lo:b_lo
+          ~hi:b_hi;
+        Exp_result.check ~label:"plane fits the sweep"
+          ~passed:(fit.Stats.Regression.r_squared2 > 0.9)
+          ~detail:
+            (Printf.sprintf "R^2 = %.3f (want > 0.9)"
+               fit.Stats.Regression.r_squared2);
+      ];
+  }

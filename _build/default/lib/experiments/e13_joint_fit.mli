@@ -1,0 +1,11 @@
+(** E13 — joint scaling fit over both parameters (Theorems 1–2).
+
+    E1 and E2 fit the exponents of [T_B] in [k] and [n] separately; this
+    experiment sweeps a 2-D grid of [(n, k)] pairs and fits the full
+    power law [T_B ~ n^a * k^b] by two-predictor least squares. The
+    paper predicts [(a, b) = (1, -1/2)] up to logarithmic corrections,
+    and the joint fit is the strongest single statement of the
+    [Θ~(n/√k)] law this reproduction makes: one plane through 15+
+    parameter points, both exponents recovered at once. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

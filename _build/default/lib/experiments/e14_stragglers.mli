@@ -1,0 +1,19 @@
+(** E14 — the anatomy of a broadcast: bulk spreading vs straggler tail
+    (the two-phase structure inside Theorem 1's proof).
+
+    The proof of Theorem 1 first shows the rumor reaches every {e cell}
+    of the tessellation (the bulk phase), then union-bounds over the
+    remaining uninformed agents, each of which must personally meet an
+    informed agent (the straggler phase). Both phases cost
+    [Θ~(n / √k)], so neither is asymptotically negligible — broadcast
+    time is not dominated by a single lucky percolation event.
+
+    The experiment records the informed-count trajectory and measures
+    the times to reach 10%, 50%, 90% and 100% of the agents:
+    - every quantile time scales like [k^(-1/2)] (same law);
+    - the last 10% of agents costs a non-trivial constant fraction of
+      the total time (the straggler tail is real);
+    - the trajectory is S-shaped: the middle 80% spreads faster than
+      either tail. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

@@ -1,0 +1,14 @@
+(** E15 — the cell-by-cell spreading wave (the structure of Theorem 1's
+    proof).
+
+    Theorem 1's proof tessellates the grid into cells of side
+    [ℓ ≈ sqrt(n log³n / k)] and shows the rumor advances cell by cell: a
+    reached cell infects its neighbours within a further [Θ~(ℓ²)] steps,
+    so the first-visit time of a cell grows {e linearly} with its
+    cell-graph distance from the source's cell — a travelling wave, not
+    a single lucky diffusion. The experiment records each cell's
+    first-visit time by an informed agent and regresses it against the
+    cell distance: slope ≈ 1 in log-log (linear wave), and the per-layer
+    delay is roughly uniform. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

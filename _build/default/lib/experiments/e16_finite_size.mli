@@ -1,0 +1,15 @@
+(** E16 — the scaling exponent across a ladder of grid sizes.
+
+    The paper's bound is asymptotic: [T_B = Θ~(n/√k)] hides polylog
+    factors that at finite [n] bias the measured exponent of [T_B] in
+    [k] below −1/2 (they decay slowly with [k], steepening the fit).
+    This experiment re-runs the k-sweep at grid sizes spanning a 9x
+    range of [n] and checks that at {e every} size the fitted exponent
+    stays inside the theory-compatible band around −1/2 — close enough
+    to exclude competing laws (Wang's −1, a radius-driven −0 …) at
+    every scale, with the residual deviation shrinking slowly (it is a
+    log correction; the drift toward −1/2 is visible in the point
+    estimates but sits within seed noise at laptop sizes, so it is
+    reported as a finding rather than gated as a check). *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

@@ -1,0 +1,70 @@
+module Config = Mobile_network.Config
+module Theory = Mobile_network.Theory
+
+let run ?(quick = false) ~seed () =
+  let side = if quick then 32 else 96 in
+  let n = side * side in
+  let ks = if quick then [ 4; 16; 64 ] else Sweep.doublings ~from:4 ~count:7 in
+  let trials = if quick then 3 else 9 in
+  let table =
+    Table.create
+      ~header:
+        [ "k"; "trials"; "mean T_B"; "ci95"; "median T_B"; "n/sqrt(k)";
+          "ratio"; "timeouts" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun k ->
+      let measured =
+        Sweep.completion_times ~trials ~cfg:(fun ~trial ->
+            Config.make ~side ~agents:k ~radius:0 ~seed ~trial ())
+      in
+      let mean, ci = Stats.Summary.mean_ci95 measured.times in
+      let med = Sweep.median measured.times in
+      let theory = Theory.broadcast_theta ~n ~k in
+      points := (float_of_int k, med) :: !points;
+      Table.add_row table
+        [ Table.cell_int k; Table.cell_int trials; Table.cell_float mean;
+          Table.cell_float ci; Table.cell_float med; Table.cell_float theory;
+          Table.cell_float (med /. theory); Table.cell_int measured.timeouts ])
+    ks;
+  let fit = Stats.Regression.log_log (Array.of_list (List.rev !points)) in
+  let slope_lo, slope_hi = if quick then (-0.85, -0.15) else (-0.75, -0.35) in
+  let figure =
+    let measured = List.rev !points in
+    let reference =
+      List.map
+        (fun (k, _) -> (k, Theory.broadcast_theta ~n ~k:(int_of_float k)))
+        measured
+    in
+    Ascii_plot.render ~title:"Figure E1: T_B vs k (log-log)" ~x_label:"k"
+      ~y_label:"T_B"
+      [
+        { Ascii_plot.label = "measured median T_B"; marker = '*';
+          points = measured };
+        { Ascii_plot.label = "n / sqrt(k) reference"; marker = '+';
+          points = reference };
+      ]
+  in
+  {
+    Exp_result.id = "E1";
+    title = "Broadcast time vs number of agents (fixed n, r = 0)";
+    claim = "T_B = Theta~(n / sqrt k): log-log slope vs k is -1/2 up to log factors (Theorem 1, Corollary 1)";
+    table;
+    findings =
+      [
+        Printf.sprintf "fitted exponent of T_B in k: %.3f (R^2 = %.3f, %d points)"
+          fit.Stats.Regression.slope fit.Stats.Regression.r_squared
+          fit.Stats.Regression.n;
+        Printf.sprintf "grid: side=%d (n=%d), trials per point: %d" side n trials;
+      ];
+    figures = [ figure ];
+    checks =
+      [
+        Exp_result.check_in_range ~label:"scaling exponent vs k"
+          ~value:fit.Stats.Regression.slope ~lo:slope_lo ~hi:slope_hi;
+        Exp_result.check ~label:"log-log fit quality"
+          ~passed:(fit.Stats.Regression.r_squared > (if quick then 0.6 else 0.9))
+          ~detail:(Printf.sprintf "R^2 = %.3f" fit.Stats.Regression.r_squared);
+      ];
+  }

@@ -1,0 +1,9 @@
+(** E1 — broadcast time versus the number of agents (Theorem 1 +
+    Corollary 1): [T_B = Θ~ (n / sqrt k)].
+
+    Sweeps [k] over doublings at fixed [n] with [r = 0] and fits the
+    log-log slope of the median broadcast time against [k]; the paper
+    predicts an exponent of [-1/2] up to logarithmic corrections. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t
+(** [quick] shrinks the grid and the trial count for test/CI use. *)

@@ -1,0 +1,54 @@
+module Config = Mobile_network.Config
+module Theory = Mobile_network.Theory
+
+let run ?(quick = false) ~seed () =
+  let k = if quick then 16 else 32 in
+  let sides = if quick then [ 16; 32; 64 ] else [ 24; 32; 48; 64; 96; 128 ] in
+  let trials = if quick then 3 else 9 in
+  let table =
+    Table.create
+      ~header:
+        [ "side"; "n"; "mean T_B"; "ci95"; "median T_B"; "n/sqrt(k)"; "ratio";
+          "timeouts" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun side ->
+      let n = side * side in
+      let measured =
+        Sweep.completion_times ~trials ~cfg:(fun ~trial ->
+            Config.make ~side ~agents:k ~radius:0 ~seed ~trial ())
+      in
+      let mean, ci = Stats.Summary.mean_ci95 measured.times in
+      let med = Sweep.median measured.times in
+      let theory = Theory.broadcast_theta ~n ~k in
+      points := (float_of_int n, med) :: !points;
+      Table.add_row table
+        [ Table.cell_int side; Table.cell_int n; Table.cell_float mean;
+          Table.cell_float ci; Table.cell_float med; Table.cell_float theory;
+          Table.cell_float (med /. theory); Table.cell_int measured.timeouts ])
+    sides;
+  let fit = Stats.Regression.log_log (Array.of_list (List.rev !points)) in
+  let slope_lo, slope_hi = if quick then (0.7, 1.45) else (0.8, 1.3) in
+  {
+    Exp_result.id = "E2";
+    title = "Broadcast time vs grid size (fixed k, r = 0)";
+    claim = "T_B = Theta~(n / sqrt k): log-log slope vs n is +1 up to log factors (Theorem 1)";
+    table;
+    findings =
+      [
+        Printf.sprintf "fitted exponent of T_B in n: %.3f (R^2 = %.3f, %d points)"
+          fit.Stats.Regression.slope fit.Stats.Regression.r_squared
+          fit.Stats.Regression.n;
+        Printf.sprintf "agents: k=%d, trials per point: %d" k trials;
+      ];
+    figures = [];
+    checks =
+      [
+        Exp_result.check_in_range ~label:"scaling exponent vs n"
+          ~value:fit.Stats.Regression.slope ~lo:slope_lo ~hi:slope_hi;
+        Exp_result.check ~label:"log-log fit quality"
+          ~passed:(fit.Stats.Regression.r_squared > (if quick then 0.6 else 0.9))
+          ~detail:(Printf.sprintf "R^2 = %.3f" fit.Stats.Regression.r_squared);
+      ];
+  }

@@ -1,0 +1,8 @@
+(** E2 — broadcast time versus grid size (Theorem 1):
+    [T_B = Θ~ (n / sqrt k)] grows linearly in [n] at fixed [k].
+
+    Sweeps the grid side at fixed [k], [r = 0], and fits the log-log
+    slope of the median broadcast time against [n = side^2]; the paper
+    predicts exponent [+1] up to logarithmic corrections. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

@@ -1,0 +1,11 @@
+(** E3 — radius insensitivity below the percolation point (Theorems 1
+    and 2, and the contrast with Peres et al. above it).
+
+    Sweeps the transmission radius [r] from 0 past [r_c = sqrt(n/k)] at
+    fixed [n, k]. The paper's headline surprise is that [T_B] does not
+    depend on [r] anywhere below [r_c]; above it, a giant component
+    forms and the broadcast time collapses to polylog — so the measured
+    curve must be flat, then fall off a cliff. Also reports the
+    empirically estimated percolation radius against [sqrt(n/k)]. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

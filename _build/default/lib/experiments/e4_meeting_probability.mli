@@ -1,0 +1,11 @@
+(** E4 — the meeting lemma (Lemma 3): two independent lazy walks that
+    start at Manhattan distance [d] meet within [d^2] steps, at a node of
+    the lens [D] (points within [d] of both starts), with probability at
+    least [c3 / log d].
+
+    Measures the empirical meeting probability for a range of [d] on a
+    grid large enough that borders do not interfere, and checks that
+    [p(d) * log d] stays bounded below — i.e. the decay is genuinely
+    logarithmic, not polynomial. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

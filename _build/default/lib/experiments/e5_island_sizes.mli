@@ -1,0 +1,12 @@
+(** E5 — island sizes below the percolation point (Lemma 6).
+
+    At constant agent density and a radius of [r_c / 2], the largest
+    connected component ("island") of the visibility graph should grow
+    like [log n], not polynomially — that is what confines rumors to
+    small clusters and forces the [n / sqrt k] broadcast time. Because
+    the lazy walk keeps agents uniform at every step, per-step island
+    statistics equal those of fresh uniform placements, so the experiment
+    samples independent placements. The same sweep run at [2 r_c]
+    exhibits the giant component, as the supercritical contrast. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

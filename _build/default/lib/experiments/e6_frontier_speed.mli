@@ -1,0 +1,12 @@
+(** E6 — the informed frontier advances diffusively, not ballistically
+    (Lemma 7, the engine of the Theorem 2 lower bound).
+
+    Records the rightmost informed coordinate [x(t)] along broadcast runs
+    and measures the maximum advance of the frontier over sliding windows
+    of increasing length [w]. Lemma 7 bounds the advance per window by a
+    diffusive envelope: advance over a window of [w] steps scales like
+    [sqrt w] (up to logs), never linearly in [w]. The experiment fits the
+    log-log slope of max-advance against [w] and checks it is far below
+    ballistic (slope 1). *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

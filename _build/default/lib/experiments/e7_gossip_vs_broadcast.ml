@@ -1,0 +1,57 @@
+module Config = Mobile_network.Config
+module Protocol = Mobile_network.Protocol
+
+let run ?(quick = false) ~seed () =
+  let side = if quick then 32 else 64 in
+  let ks = if quick then [ 8; 32 ] else [ 8; 32; 128 ] in
+  let trials = if quick then 3 else 5 in
+  let table =
+    Table.create
+      ~header:[ "k"; "median T_B"; "median T_G"; "T_G / T_B"; "timeouts" ]
+  in
+  let ratios = ref [] in
+  List.iter
+    (fun k ->
+      let broadcast =
+        Sweep.completion_times ~trials ~cfg:(fun ~trial ->
+            Config.make ~side ~agents:k ~radius:0 ~protocol:Protocol.Broadcast
+              ~seed ~trial ())
+      in
+      let gossip =
+        Sweep.completion_times ~trials ~cfg:(fun ~trial ->
+            Config.make ~side ~agents:k ~radius:0 ~protocol:Protocol.Gossip
+              ~seed ~trial ())
+      in
+      let tb = Sweep.median broadcast.times in
+      let tg = Sweep.median gossip.times in
+      let ratio = tg /. tb in
+      ratios := ratio :: !ratios;
+      Table.add_row table
+        [ Table.cell_int k; Table.cell_float tb; Table.cell_float tg;
+          Table.cell_float ratio;
+          Table.cell_int (broadcast.timeouts + gossip.timeouts) ])
+    ks;
+  let worst = List.fold_left Float.max neg_infinity !ratios in
+  let best = List.fold_left Float.min infinity !ratios in
+  {
+    Exp_result.id = "E7";
+    title = "Gossip time vs broadcast time (Corollary 2)";
+    claim = "T_G = O~(n / sqrt k): gossip is at most polylog slower than broadcast";
+    table;
+    findings =
+      [ Printf.sprintf "T_G / T_B across k: min %.2f, max %.2f" best worst ];
+    figures = [];
+    checks =
+      [
+        Exp_result.check ~label:"gossip not faster than broadcast"
+          ~passed:(best > 0.8)
+          ~detail:
+            (Printf.sprintf
+               "min ratio %.2f (want > 0.8; gossip subsumes a broadcast, \
+                modulo random source placement)"
+               best);
+        Exp_result.check ~label:"gossip within polylog of broadcast"
+          ~passed:(worst < 10.)
+          ~detail:(Printf.sprintf "max ratio %.2f (want < 10)" worst);
+      ];
+  }

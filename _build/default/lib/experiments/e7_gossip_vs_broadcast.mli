@@ -1,0 +1,10 @@
+(** E7 — gossip completes in the same time bound as broadcast
+    (Corollary 2): [T_G = O~ (n / sqrt k)].
+
+    Runs broadcast and gossip on identical parameter points and compares
+    completion times: gossip can only be slower than broadcast (it must
+    deliver [k] rumors instead of one) yet the paper proves the slowdown
+    is absorbed by the polylog, so the measured ratio must stay a small
+    factor across [k]. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

@@ -1,0 +1,10 @@
+(** E8 — the Frog Model obeys the same bound (§4):
+    [T_B = O~ (n / sqrt k)] when uninformed agents stand still until
+    activated.
+
+    Same sweep as E1 with the [Frog] protocol: log-log slope of the
+    median activation-completion time against [k] should again be near
+    [-1/2], and frog broadcast should be no faster than the fully mobile
+    system at matching parameters (less mobility cannot help). *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

@@ -1,0 +1,10 @@
+(** E9 — coverage time tracks broadcast time (§4): [T_C ≈ T_B =
+    O~ (n / sqrt k)] in the dynamic model.
+
+    [T_C] is the first time every grid node has been visited by an
+    {e informed} agent. Coverage cannot finish before broadcast spreads
+    across the grid, and §4 argues it finishes at most a polylog later;
+    the measured ratio [T_C / T_B] must therefore stay a bounded small
+    factor, and [T_C] must inherit the [-1/2] exponent in [k]. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

@@ -1,0 +1,48 @@
+type check = {
+  label : string;
+  passed : bool;
+  detail : string;
+}
+
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  table : Table.t;
+  findings : string list;
+  figures : string list;
+  checks : check list;
+}
+
+let check ~label ~passed ~detail = { label; passed; detail }
+
+let check_in_range ~label ~value ~lo ~hi =
+  {
+    label;
+    passed = value >= lo && value <= hi;
+    detail = Printf.sprintf "%.4g expected in [%.4g, %.4g]" value lo hi;
+  }
+
+let all_passed t = List.for_all (fun c -> c.passed) t.checks
+
+let render fmt t =
+  Format.fprintf fmt "=== %s: %s ===@." t.id t.title;
+  Format.fprintf fmt "Paper claim: %s@.@." t.claim;
+  Table.render fmt t.table;
+  List.iter (fun fig -> Format.fprintf fmt "@.%s" fig) t.figures;
+  if t.findings <> [] then begin
+    Format.fprintf fmt "@.Findings:@.";
+    List.iter (fun f -> Format.fprintf fmt "  - %s@." f) t.findings
+  end;
+  if t.checks <> [] then begin
+    Format.fprintf fmt "@.Shape checks:@.";
+    List.iter
+      (fun c ->
+        Format.fprintf fmt "  [%s] %s: %s@."
+          (if c.passed then "PASS" else "FAIL")
+          c.label c.detail)
+      t.checks
+  end;
+  Format.fprintf fmt "@."
+
+let to_csv t = Table.to_csv t.table

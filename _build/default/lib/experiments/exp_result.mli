@@ -1,0 +1,41 @@
+(** The outcome of one reproduction experiment: a table of measurements,
+    free-form findings (fitted exponents, estimated constants) and a list
+    of named boolean {e shape checks}.
+
+    Shape checks encode the paper's qualitative predictions ("slope close
+    to -1/2", "flat below the percolation radius", ...). The integration
+    test suite runs every experiment in quick mode and asserts that all
+    checks hold, so a regression in the engine that breaks a theorem's
+    shape fails the build, not just the write-up. *)
+
+type check = {
+  label : string;
+  passed : bool;
+  detail : string;  (** measured value vs expectation, human-readable *)
+}
+
+type t = {
+  id : string;  (** e.g. ["E1"] — matches the DESIGN.md index *)
+  title : string;
+  claim : string;  (** the paper statement being reproduced *)
+  table : Table.t;
+  findings : string list;
+  figures : string list;
+      (** pre-rendered {!Ascii_plot} figures, printed after the table *)
+  checks : check list;
+}
+
+val check : label:string -> passed:bool -> detail:string -> check
+
+val check_in_range :
+  label:string -> value:float -> lo:float -> hi:float -> check
+(** Passes iff [lo <= value <= hi]; the detail records all three. *)
+
+val all_passed : t -> bool
+
+val render : Format.formatter -> t -> unit
+(** Header, claim, table, findings, then one [PASS]/[FAIL] line per
+    check. *)
+
+val to_csv : t -> string
+(** CSV of the measurement table only. *)

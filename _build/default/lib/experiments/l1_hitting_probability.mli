@@ -1,0 +1,9 @@
+(** L1 — the hitting lemma (Lemma 1): a lazy walk visits a node at
+    Manhattan distance [d] within [d^2] steps with probability at least
+    [c1 / max(1, log d)].
+
+    Single-walk analogue of E4: measures the empirical hitting
+    probability over a range of [d] on a border-free region and checks
+    the decay is logarithmic ([p(d) * log d] bounded below and above). *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

@@ -1,0 +1,94 @@
+module Theory = Mobile_network.Theory
+
+let run ?(quick = false) ~seed () =
+  let side = if quick then 128 else 256 in
+  let grid = Grid.create ~side () in
+  let start = Grid.center grid in
+  let rng = Prng.of_seed (seed + 0x12) in
+  let steps_list = if quick then [ 256; 1024 ] else [ 256; 1024; 4096 ] in
+  let trials = if quick then 200 else 500 in
+  let lambdas = [ 1.5; 2.0; 2.5; 3.0 ] in
+  let table =
+    Table.create
+      ~header:
+        [ "l"; "median range"; "l/ln l"; "range ratio c2";
+          "P(disp>=2sqrt(l))"; "Azuma bound" ]
+  in
+  let range_ratios = ref [] in
+  let tail_ok = ref true in
+  let tail_details = ref [] in
+  List.iter
+    (fun steps ->
+      let ranges = Array.make trials 0. in
+      let final_disp = Array.make trials 0. in
+      for i = 0 to trials - 1 do
+        let exc =
+          Walk.excursion_stats grid Walk.Lazy_one_fifth rng start ~steps
+        in
+        ranges.(i) <- float_of_int exc.Walk.range;
+        final_disp.(i) <- float_of_int (Grid.manhattan grid start exc.Walk.final)
+      done;
+      let med_range = Stats.Summary.quantile ranges ~q:0.5 in
+      let shape = Theory.range_lower ~steps in
+      range_ratios := (med_range /. shape) :: !range_ratios;
+      (* displacement tail at the reporting lambda = 2 *)
+      let sqrt_l = sqrt (float_of_int steps) in
+      let tail_at lambda =
+        let hits = Array.fold_left
+          (fun acc d -> if d >= lambda *. sqrt_l then acc + 1 else acc)
+          0 final_disp
+        in
+        float_of_int hits /. float_of_int trials
+      in
+      List.iter
+        (fun lambda ->
+          let p = tail_at lambda in
+          let bound = Theory.displacement_tail ~lambda in
+          if p > Float.min 1. bound +. 0.02 then begin
+            tail_ok := false;
+            tail_details :=
+              Printf.sprintf "l=%d lambda=%.1f: P=%.3f > bound %.3f" steps
+                lambda p bound
+              :: !tail_details
+          end)
+        lambdas;
+      Table.add_row table
+        [ Table.cell_int steps; Table.cell_float med_range;
+          Table.cell_float shape;
+          Table.cell_float ~decimals:3 (med_range /. shape);
+          Table.cell_float ~decimals:4 (tail_at 2.0);
+          Table.cell_float ~decimals:4 (Theory.displacement_tail ~lambda:2.0) ])
+    steps_list;
+  let c2_min = List.fold_left Float.min infinity !range_ratios in
+  let c2_max = List.fold_left Float.max neg_infinity !range_ratios in
+  {
+    Exp_result.id = "L2";
+    title = "Walk displacement tail and range (Lemma 2)";
+    claim = "P(displacement >= lambda sqrt l) <= 2 exp(-lambda^2/2); median range >= c2 * l / log l";
+    table;
+    findings =
+      ([
+         Printf.sprintf
+           "median-range constant c2 = range * ln l / l within [%.3f, %.3f]"
+           c2_min c2_max;
+       ]
+      @ !tail_details);
+    figures = [];
+    checks =
+      [
+        Exp_result.check ~label:"range lower bound (Lemma 2.2)"
+          ~passed:(c2_min > 0.05)
+          ~detail:
+            (Printf.sprintf "min median-range / (l / ln l) = %.3f (want > 0.05)"
+               c2_min);
+        Exp_result.check ~label:"range constant stable across l"
+          ~passed:(c2_max /. c2_min < 4.)
+          ~detail:
+            (Printf.sprintf "c2 spread = %.2fx (want < 4x)" (c2_max /. c2_min));
+        Exp_result.check ~label:"displacement tail (Lemma 2.1)"
+          ~passed:!tail_ok
+          ~detail:
+            (if !tail_ok then "all (l, lambda) tails below the Azuma bound"
+             else String.concat "; " !tail_details);
+      ];
+  }

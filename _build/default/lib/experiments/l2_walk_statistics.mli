@@ -1,0 +1,9 @@
+(** L2 — single-walk displacement and range (Lemma 2).
+
+    Part 1: the displacement after [l] steps exceeds [lambda * sqrt l]
+    with probability at most [2 exp(-lambda^2 / 2)] (Azuma). Part 2: with
+    probability above 1/2 the walk visits at least [c2 * l / log l]
+    distinct nodes in [l] steps. Both are measured directly over many
+    excursions and compared with the stated bounds. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

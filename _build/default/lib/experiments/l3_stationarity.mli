@@ -1,0 +1,15 @@
+(** L3 — the model's foundational sanity check (§2): the lazy 1/5 walk
+    keeps agents uniformly distributed at every time step.
+
+    "With these probabilities it is easy to see that at any time step
+    the agents are placed uniformly and independently at random on the
+    grid nodes" — this single sentence underpins the density arguments
+    of Lemma 4, the island bound of Lemma 6, and our E5 sampling
+    shortcut. The experiment runs many independent walks from uniform
+    starts, snapshots their positions at several times, and applies a
+    Pearson chi-square test against the uniform distribution. As the
+    contrast, the same test is run on the plain simple random walk,
+    whose stationary law is degree-biased — it must {e fail} at the
+    border-affected time scales. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

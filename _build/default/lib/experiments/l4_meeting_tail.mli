@@ -1,0 +1,15 @@
+(** L4 — geometric decay of the meeting-time tail (the way Lemma 3 is
+    used in Lemma 4's proof).
+
+    Lemma 3 gives one meeting window: two walks at distance [d] meet
+    within [T = d²] steps with probability at least [c₃ / log d]. The
+    proofs then iterate it — over [m] consecutive windows the failure
+    probability is at most [(1 - c₃/log d)^m], i.e. the tail of the
+    meeting time decays geometrically in units of [d²]. The experiment
+    measures [P(τ > m·T)] for increasing [m] and checks that successive
+    window-survival ratios stay bounded away from 1 and roughly
+    constant — the geometric structure the union-bound machinery needs
+    (perfect memorylessness is not expected: surviving walks are
+    farther apart than fresh ones). *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

@@ -1,0 +1,65 @@
+let run ?(quick = false) ~seed () =
+  let sides = if quick then [ 12; 16; 24 ] else [ 12; 16; 24; 32; 48 ] in
+  let trials = if quick then 60 else 200 in
+  let rng = Prng.of_seed (seed + 0x17) in
+  let table =
+    Table.create
+      ~header:
+        [ "side"; "n"; "mean meeting time"; "n ln n"; "ratio"; "timeouts" ]
+  in
+  let points = ref [] and ratios = ref [] in
+  List.iter
+    (fun side ->
+      let grid = Grid.create ~side () in
+      let n = side * side in
+      let a = Grid.index grid ~x:0 ~y:0 in
+      let b = Grid.index grid ~x:(side - 1) ~y:(side - 1) in
+      let cap = 400 * n in
+      let acc = Stats.Online.create () in
+      let timeouts = ref 0 in
+      for _ = 1 to trials do
+        match
+          Walk.first_meeting grid Walk.Lazy_one_fifth rng ~a ~b ~steps:cap ()
+        with
+        | Some t -> Stats.Online.add acc (float_of_int t)
+        | None ->
+            incr timeouts;
+            Stats.Online.add acc (float_of_int cap)
+      done;
+      let mean = Stats.Online.mean acc in
+      let nlogn = float_of_int n *. log (float_of_int n) in
+      points := (float_of_int n, mean) :: !points;
+      ratios := (mean /. nlogn) :: !ratios;
+      Table.add_row table
+        [ Table.cell_int side; Table.cell_int n; Table.cell_float mean;
+          Table.cell_float nlogn;
+          Table.cell_float ~decimals:3 (mean /. nlogn);
+          Table.cell_int !timeouts ])
+    sides;
+  let fit = Stats.Regression.log_log (Array.of_list (List.rev !points)) in
+  let rmin = List.fold_left Float.min infinity !ratios in
+  let rmax = List.fold_left Float.max neg_infinity !ratios in
+  {
+    Exp_result.id = "L5";
+    title = "Worst-case mean meeting time of two walks: Theta(n log n)";
+    claim = "t* (max expected meeting time over starting positions) = Theta(n log n) — the grid input to the Dimitriou et al. O(t* log k) bound of par. 1.1";
+    table;
+    findings =
+      [
+        Printf.sprintf
+          "meeting-time exponent in n: %.3f (R^2 = %.3f; n log n gives \
+           slightly above 1)"
+          fit.Stats.Regression.slope fit.Stats.Regression.r_squared;
+        Printf.sprintf "mean / (n ln n) within [%.3f, %.3f]" rmin rmax;
+      ];
+    figures = [];
+    checks =
+      [
+        Exp_result.check_in_range ~label:"near-linear-in-n with log factor"
+          ~value:fit.Stats.Regression.slope ~lo:0.85 ~hi:1.45;
+        Exp_result.check ~label:"n log n normalisation stays bounded"
+          ~passed:(rmax /. rmin < 2.5)
+          ~detail:
+            (Printf.sprintf "ratio spread %.2fx (want < 2.5x)" (rmax /. rmin));
+      ];
+  }

@@ -1,0 +1,12 @@
+(** L5 — the worst-case mean meeting time t* = Θ(n log n).
+
+    §1.1 specialises the Dimitriou–Nikoletseas–Spirakis O(t* log k)
+    infection bound to the grid through the known bound t* = O(n log n)
+    on the maximum (over starting positions) expected meeting time of
+    two random walks [1]. This experiment measures the empirical mean
+    meeting time of two lazy walks started at opposite corners (the
+    diameter-realising pair) across a ladder of grid sizes and checks
+    the Θ(n log n) shape: the log-log exponent in n is slightly above 1
+    and the ratio to n·ln n stays bounded. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

@@ -1,0 +1,22 @@
+(** Catalogue of all reproduction experiments, keyed by the ids used in
+    DESIGN.md and EXPERIMENTS.md. The CLI, the benchmark harness and the
+    integration tests all dispatch through this table, so adding an
+    experiment here makes it runnable everywhere. *)
+
+type entry = {
+  id : string;  (** canonical id, e.g. ["E1"] *)
+  summary : string;
+  run : ?quick:bool -> seed:int -> unit -> Exp_result.t;
+}
+
+val all : entry list
+(** Every experiment, in DESIGN.md order (E1..E12, A1..A3, L1, L2). *)
+
+val find : string -> entry option
+(** Case-insensitive lookup by id. *)
+
+val ids : unit -> string list
+
+val run_all :
+  ?quick:bool -> seed:int -> Format.formatter -> unit -> Exp_result.t list
+(** Run every experiment, rendering each result as it completes. *)

@@ -1,0 +1,38 @@
+type measured = {
+  times : float array;
+  timeouts : int;
+}
+
+let completion_times ~trials ~cfg =
+  if trials <= 0 then invalid_arg "Sweep.completion_times: trials <= 0";
+  let timeouts = ref 0 in
+  let times =
+    Array.init trials (fun trial ->
+        let report = Mobile_network.Simulation.run_config (cfg ~trial) in
+        (match report.Mobile_network.Simulation.outcome with
+        | Mobile_network.Simulation.Completed -> ()
+        | Mobile_network.Simulation.Timed_out -> incr timeouts);
+        float_of_int report.Mobile_network.Simulation.steps)
+  in
+  { times; timeouts = !timeouts }
+
+let probability ~trials ~f =
+  if trials <= 0 then invalid_arg "Sweep.probability: trials <= 0";
+  let hits = ref 0 in
+  for trial = 0 to trials - 1 do
+    if f ~trial then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials
+
+let doublings ~from ~count =
+  if from <= 0 then invalid_arg "Sweep.doublings: from <= 0";
+  if count < 0 then invalid_arg "Sweep.doublings: negative count";
+  List.init count (fun i -> from lsl i)
+
+let geometric ~from ~factor ~count =
+  if not (from > 0.) then invalid_arg "Sweep.geometric: from <= 0";
+  if not (factor > 1.) then invalid_arg "Sweep.geometric: factor <= 1";
+  if count < 0 then invalid_arg "Sweep.geometric: negative count";
+  List.init count (fun i -> from *. (factor ** float_of_int i))
+
+let median sample = Stats.Summary.quantile sample ~q:0.5

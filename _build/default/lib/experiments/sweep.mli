@@ -1,0 +1,32 @@
+(** Replication and parameter-sweep helpers shared by all experiments.
+
+    Every experiment point is replicated over independent trials; a trial
+    is identified by its index alone, so any row of any table can be
+    reproduced in isolation. Timed-out runs are counted and contribute
+    the step cap as a (conservative) completion-time sample rather than
+    being silently dropped. *)
+
+type measured = {
+  times : float array;  (** one completion time per trial *)
+  timeouts : int;  (** how many of them hit the step cap *)
+}
+
+val completion_times :
+  trials:int -> cfg:(trial:int -> Mobile_network.Config.t) -> measured
+(** Run [trials] independent simulations of the given configuration
+    family. @raise Invalid_argument if [trials <= 0]. *)
+
+val probability :
+  trials:int -> f:(trial:int -> bool) -> float
+(** Empirical success probability over [trials] runs of an indicator. *)
+
+val doublings : from:int -> count:int -> int list
+(** [doublings ~from ~count] is [from; 2*from; ...] ([count] values).
+    @raise Invalid_argument if [from <= 0] or [count < 0]. *)
+
+val geometric : from:float -> factor:float -> count:int -> float list
+(** Geometric grid of floats. @raise Invalid_argument unless
+    [from > 0.], [factor > 1.], [count >= 0]. *)
+
+val median : float array -> float
+(** @raise Invalid_argument on empty input. *)

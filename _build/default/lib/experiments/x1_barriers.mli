@@ -1,0 +1,15 @@
+(** X1 — broadcast through mobility and communication barriers (§4
+    future work: "more complex planar domains that include both
+    communication and mobility barriers").
+
+    Three questions, one sweep each:
+    + a central wall with a gap: the broadcast time grows as the gap
+      narrows (the rumor must be carried through the bottleneck by an
+      agent), and the open domain is fastest;
+    + communication barriers: with a positive radius, letting walls
+      block line of sight can only slow broadcast down;
+    + a rooms-and-doors domain behaves like a slowed-down open grid —
+      broadcast still completes (the free region is connected), just
+      later. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

@@ -1,0 +1,62 @@
+let run ?(quick = false) ~seed () =
+  let side = if quick then 128 else 192 in
+  let grid = Grid.create ~side () in
+  let start = Grid.center grid in
+  let rng = Prng.of_seed (seed + 0x13) in
+  let ts = if quick then [ 8; 32; 128 ] else [ 8; 32; 128; 512 ] in
+  let walks = if quick then 20_000 else 50_000 in
+  let table =
+    Table.create
+      ~header:
+        [ "t"; "var(dx)/t"; "theory 2/5"; "P_t(v,v)"; "t * P_t(v,v)" ]
+  in
+  let return_points = ref [] in
+  let var_ratios = ref [] in
+  List.iter
+    (fun t ->
+      let var_acc = Stats.Online.create () in
+      let returns = ref 0 in
+      for _ = 1 to walks do
+        let finish = Walk.advance grid Walk.Lazy_one_fifth rng start ~steps:t in
+        let dx = Grid.x_of grid finish - Grid.x_of grid start in
+        Stats.Online.add var_acc (float_of_int dx);
+        if finish = start then incr returns
+      done;
+      let var_ratio = Stats.Online.variance var_acc /. float_of_int t in
+      let p_return = float_of_int !returns /. float_of_int walks in
+      var_ratios := var_ratio :: !var_ratios;
+      return_points := (float_of_int t, p_return) :: !return_points;
+      Table.add_row table
+        [ Table.cell_int t; Table.cell_float ~decimals:4 var_ratio;
+          Table.cell_float ~decimals:4 0.4;
+          Table.cell_float ~decimals:5 p_return;
+          Table.cell_float ~decimals:3 (float_of_int t *. p_return) ])
+    ts;
+  let fit = Stats.Regression.log_log (Array.of_list (List.rev !return_points)) in
+  let worst_var =
+    List.fold_left
+      (fun acc v -> Float.max acc (Float.abs (v -. 0.4)))
+      0. !var_ratios
+  in
+  {
+    Exp_result.id = "X3";
+    title = "Heat kernel of the lazy walk: diffusivity and 2-D return probability";
+    claim = "The lazy walk is Gaussian with per-coordinate variance 2t/5, and P_t(v,v) = Theta(1/t) — the local-CLT inputs of Lemma 3's proof";
+    table;
+    findings =
+      [
+        Printf.sprintf "return-probability exponent in t: %.3f (R^2 = %.3f)"
+          fit.Stats.Regression.slope fit.Stats.Regression.r_squared;
+        Printf.sprintf "worst |var(dx)/t - 2/5| = %.4f" worst_var;
+      ];
+    figures = [];
+    checks =
+      [
+        Exp_result.check_in_range ~label:"return probability ~ 1/t"
+          ~value:fit.Stats.Regression.slope ~lo:(-1.2) ~hi:(-0.8);
+        Exp_result.check ~label:"diffusivity = 2/5 per coordinate"
+          ~passed:(worst_var < 0.03)
+          ~detail:
+            (Printf.sprintf "max deviation %.4f (want < 0.03)" worst_var);
+      ];
+  }

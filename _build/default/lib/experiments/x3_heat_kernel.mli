@@ -1,0 +1,17 @@
+(** X3 — heat-kernel behaviour of the lazy walk (the analytic engine
+    behind Lemma 3).
+
+    The proof of Lemma 3 bounds meeting probabilities through the
+    two-dimensional local CLT (Lawler's Theorem 1.2.1): after [t] steps
+    the walk's position is approximately Gaussian with per-coordinate
+    variance [2t/5] (each coordinate moves ±1 w.p. 1/5 each on interior
+    nodes), and in particular the return probability decays like
+    [Θ(1/t)] — the hallmark of two dimensions and the source of every
+    [1/log] factor in the paper. The experiment measures both:
+
+    - the empirical per-coordinate displacement variance over many
+      walks, divided by [t], must converge to [2/5];
+    - the empirical return probability [P_t(v, v)] must decay with
+      log-log slope ≈ −1 in [t]. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

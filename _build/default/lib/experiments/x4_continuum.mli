@@ -1,0 +1,20 @@
+(** X4 — the continuous-space comparator (Peres et al. [25], §1/§1.1).
+
+    The paper frames its contribution as the sub-percolation complement
+    of Peres, Sinclair, Sousi and Stauffer, who proved that [k] Brownian
+    agents at fixed density {e above} the continuum percolation point
+    broadcast in time polylogarithmic in [k]. This experiment runs our
+    reflected-Brownian implementation of their model at fixed density
+    with growing [k] in both regimes:
+
+    - just above the percolation radius, the broadcast time must grow
+      (at most) polylogarithmically — near-zero log-log slope in [k];
+    - below it, the time must grow polynomially (the continuum analogue
+      of the paper's [Θ~(n/√k)] law, with [n ∝ k] at fixed density
+      giving [T_B ~ √k]).
+
+    One sweep, the paper's whole landscape: the percolation point
+    separates "radius-driven, nearly instant" from "meeting-driven,
+    polynomial". *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

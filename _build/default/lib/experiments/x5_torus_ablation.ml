@@ -1,0 +1,63 @@
+module Config = Mobile_network.Config
+
+let run ?(quick = false) ~seed () =
+  let side = if quick then 32 else 48 in
+  let ks = if quick then [ 8; 32 ] else [ 8; 16; 32; 64; 128 ] in
+  let trials = if quick then 3 else 7 in
+  let table =
+    Table.create
+      ~header:
+        [ "k"; "median T_B bounded"; "median T_B torus"; "torus/bounded" ]
+  in
+  let bounded_pts = ref [] and torus_pts = ref [] and ratios = ref [] in
+  List.iter
+    (fun k ->
+      let median torus =
+        Sweep.median
+          (Sweep.completion_times ~trials ~cfg:(fun ~trial ->
+               Config.make ~torus ~side ~agents:k ~radius:0 ~seed ~trial ()))
+            .Sweep.times
+      in
+      let tb = median false and tt = median true in
+      bounded_pts := (float_of_int k, tb) :: !bounded_pts;
+      torus_pts := (float_of_int k, tt) :: !torus_pts;
+      ratios := (tt /. tb) :: !ratios;
+      Table.add_row table
+        [ Table.cell_int k; Table.cell_float tb; Table.cell_float tt;
+          Table.cell_float ~decimals:2 (tt /. tb) ])
+    ks;
+  let fit pts = Stats.Regression.log_log (Array.of_list (List.rev pts)) in
+  let fit_bounded = fit !bounded_pts and fit_torus = fit !torus_pts in
+  let sb = fit_bounded.Stats.Regression.slope in
+  let st = fit_torus.Stats.Regression.slope in
+  let rmax = List.fold_left Float.max neg_infinity !ratios in
+  let rmin = List.fold_left Float.min infinity !ratios in
+  {
+    Exp_result.id = "X5";
+    title = "Ablation: bounded grid vs torus (boundary effects)";
+    claim = "The border only contributes constants: T_B scales identically on grid and torus (the reflection-principle argument of Lemma 1)";
+    table;
+    findings =
+      [
+        Printf.sprintf
+          "fitted exponents vs k: bounded %.3f, torus %.3f (R^2 %.3f / %.3f)"
+          sb st fit_bounded.Stats.Regression.r_squared
+          fit_torus.Stats.Regression.r_squared;
+        Printf.sprintf "torus/bounded ratio within [%.2f, %.2f]" rmin rmax;
+      ];
+    figures = [];
+    checks =
+      [
+        Exp_result.check ~label:"same scaling exponent"
+          ~passed:(Float.abs (sb -. st) < 0.2)
+          ~detail:
+            (Printf.sprintf "|%.3f - %.3f| = %.3f (want < 0.2)" sb st
+               (Float.abs (sb -. st)));
+        Exp_result.check ~label:"boundary costs only a constant"
+          ~passed:(rmin > 0.4 && rmax < 1.3)
+          ~detail:
+            (Printf.sprintf
+               "torus/bounded within [%.2f, %.2f] (want inside [0.4, 1.3])"
+               rmin rmax);
+      ];
+  }

@@ -1,0 +1,14 @@
+(** X5 — boundary-effects ablation: bounded grid vs torus.
+
+    The paper works on the bounded grid (with the reflection-principle
+    argument of Lemma 1 absorbing the border into constants), while much
+    of the multiple-random-walks literature it cites ([2, 12]) works on
+    the torus. This ablation runs the E1 sweep on both topologies:
+
+    - the scaling exponent of [T_B] in [k] must be the same (the border
+      only contributes constants, exactly as the reflection argument
+      promises);
+    - torus broadcast is mildly faster at equal parameters (no border to
+      linger at, wrap-around shortcuts), by a bounded constant factor. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t

@@ -1,0 +1,168 @@
+(* Xoshiro256** seeded via SplitMix64. Reference: Blackman & Vigna,
+   "Scrambled linear pseudorandom number generators", 2018. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+(* --- SplitMix64: used only to expand seeds into initial states. --- *)
+
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let state_of_seed64 seed64 =
+  let sm = ref seed64 in
+  let s0 = splitmix_next sm in
+  let s1 = splitmix_next sm in
+  let s2 = splitmix_next sm in
+  let s3 = splitmix_next sm in
+  (* All-zero state is a fixed point of xoshiro; splitmix of any seed
+     cannot produce four zero outputs, but guard anyway. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let of_seed seed = state_of_seed64 (Int64.of_int seed)
+
+(* --- Core generator --- *)
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Derive a fresh seed from two parent outputs, re-expanded through
+     splitmix so parent and child states share no linear structure. *)
+  let a = bits64 t in
+  let b = bits64 t in
+  state_of_seed64 (Int64.logxor a (rotl b 32))
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let fingerprint t =
+  let open Int64 in
+  logxor (logxor t.s0 (rotl t.s1 16)) (logxor (rotl t.s2 32) (rotl t.s3 48))
+
+(* --- Derived draws --- *)
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 34)
+
+(* 62 uniform bits as a non-negative OCaml int. *)
+let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  if bound land (bound - 1) = 0 then
+    (* power of two: mask is exact *)
+    bits62 t land (bound - 1)
+  else begin
+    (* rejection sampling on 62-bit draws to avoid modulo bias *)
+    let max62 = (1 lsl 62) - 1 in
+    let limit = max62 - (((max62 mod bound) + 1) mod bound) in
+    let rec draw () =
+      let v = bits62 t in
+      if v <= limit then v mod bound else draw ()
+    in
+    draw ()
+  end
+
+let int_incl t lo hi =
+  if lo > hi then invalid_arg "Prng.int_incl: empty range";
+  if lo = hi then lo
+  else
+    let span = hi - lo + 1 in
+    if span <= 0 then
+      (* range wider than max_int: draw raw 62-bit values until in range;
+         only reachable for astronomically wide ranges, kept for totality *)
+      let rec draw () =
+        let v = bits62 t + min_int / 2 in
+        if v >= lo && v <= hi then v else draw ()
+      in
+      draw ()
+    else lo + int t span
+
+let unit_float t =
+  (* 53 high bits, standard doubles-in-[0,1) construction *)
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  v *. 0x1p-53
+
+let float t bound =
+  if not (bound > 0.) || not (Float.is_finite bound) then
+    invalid_arg "Prng.float: bound must be positive and finite";
+  unit_float t *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t ~p =
+  if not (p >= 0. && p <= 1.) then invalid_arg "Prng.bernoulli: p not in [0,1]";
+  unit_float t < p
+
+let geometric t ~p =
+  if not (p > 0. && p <= 1.) then invalid_arg "Prng.geometric: p not in (0,1]";
+  if p = 1. then 0
+  else
+    (* inversion: floor(log(U) / log(1-p)) with U in (0,1] *)
+    let u = 1. -. unit_float t in
+    int_of_float (Float.floor (log u /. log (1. -. p)))
+
+let exponential t ~rate =
+  if not (rate > 0.) then invalid_arg "Prng.exponential: rate must be positive";
+  let u = 1. -. unit_float t in
+  -.log u /. rate
+
+let gaussian t ~mean ~stddev =
+  if not (stddev >= 0.) then invalid_arg "Prng.gaussian: negative stddev";
+  (* Box–Muller; the second variate is discarded for statelessness. *)
+  let u1 = 1. -. unit_float t in
+  let u2 = unit_float t in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let choose t arr =
+  let len = Array.length arr in
+  if len = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int t len)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_distinct t ~m ~bound =
+  if m < 0 then invalid_arg "Prng.sample_distinct: negative m";
+  if m > bound then invalid_arg "Prng.sample_distinct: m exceeds bound";
+  (* Floyd's algorithm: for j in [bound-m, bound), insert a random value
+     in [0, j], falling back to j itself on collision. *)
+  let seen = Hashtbl.create (2 * m) in
+  let out = Array.make m 0 in
+  let idx = ref 0 in
+  for j = bound - m to bound - 1 do
+    let v = int t (j + 1) in
+    let v = if Hashtbl.mem seen v then j else v in
+    Hashtbl.replace seen v ();
+    out.(!idx) <- v;
+    incr idx
+  done;
+  out

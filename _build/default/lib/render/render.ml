@@ -1,0 +1,83 @@
+(* Downsampled ASCII frames. A "block" is the square of grid nodes that
+   one character cell covers. *)
+
+let block_side grid ~max_width =
+  let max_width = max 4 max_width in
+  (Grid.side grid + max_width - 1) / max_width
+
+(* Classify each block by agent content: 0 = empty, 1 = uninformed only,
+   2 = some informed. *)
+let agent_blocks grid ~block ~positions ~informed =
+  let cols = (Grid.side grid + block - 1) / block in
+  let cells = Array.make (cols * cols) 0 in
+  Array.iteri
+    (fun i v ->
+      let cx = Grid.x_of grid v / block and cy = Grid.y_of grid v / block in
+      let idx = (cy * cols) + cx in
+      let status = if informed i then 2 else 1 in
+      if status > cells.(idx) then cells.(idx) <- status)
+    positions;
+  (cols, cells)
+
+let render_cells ~cols ~background cells =
+  let buf = Buffer.create ((cols + 1) * cols) in
+  (* draw top row last so y grows upward, matching grid coordinates *)
+  for cy = cols - 1 downto 0 do
+    for cx = 0 to cols - 1 do
+      let idx = (cy * cols) + cx in
+      let ch =
+        match cells.(idx) with
+        | 2 -> '#'
+        | 1 -> 'o'
+        | _ -> background idx
+      in
+      Buffer.add_char buf ch
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let frame ?(max_width = 64) sim =
+  let grid = Mobile_network.Simulation.grid sim in
+  let block = block_side grid ~max_width in
+  let positions = Mobile_network.Simulation.positions sim in
+  let cols, cells =
+    agent_blocks grid ~block ~positions
+      ~informed:(Mobile_network.Simulation.is_informed sim)
+  in
+  let header =
+    Printf.sprintf "t=%d informed=%d/%d (1 char = %dx%d nodes)\n"
+      (Mobile_network.Simulation.time sim)
+      (Mobile_network.Simulation.informed_count sim)
+      (Mobile_network.Simulation.population sim)
+      block block
+  in
+  header ^ render_cells ~cols ~background:(fun _ -> '.') cells
+
+(* Majority-blocked background for domain rendering. *)
+let blocked_background domain ~block ~cols =
+  let grid = Barriers.Domain.grid domain in
+  let side = Grid.side grid in
+  let blocked = Array.make (cols * cols) 0 in
+  let total = Array.make (cols * cols) 0 in
+  for v = 0 to Grid.nodes grid - 1 do
+    let cx = v mod side / block and cy = v / side / block in
+    let idx = (cy * cols) + cx in
+    total.(idx) <- total.(idx) + 1;
+    if not (Barriers.Domain.is_free domain v) then
+      blocked.(idx) <- blocked.(idx) + 1
+  done;
+  fun idx -> if 2 * blocked.(idx) > total.(idx) then '%' else '.'
+
+let domain_ascii ?(max_width = 64) domain =
+  let grid = Barriers.Domain.grid domain in
+  let block = block_side grid ~max_width in
+  let cols = (Grid.side grid + block - 1) / block in
+  let cells = Array.make (cols * cols) 0 in
+  render_cells ~cols ~background:(blocked_background domain ~block ~cols) cells
+
+let domain_frame ?(max_width = 64) domain ~positions ~informed =
+  let grid = Barriers.Domain.grid domain in
+  let block = block_side grid ~max_width in
+  let cols, cells = agent_blocks grid ~block ~positions ~informed in
+  render_cells ~cols ~background:(blocked_background domain ~block ~cols) cells

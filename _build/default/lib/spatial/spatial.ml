@@ -1,0 +1,204 @@
+(* Flat-array bucket index. Buckets live in arrays sized to the bucket
+   grid (allocated once); each rebuild touches only the buckets that
+   actually hold agents (recorded in [touched]), so a rebuild costs O(k)
+   regardless of how many buckets the grid has. Agent ids are stored
+   contiguously in [items], grouped by bucket via a counting sort. *)
+
+type t = {
+  grid : Grid.t;
+  radius : int;
+  bucket_side : int;
+  per_row : int;
+  count : int array;  (* agents per bucket *)
+  start : int array;  (* offset of each bucket's slice in [items] *)
+  mutable items : int array;  (* agent ids grouped by bucket *)
+  touched : int array;  (* buckets used by the last rebuild *)
+  mutable touched_len : int;
+  mutable positions : Grid.node array;
+}
+
+let create grid ~radius =
+  if radius < 0 then invalid_arg "Spatial.create: negative radius";
+  let bucket_side = max 1 radius in
+  (* bounded: ceil division (a trailing narrow column is harmless).
+     torus: floor division, merging the remainder into the last column —
+     every column is then at least bucket_side wide, so wrap-distance
+     <= bucket_side still means cyclically adjacent columns. *)
+  let per_row =
+    if Grid.is_torus grid then max 1 (Grid.side grid / bucket_side)
+    else (Grid.side grid + bucket_side - 1) / bucket_side
+  in
+  let buckets = per_row * per_row in
+  {
+    grid;
+    radius;
+    bucket_side;
+    per_row;
+    count = Array.make buckets 0;
+    start = Array.make buckets 0;
+    items = [||];
+    touched = Array.make buckets 0;
+    touched_len = 0;
+    positions = [||];
+  }
+
+let radius t = t.radius
+
+let bucket_of t v =
+  let x = Grid.x_of t.grid v and y = Grid.y_of t.grid v in
+  let clamp c = min c (t.per_row - 1) in
+  ((clamp (y / t.bucket_side)) * t.per_row) + clamp (x / t.bucket_side)
+
+let rebuild t ~positions =
+  (* reset only the buckets the previous rebuild used *)
+  for i = 0 to t.touched_len - 1 do
+    t.count.(t.touched.(i)) <- 0
+  done;
+  t.touched_len <- 0;
+  t.positions <- positions;
+  let k = Array.length positions in
+  if Array.length t.items < k then t.items <- Array.make k 0;
+  (* pass 1: count agents per bucket, recording first-touched buckets *)
+  for agent = 0 to k - 1 do
+    let b = bucket_of t positions.(agent) in
+    if t.count.(b) = 0 then begin
+      t.touched.(t.touched_len) <- b;
+      t.touched_len <- t.touched_len + 1
+    end;
+    t.count.(b) <- t.count.(b) + 1
+  done;
+  (* pass 2: prefix offsets over touched buckets (order irrelevant) *)
+  let offset = ref 0 in
+  for i = 0 to t.touched_len - 1 do
+    let b = t.touched.(i) in
+    t.start.(b) <- !offset;
+    offset := !offset + t.count.(b)
+  done;
+  (* pass 3: place agents; [start] doubles as the write cursor, then is
+     restored by subtracting the counts *)
+  for agent = 0 to k - 1 do
+    let b = bucket_of t positions.(agent) in
+    t.items.(t.start.(b)) <- agent;
+    t.start.(b) <- t.start.(b) + 1
+  done;
+  for i = 0 to t.touched_len - 1 do
+    let b = t.touched.(i) in
+    t.start.(b) <- t.start.(b) - t.count.(b)
+  done
+
+let close t i j =
+  Grid.manhattan t.grid t.positions.(i) t.positions.(j) <= t.radius
+
+(* Pairs within one bucket's slice. *)
+let iter_intra t b ~f =
+  let lo = t.start.(b) in
+  let hi = lo + t.count.(b) - 1 in
+  for x = lo to hi - 1 do
+    let i = t.items.(x) in
+    for y = x + 1 to hi do
+      let j = t.items.(y) in
+      if close t i j then f (min i j) (max i j)
+    done
+  done
+
+(* Pairs across two distinct buckets' slices. *)
+let iter_inter t b b' ~f =
+  let lo = t.start.(b) and n = t.count.(b) in
+  let lo' = t.start.(b') and n' = t.count.(b') in
+  for x = lo to lo + n - 1 do
+    let i = t.items.(x) in
+    for y = lo' to lo' + n' - 1 do
+      let j = t.items.(y) in
+      if close t i j then f (min i j) (max i j)
+    done
+  done
+
+(* Exhaustive O(k^2) fallback used when the bucket structure cannot
+   guarantee each pair is seen exactly once (tiny torus layouts). *)
+let iter_all_pairs t ~f =
+  let k = Array.length t.positions in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      if close t i j then f i j
+    done
+  done
+
+(* Pairs of exactly cohabiting agents within one bucket slice (the
+   radius-0 case: bucket side 1 means same bucket = same node). *)
+let iter_cohabitants t b ~f =
+  let lo = t.start.(b) in
+  let hi = lo + t.count.(b) - 1 in
+  for x = lo to hi - 1 do
+    let i = t.items.(x) in
+    for y = x + 1 to hi do
+      let j = t.items.(y) in
+      f (min i j) (max i j)
+    done
+  done
+
+let iter_close_pairs t ~f =
+  let wrap = Grid.is_torus t.grid in
+  if t.radius = 0 then
+    for idx = 0 to t.touched_len - 1 do
+      let b = t.touched.(idx) in
+      if t.count.(b) > 1 then iter_cohabitants t b ~f
+    done
+  else if wrap && t.per_row < 3 then
+    (* with fewer than 3 bucket columns, wrapped forward scans would
+       revisit pairs; fall back to the exhaustive scan *)
+    iter_all_pairs t ~f
+  else
+    for idx = 0 to t.touched_len - 1 do
+      let b = t.touched.(idx) in
+      iter_intra t b ~f;
+      (* scan only forward neighbours (E, N, NE, NW) so each bucket pair
+         is considered once; on the torus indices wrap *)
+      let bx = b mod t.per_row and by = b / t.per_row in
+      let scan dx dy =
+        let nx = bx + dx and ny = by + dy in
+        let nx, ny =
+          if wrap then
+            ((nx + t.per_row) mod t.per_row, (ny + t.per_row) mod t.per_row)
+          else (nx, ny)
+        in
+        if nx >= 0 && nx < t.per_row && ny >= 0 && ny < t.per_row then begin
+          let b' = (ny * t.per_row) + nx in
+          if t.count.(b') > 0 then iter_inter t b b' ~f
+        end
+      in
+      scan 1 0;
+      scan 0 1;
+      scan 1 1;
+      scan (-1) 1
+    done
+
+let count_close_pairs t =
+  let n = ref 0 in
+  iter_close_pairs t ~f:(fun _ _ -> incr n);
+  !n
+
+let iter_agents_near t v ~range ~f =
+  if range < 0 then invalid_arg "Spatial.iter_agents_near: negative range";
+  if Grid.is_torus t.grid then
+    (* wrap-aware bucket windows are not worth the complexity for this
+       query (it is off the simulation hot path): scan all agents *)
+    Array.iteri
+      (fun i p -> if Grid.manhattan t.grid v p <= range then f i)
+      t.positions
+  else begin
+    let x = Grid.x_of t.grid v and y = Grid.y_of t.grid v in
+    let b_lo_x = max 0 ((x - range) / t.bucket_side)
+    and b_hi_x = min (t.per_row - 1) ((x + range) / t.bucket_side)
+    and b_lo_y = max 0 ((y - range) / t.bucket_side)
+    and b_hi_y = min (t.per_row - 1) ((y + range) / t.bucket_side) in
+    for by = b_lo_y to b_hi_y do
+      for bx = b_lo_x to b_hi_x do
+        let b = (by * t.per_row) + bx in
+        let lo = t.start.(b) in
+        for idx = lo to lo + t.count.(b) - 1 do
+          let i = t.items.(idx) in
+          if Grid.manhattan t.grid v t.positions.(i) <= range then f i
+        done
+      done
+    done
+  end

@@ -1,0 +1,44 @@
+(** Bucket-grid spatial index: find all pairs of agents within Manhattan
+    distance [r] without the O(k^2) all-pairs scan.
+
+    Agents are bucketed into square cells of side [max 1 r]; any two
+    agents within Manhattan distance [r] are also within Chebyshev
+    distance [r], hence land in the same or side/corner-adjacent buckets.
+    Scanning each bucket against its 3x3 neighbourhood therefore finds
+    every close pair exactly once. Below the percolation point the
+    expected bucket occupancy is O(1), so a full pass costs O(k).
+
+    The index is rebuilt from scratch each simulation step ({!rebuild});
+    the structure reuses its internal table across rebuilds to avoid
+    per-step allocation churn.
+
+    Torus grids are fully supported: bucket adjacency wraps around, and
+    degenerate layouts (fewer than 3 bucket columns) fall back to an
+    exhaustive pair scan so correctness never depends on the layout. *)
+
+type t
+
+val create : Grid.t -> radius:int -> t
+(** [create grid ~radius] prepares an index for agents on [grid] with
+    transmission radius [radius]. @raise Invalid_argument if
+    [radius < 0]. *)
+
+val radius : t -> int
+
+val rebuild : t -> positions:Grid.node array -> unit
+(** Load the current agent positions (array index = agent id). Replaces
+    any previous contents. *)
+
+val iter_close_pairs : t -> f:(int -> int -> unit) -> unit
+(** Call [f i j] (with [i < j]) exactly once for every pair of agents at
+    Manhattan distance [<= radius] in the last {!rebuild}. For
+    [radius = 0] this degenerates to exact-position cohabitation. *)
+
+val count_close_pairs : t -> int
+(** Number of pairs that {!iter_close_pairs} would visit. *)
+
+val iter_agents_near :
+  t -> Grid.node -> range:int -> f:(int -> unit) -> unit
+(** Call [f] on every agent within Manhattan distance [range] of the
+    given node. [range] may differ from the index radius; cost grows with
+    [range / radius] squared. *)

@@ -1,0 +1,199 @@
+module Config = Mobile_network.Config
+module Simulation = Mobile_network.Simulation
+
+type entry = {
+  time : int;
+  informed : int;
+  frontier_x : int;
+  max_island : int;
+  covered : int;
+}
+
+type t = {
+  config : string;
+  population : int;
+  nodes : int;
+  side : int;
+  protocol : string;
+  completed : bool;
+  entries : entry array;
+}
+
+let capture cfg =
+  let sim = Simulation.create cfg in
+  let snapshot () =
+    {
+      time = Simulation.time sim;
+      informed = Simulation.informed_count sim;
+      frontier_x = Simulation.frontier_x sim;
+      max_island = Simulation.max_island sim;
+      covered = Simulation.covered_count sim;
+    }
+  in
+  let entries = ref [ snapshot () ] in
+  let report =
+    Simulation.run ~on_step:(fun _ -> entries := snapshot () :: !entries) sim
+  in
+  {
+    config = Config.to_string cfg;
+    population = Simulation.population sim;
+    nodes = Config.n cfg;
+    side = cfg.Config.side;
+    protocol = Mobile_network.Protocol.to_string cfg.Config.protocol;
+    completed =
+      (match report.Simulation.outcome with
+      | Simulation.Completed -> true
+      | Simulation.Timed_out -> false);
+    entries = Array.of_list (List.rev !entries);
+  }
+
+(* --- serialization ------------------------------------------------------- *)
+
+let header_line t =
+  Printf.sprintf
+    {|{"config":%S,"population":%d,"nodes":%d,"side":%d,"protocol":%S,"completed":%b}|}
+    t.config t.population t.nodes t.side t.protocol t.completed
+
+let entry_line e =
+  Printf.sprintf
+    {|{"t":%d,"informed":%d,"frontier":%d,"island":%d,"covered":%d}|}
+    e.time e.informed e.frontier_x e.max_island e.covered
+
+let to_jsonl t =
+  let buf = Buffer.create (64 * (Array.length t.entries + 1)) in
+  Buffer.add_string buf (header_line t);
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf (entry_line e);
+      Buffer.add_char buf '\n')
+    t.entries;
+  Buffer.contents buf
+
+let parse_header line =
+  try
+    Scanf.sscanf line
+      {|{"config":%S,"population":%d,"nodes":%d,"side":%d,"protocol":%S,"completed":%B}|}
+      (fun config population nodes side protocol completed ->
+        Ok (config, population, nodes, side, protocol, completed))
+  with Scanf.Scan_failure _ | End_of_file | Failure _ ->
+    Error "malformed header line"
+
+let parse_entry line =
+  try
+    Scanf.sscanf line
+      {|{"t":%d,"informed":%d,"frontier":%d,"island":%d,"covered":%d}|}
+      (fun time informed frontier_x max_island covered ->
+        Ok { time; informed; frontier_x; max_island; covered })
+  with Scanf.Scan_failure _ | End_of_file | Failure _ ->
+    Error "malformed entry line"
+
+let of_jsonl text =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  match lines with
+  | [] -> Error "empty document"
+  | header :: rest -> (
+      match parse_header header with
+      | Error e -> Error (Printf.sprintf "line 1: %s" e)
+      | Ok (config, population, nodes, side, protocol, completed) ->
+          let entries = Array.make (List.length rest) { time = 0; informed = 0; frontier_x = 0; max_island = 0; covered = 0 } in
+          let rec fill i = function
+            | [] -> Ok ()
+            | line :: more -> (
+                match parse_entry line with
+                | Error e -> Error (Printf.sprintf "line %d: %s" (i + 2) e)
+                | Ok entry ->
+                    entries.(i) <- entry;
+                    fill (i + 1) more)
+          in
+          (match fill 0 rest with
+          | Error e -> Error e
+          | Ok () ->
+              Ok
+                {
+                  config; population; nodes; side; protocol; completed;
+                  entries;
+                }))
+
+(* --- validation ----------------------------------------------------------- *)
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let check cond msg = if cond then Ok () else Error msg in
+  let checkf i cond msg =
+    if cond then Ok () else Error (Printf.sprintf "entry %d: %s" i msg)
+  in
+  let* () = check (t.population > 0) "population must be positive" in
+  let* () = check (t.side > 0) "side must be positive" in
+  let* () = check (t.nodes = t.side * t.side) "nodes = side^2 violated" in
+  let* () =
+    check (Array.length t.entries > 0) "trace must contain the initial state"
+  in
+  let n = Array.length t.entries in
+  let rec scan i =
+    if i >= n then Ok ()
+    else begin
+      let e = t.entries.(i) in
+      let* () = checkf i (e.time = i) "time out of order" in
+      let* () =
+        checkf i
+          (e.informed >= 0 && e.informed <= t.population)
+          "informed count out of range"
+      in
+      let* () =
+        checkf i
+          (e.frontier_x >= -1 && e.frontier_x < t.side)
+          "frontier out of range"
+      in
+      let* () =
+        checkf i
+          (e.max_island >= 0 && e.max_island <= t.population)
+          "island size out of range"
+      in
+      let* () =
+        checkf i (e.covered >= 0 && e.covered <= t.nodes)
+          "coverage out of range"
+      in
+      let* () =
+        if i = 0 then Ok ()
+        else begin
+          let p = t.entries.(i - 1) in
+          let* () = checkf i (e.informed >= p.informed) "informed decreased" in
+          let* () =
+            checkf i (e.frontier_x >= p.frontier_x) "frontier decreased"
+          in
+          checkf i (e.covered >= p.covered) "coverage decreased"
+        end
+      in
+      scan (i + 1)
+    end
+  in
+  let* () = scan 0 in
+  (* completion consistency, where the metrics decide it *)
+  let last = t.entries.(n - 1) in
+  match t.protocol with
+  | "broadcast" | "frog" ->
+      check
+        (t.completed = (last.informed = t.population))
+        "completed flag inconsistent with final informed count"
+  | "broadcast-cover" | "cover-walks" ->
+      check
+        (t.completed = (last.covered = t.nodes))
+        "completed flag inconsistent with final coverage"
+  | _ -> Ok ()
+
+let equal a b =
+  a.config = b.config && a.population = b.population && a.nodes = b.nodes
+  && a.side = b.side && a.protocol = b.protocol && a.completed = b.completed
+  && a.entries = b.entries
+
+let pp_summary fmt t =
+  let last = t.entries.(Array.length t.entries - 1) in
+  Format.fprintf fmt
+    "%s: %d steps, %s, informed %d/%d, covered %d/%d (%s)"
+    t.protocol
+    (Array.length t.entries - 1)
+    (if t.completed then "completed" else "timed out")
+    last.informed t.population last.covered t.nodes t.config

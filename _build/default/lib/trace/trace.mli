@@ -1,0 +1,56 @@
+(** Structured run traces: capture a simulation's per-step metrics as a
+    self-describing JSONL document, round-trip it through text, and
+    validate its invariants offline.
+
+    Traces make reproduction claims auditable: a run is summarised by
+    one header line (configuration, population, outcome) followed by one
+    JSON object per time step (informed count, frontier, largest island,
+    coverage). {!validate} re-checks the engine's invariants on the
+    serialized artefact — a trace that was tampered with, truncated, or
+    produced by a buggy build fails validation without re-running
+    anything.
+
+    The JSON subset used is rigid (fixed key order, no nesting beyond
+    one object per line) so the parser is total and dependency-free. *)
+
+type entry = {
+  time : int;
+  informed : int;
+  frontier_x : int;
+  max_island : int;
+  covered : int;
+}
+
+type t = {
+  config : string;  (** [Config.to_string] of the run *)
+  population : int;
+  nodes : int;
+  side : int;
+  protocol : string;
+  completed : bool;
+  entries : entry array;  (** index 0 is the initial state *)
+}
+
+val capture : Mobile_network.Config.t -> t
+(** Run the configuration to completion (or its step cap), recording one
+    entry per time step. @raise Invalid_argument on an invalid
+    configuration. *)
+
+val to_jsonl : t -> string
+(** Serialize: one header object line, then one line per entry. *)
+
+val of_jsonl : string -> (t, string) result
+(** Parse a document produced by {!to_jsonl}. Returns [Error] with a
+    line-numbered message on malformed input. *)
+
+val validate : t -> (unit, string) result
+(** Check the trace's internal invariants: consecutive times from 0,
+    counts within bounds, monotone informed/frontier/coverage series,
+    and consistency between the [completed] flag and the final state
+    (for the protocols where that is decidable from the metrics). *)
+
+val equal : t -> t -> bool
+(** Structural equality (used to verify round-trips). *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-paragraph human summary. *)

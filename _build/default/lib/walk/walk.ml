@@ -1,0 +1,116 @@
+type kernel =
+  | Lazy_one_fifth
+  | Simple
+  | Lazy_half
+
+let kernel_to_string = function
+  | Lazy_one_fifth -> "lazy-1/5"
+  | Simple -> "simple"
+  | Lazy_half -> "lazy-1/2"
+
+(* Candidate neighbour in one of the four axis directions; on a bounded
+   grid a move off the edge stays put (that probability mass becomes
+   holding probability), on a torus it wraps. *)
+let directed_neighbour grid v dir =
+  let side = Grid.side grid in
+  let x = Grid.x_of grid v and y = Grid.y_of grid v in
+  if Grid.is_torus grid then
+    match dir with
+    | 0 -> (y * side) + ((x + side - 1) mod side)
+    | 1 -> (y * side) + ((x + 1) mod side)
+    | 2 -> (((y + side - 1) mod side) * side) + x
+    | _ -> (((y + 1) mod side) * side) + x
+  else
+    match dir with
+    | 0 -> if x > 0 then v - 1 else v
+    | 1 -> if x < side - 1 then v + 1 else v
+    | 2 -> if y > 0 then v - side else v
+    | _ -> if y < side - 1 then v + side else v
+
+(* Uniform over existing neighbours; on the 1-node grid (degree 0) the
+   walk has nowhere to go and stays put. *)
+let uniform_neighbour grid rng v =
+  let deg = Grid.degree grid v in
+  if deg = 0 then v
+  else
+  let pick = Prng.int rng deg in
+  let chosen, _ =
+    Grid.fold_neighbours grid v ~init:(v, 0) ~f:(fun (best, i) u ->
+        ((if i = pick then u else best), i + 1))
+  in
+  chosen
+
+let step grid kernel rng v =
+  match kernel with
+  | Lazy_one_fifth ->
+      (* direction in {0..3} w.p. 1/5 each (clamped moves stay), stay on
+         4 — this realises "each existing neighbour w.p. 1/5". *)
+      let d = Prng.int rng 5 in
+      if d = 4 then v else directed_neighbour grid v d
+  | Simple -> uniform_neighbour grid rng v
+  | Lazy_half -> if Prng.bool rng then v else uniform_neighbour grid rng v
+
+let advance grid kernel rng v ~steps =
+  if steps < 0 then invalid_arg "Walk.advance: negative steps";
+  let pos = ref v in
+  for _ = 1 to steps do
+    pos := step grid kernel rng !pos
+  done;
+  !pos
+
+let path grid kernel rng v ~steps =
+  if steps < 0 then invalid_arg "Walk.path: negative steps";
+  let out = Array.make (steps + 1) v in
+  for i = 1 to steps do
+    out.(i) <- step grid kernel rng out.(i - 1)
+  done;
+  out
+
+type excursion = {
+  final : Grid.node;
+  range : int;
+  max_displacement : int;
+}
+
+let excursion_stats grid kernel rng start ~steps =
+  if steps < 0 then invalid_arg "Walk.excursion_stats: negative steps";
+  let visited = Hashtbl.create (steps + 1) in
+  Hashtbl.replace visited start ();
+  let pos = ref start in
+  let max_disp = ref 0 in
+  for _ = 1 to steps do
+    pos := step grid kernel rng !pos;
+    if not (Hashtbl.mem visited !pos) then Hashtbl.replace visited !pos ();
+    let d = Grid.manhattan grid start !pos in
+    if d > !max_disp then max_disp := d
+  done;
+  { final = !pos; range = Hashtbl.length visited; max_displacement = !max_disp }
+
+let hits_within grid kernel rng ~start ~target ~steps =
+  if steps < 0 then invalid_arg "Walk.hits_within: negative steps";
+  if start = target then true
+  else
+    let rec loop pos remaining =
+      if remaining = 0 then false
+      else
+        let pos = step grid kernel rng pos in
+        if pos = target then true else loop pos (remaining - 1)
+    in
+    loop start steps
+
+let first_meeting grid kernel rng ~a ~b ~steps ?(where = fun _ -> true) () =
+  if steps < 0 then invalid_arg "Walk.first_meeting: negative steps";
+  let rec loop pa pb t =
+    if pa = pb && where pa then Some t
+    else if t = steps then None
+    else
+      (* both agents move in the same synchronous round *)
+      let pa = step grid kernel rng pa in
+      let pb = step grid kernel rng pb in
+      loop pa pb (t + 1)
+  in
+  loop a b 0
+
+let meeting_disk grid ~a ~b =
+  let d = Grid.manhattan grid a b in
+  fun v -> Grid.manhattan grid a v <= d && Grid.manhattan grid b v <= d

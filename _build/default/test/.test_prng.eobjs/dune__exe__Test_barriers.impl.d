@@ -1,0 +1,1 @@
+test/test_barriers.ml: Alcotest Array Barriers Grid Hashtbl List Option Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_clementi.ml: Alcotest Array Baselines List Printf QCheck QCheck_alcotest

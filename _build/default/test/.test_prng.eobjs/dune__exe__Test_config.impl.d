@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Array Float List Mobile_network Prng String

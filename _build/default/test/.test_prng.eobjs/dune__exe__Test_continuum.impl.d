@@ -1,0 +1,1 @@
+test/test_continuum.ml: Alcotest Continuum Float List Printf Prng QCheck QCheck_alcotest

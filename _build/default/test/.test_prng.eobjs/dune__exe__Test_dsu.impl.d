@@ -1,0 +1,1 @@
+test/test_dsu.ml: Alcotest Array Dsu Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Barriers Baselines Continuum Grid Mobile_network Prng Walk

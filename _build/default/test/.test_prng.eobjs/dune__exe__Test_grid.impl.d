@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Array Grid List Printf Prng QCheck QCheck_alcotest

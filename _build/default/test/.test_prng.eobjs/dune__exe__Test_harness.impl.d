@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Buffer Experiments Float Format List Mobile_network Option Printf String

@@ -1,0 +1,1 @@
+test/test_intbuf.ml: Alcotest Array List Mobile_network QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Barriers Grid List Mobile_network Render String

@@ -1,0 +1,1 @@
+test/test_rumor_set.ml: Alcotest Gen Hashtbl List Mobile_network QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rumor_set.mli:

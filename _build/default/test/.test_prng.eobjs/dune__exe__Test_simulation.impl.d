@@ -1,0 +1,1 @@
+test/test_simulation.ml: Alcotest Array Grid List Mobile_network Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_spatial.ml: Alcotest Array Grid Hashtbl List Printf Prng QCheck QCheck_alcotest Spatial

@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Float List Mobile_network Printf

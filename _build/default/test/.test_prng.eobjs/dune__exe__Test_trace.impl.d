@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Buffer Format List Mobile_network QCheck QCheck_alcotest String Trace

@@ -1,0 +1,1 @@
+test/test_visibility.ml: Alcotest Array Dsu Float Grid List Printf Prng QCheck QCheck_alcotest Visibility

@@ -1,0 +1,1 @@
+test/test_walk.ml: Alcotest Array Float Grid Hashtbl List Option Printf Prng QCheck QCheck_alcotest Stats Walk

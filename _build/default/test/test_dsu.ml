@@ -1,0 +1,202 @@
+(* Unit and property tests for the Dsu (union-find) module. *)
+
+let test_create () =
+  let d = Dsu.create 5 in
+  Alcotest.(check int) "length" 5 (Dsu.length d);
+  Alcotest.(check int) "initial sets" 5 (Dsu.set_count d);
+  for i = 0 to 4 do
+    Alcotest.(check int) "own representative" i (Dsu.find d i);
+    Alcotest.(check int) "singleton size" 1 (Dsu.set_size d i)
+  done;
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Dsu.create: negative size") (fun () ->
+      ignore (Dsu.create (-1)))
+
+let test_empty () =
+  let d = Dsu.create 0 in
+  Alcotest.(check int) "no sets" 0 (Dsu.set_count d);
+  Alcotest.(check int) "max set empty" 0 (Dsu.max_set_size d)
+
+let test_union_basics () =
+  let d = Dsu.create 6 in
+  Alcotest.(check bool) "first union merges" true (Dsu.union d 0 1);
+  Alcotest.(check bool) "repeat union no-op" false (Dsu.union d 0 1);
+  Alcotest.(check bool) "same set" true (Dsu.same_set d 0 1);
+  Alcotest.(check bool) "others unaffected" false (Dsu.same_set d 0 2);
+  Alcotest.(check int) "set count" 5 (Dsu.set_count d);
+  Alcotest.(check int) "merged size" 2 (Dsu.set_size d 0);
+  Alcotest.(check int) "merged size via other" 2 (Dsu.set_size d 1)
+
+let test_transitivity () =
+  let d = Dsu.create 8 in
+  ignore (Dsu.union d 0 1);
+  ignore (Dsu.union d 2 3);
+  ignore (Dsu.union d 1 2);
+  Alcotest.(check bool) "0 ~ 3 by transitivity" true (Dsu.same_set d 0 3);
+  Alcotest.(check int) "size 4" 4 (Dsu.set_size d 3);
+  Alcotest.(check int) "5 sets remain" 5 (Dsu.set_count d)
+
+let test_self_union () =
+  let d = Dsu.create 3 in
+  Alcotest.(check bool) "self union is no-op" false (Dsu.union d 1 1);
+  Alcotest.(check int) "still singleton" 1 (Dsu.set_size d 1)
+
+let test_out_of_range () =
+  let d = Dsu.create 3 in
+  Alcotest.check_raises "find out of range"
+    (Invalid_argument "Dsu: element out of range") (fun () ->
+      ignore (Dsu.find d 3));
+  Alcotest.check_raises "union out of range"
+    (Invalid_argument "Dsu: element out of range") (fun () ->
+      ignore (Dsu.union d 0 (-1)))
+
+let test_reset () =
+  let d = Dsu.create 4 in
+  ignore (Dsu.union d 0 1);
+  ignore (Dsu.union d 2 3);
+  Dsu.reset d;
+  Alcotest.(check int) "back to singletons" 4 (Dsu.set_count d);
+  for i = 0 to 3 do
+    Alcotest.(check int) "own rep after reset" i (Dsu.find d i);
+    Alcotest.(check int) "size 1 after reset" 1 (Dsu.set_size d i)
+  done
+
+let test_max_set_size () =
+  let d = Dsu.create 10 in
+  Alcotest.(check int) "all singletons" 1 (Dsu.max_set_size d);
+  ignore (Dsu.union d 0 1);
+  ignore (Dsu.union d 1 2);
+  ignore (Dsu.union d 5 6);
+  Alcotest.(check int) "largest is 3" 3 (Dsu.max_set_size d)
+
+let test_groups () =
+  let d = Dsu.create 5 in
+  ignore (Dsu.union d 0 3);
+  ignore (Dsu.union d 3 4);
+  let groups = Dsu.groups d in
+  let found = ref [] in
+  Array.iter
+    (fun members -> if members <> [] then found := members :: !found)
+    groups;
+  let sorted = List.sort compare !found in
+  Alcotest.(check (list (list int))) "groups partition"
+    [ [ 0; 3; 4 ]; [ 1 ]; [ 2 ] ]
+    sorted
+
+let test_iter_sets () =
+  let d = Dsu.create 6 in
+  ignore (Dsu.union d 1 2);
+  ignore (Dsu.union d 4 5);
+  let seen = ref [] in
+  Dsu.iter_sets d ~f:(fun ~representative ~members ->
+      Alcotest.(check bool) "rep is a member" true (List.mem representative members);
+      seen := members @ !seen);
+  let all = List.sort compare !seen in
+  Alcotest.(check (list int)) "every element exactly once" [ 0; 1; 2; 3; 4; 5 ]
+    all
+
+let test_members_sorted () =
+  let d = Dsu.create 7 in
+  ignore (Dsu.union d 6 0);
+  ignore (Dsu.union d 3 6);
+  Dsu.iter_sets d ~f:(fun ~representative:_ ~members ->
+      let sorted = List.sort compare members in
+      Alcotest.(check (list int)) "members increasing" sorted members)
+
+(* --- qcheck properties --- *)
+
+(* Build a random union script and compare against a naive quadratic
+   implementation. *)
+let naive_components n unions =
+  let comp = Array.init n (fun i -> i) in
+  List.iter
+    (fun (i, j) ->
+      let ci = comp.(i) and cj = comp.(j) in
+      if ci <> cj then
+        Array.iteri (fun idx c -> if c = cj then comp.(idx) <- ci) comp)
+    unions;
+  comp
+
+let unions_gen n =
+  QCheck.(list_of_size (Gen.int_range 0 40)
+    (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))))
+
+let prop_matches_naive =
+  let n = 12 in
+  QCheck.Test.make ~name:"matches naive component computation" ~count:300
+    (unions_gen n) (fun unions ->
+      let d = Dsu.create n in
+      List.iter (fun (i, j) -> ignore (Dsu.union d i j)) unions;
+      let naive = naive_components n unions in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let same_naive = naive.(i) = naive.(j) in
+          if Dsu.same_set d i j <> same_naive then ok := false
+        done
+      done;
+      !ok)
+
+let prop_set_count_invariant =
+  let n = 15 in
+  QCheck.Test.make ~name:"set_count = n - successful unions" ~count:300
+    (unions_gen n) (fun unions ->
+      let d = Dsu.create n in
+      let merges =
+        List.fold_left
+          (fun acc (i, j) -> if Dsu.union d i j then acc + 1 else acc)
+          0 unions
+      in
+      Dsu.set_count d = n - merges)
+
+let prop_sizes_sum_to_n =
+  let n = 15 in
+  QCheck.Test.make ~name:"set sizes sum to n" ~count:300 (unions_gen n)
+    (fun unions ->
+      let d = Dsu.create n in
+      List.iter (fun (i, j) -> ignore (Dsu.union d i j)) unions;
+      let total = ref 0 in
+      Dsu.iter_sets d ~f:(fun ~representative:_ ~members ->
+          total := !total + List.length members);
+      !total = n)
+
+let prop_find_idempotent =
+  let n = 15 in
+  QCheck.Test.make ~name:"find is idempotent under path compression"
+    ~count:300 (unions_gen n) (fun unions ->
+      let d = Dsu.create n in
+      List.iter (fun (i, j) -> ignore (Dsu.union d i j)) unions;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let r = Dsu.find d i in
+        if Dsu.find d i <> r || Dsu.find d r <> r then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "dsu"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "create" `Quick test_create;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "union basics" `Quick test_union_basics;
+          Alcotest.test_case "transitivity" `Quick test_transitivity;
+          Alcotest.test_case "self union" `Quick test_self_union;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "aggregates",
+        [
+          Alcotest.test_case "max set size" `Quick test_max_set_size;
+          Alcotest.test_case "groups" `Quick test_groups;
+          Alcotest.test_case "iter_sets" `Quick test_iter_sets;
+          Alcotest.test_case "members sorted" `Quick test_members_sorted;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_matches_naive; prop_set_count_invariant; prop_sizes_sum_to_n;
+            prop_find_idempotent;
+          ] );
+    ]

@@ -1,0 +1,67 @@
+(* End-to-end reproduction tests: every experiment of the registry runs
+   in quick mode and must (a) produce a well-formed result and (b) pass
+   all of its own shape checks. A regression in the engine that breaks a
+   theorem's predicted shape therefore fails `dune runtest`. *)
+
+module Registry = Experiments.Registry
+module Exp_result = Experiments.Exp_result
+module Table = Experiments.Table
+
+let well_formed (r : Exp_result.t) =
+  Alcotest.(check bool) "id non-empty" true (String.length r.Exp_result.id > 0);
+  Alcotest.(check bool) "title non-empty" true (String.length r.title > 0);
+  Alcotest.(check bool) "claim non-empty" true (String.length r.claim > 0);
+  Alcotest.(check bool) "has measurements" true (Table.row_count r.table > 0);
+  Alcotest.(check bool) "has checks" true (r.checks <> []);
+  (* rendering and CSV export must not raise *)
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Exp_result.render fmt r;
+  Format.pp_print_flush fmt ();
+  Alcotest.(check bool) "render non-empty" true (Buffer.length buf > 0);
+  Alcotest.(check bool) "csv non-empty" true
+    (String.length (Exp_result.to_csv r) > 0)
+
+let experiment_case (entry : Registry.entry) =
+  Alcotest.test_case
+    (Printf.sprintf "%s: %s" entry.Registry.id entry.Registry.summary)
+    `Slow
+    (fun () ->
+      let r = entry.Registry.run ~quick:true ~seed:0 () in
+      Alcotest.(check string) "id matches registry" entry.Registry.id
+        r.Exp_result.id;
+      well_formed r;
+      List.iter
+        (fun (c : Exp_result.check) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "[%s] %s: %s" r.Exp_result.id c.Exp_result.label
+               c.Exp_result.detail)
+            true c.Exp_result.passed)
+        r.Exp_result.checks)
+
+let test_quick_mode_deterministic () =
+  (* same seed, same result tables *)
+  let entry = Option.get (Registry.find "E1") in
+  let a = entry.Registry.run ~quick:true ~seed:42 () in
+  let b = entry.Registry.run ~quick:true ~seed:42 () in
+  Alcotest.(check string) "identical CSV" (Exp_result.to_csv a)
+    (Exp_result.to_csv b)
+
+let test_seed_changes_results () =
+  let entry = Option.get (Registry.find "E1") in
+  let a = entry.Registry.run ~quick:true ~seed:1 () in
+  let b = entry.Registry.run ~quick:true ~seed:2 () in
+  Alcotest.(check bool) "different seeds, different measurements" true
+    (Exp_result.to_csv a <> Exp_result.to_csv b)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ("reproduction (quick mode)", List.map experiment_case Registry.all);
+      ( "harness behaviour",
+        [
+          Alcotest.test_case "deterministic given seed" `Slow
+            test_quick_mode_deterministic;
+          Alcotest.test_case "seed sensitivity" `Slow test_seed_changes_results;
+        ] );
+    ]

@@ -1,0 +1,89 @@
+(* Golden regression tests: exact deterministic outputs pinned from a
+   known-good build. Every simulator in the repo is deterministic given
+   (seed, trial), so any accidental change to the PRNG, to the engine's
+   evaluation order, or to a kernel's probabilities shows up here as an
+   exact mismatch — long before it would bend an experiment's statistics.
+
+   If a change is *intentional* (e.g. a new PRNG constant), re-pin these
+   values and say so in the commit; the experiment suite revalidates the
+   physics independently. *)
+
+module Config = Mobile_network.Config
+module Protocol = Mobile_network.Protocol
+module Simulation = Mobile_network.Simulation
+
+let steps ?(torus = false) ?(radius = 0) ?(protocol = Protocol.Broadcast)
+    ?(exchange = Config.Flood_component) ~side ~agents ~seed () =
+  (Simulation.run_config
+     (Config.make ~torus ~radius ~protocol ~exchange ~side ~agents ~seed ()))
+    .Simulation.steps
+
+let test_prng_stream () =
+  let rng = Prng.of_seed 42 in
+  Alcotest.(check int64) "draw 1" 1546998764402558742L (Prng.bits64 rng);
+  Alcotest.(check int64) "draw 2" 6990951692964543102L (Prng.bits64 rng);
+  Alcotest.(check int64) "draw 3" (-5902157311460992607L) (Prng.bits64 rng);
+  let child = Prng.split (Prng.of_seed 42) in
+  Alcotest.(check int64) "split child draw" 832859759179319558L
+    (Prng.bits64 child)
+
+let test_walk_endpoint () =
+  let g = Grid.create ~side:32 () in
+  Alcotest.(check int) "lazy walk endpoint after 500 steps" 417
+    (Walk.advance g Walk.Lazy_one_fifth (Prng.of_seed 9) (Grid.center g)
+       ~steps:500)
+
+let test_engine_completion_times () =
+  Alcotest.(check int) "broadcast" 612 (steps ~side:16 ~agents:6 ~seed:0 ());
+  Alcotest.(check int) "broadcast r=2" 358
+    (steps ~side:24 ~agents:12 ~radius:2 ~seed:3 ());
+  Alcotest.(check int) "gossip" 245
+    (steps ~side:12 ~agents:5 ~protocol:Protocol.Gossip ~seed:1 ());
+  Alcotest.(check int) "frog" 625
+    (steps ~side:12 ~agents:6 ~protocol:Protocol.Frog ~seed:2 ());
+  Alcotest.(check int) "cover walks" 559
+    (steps ~side:10 ~agents:4 ~protocol:Protocol.Cover_walks ~seed:0 ());
+  Alcotest.(check int) "predator-prey" 252
+    (steps ~side:10 ~agents:4
+       ~protocol:(Protocol.Predator_prey { preys = 6 })
+       ~seed:5 ());
+  Alcotest.(check int) "torus" 157 (steps ~torus:true ~side:16 ~agents:6 ~seed:0 ());
+  (* single-hop equals flooding here: below percolation the components
+     are so small that one hop covers them (the A1 phenomenon) *)
+  Alcotest.(check int) "single-hop" 612
+    (steps ~side:16 ~agents:6 ~seed:0 ~exchange:Config.Single_hop ())
+
+let test_satellite_simulators () =
+  let d = Barriers.Domain.central_wall (Grid.create ~side:16 ()) ~gap:2 in
+  let br =
+    Barriers.Barrier_sim.broadcast
+      { Barriers.Barrier_sim.domain = d; agents = 8; radius = 0;
+        los_blocking = false; seed = 0; trial = 0; max_steps = 1_000_000 }
+  in
+  Alcotest.(check int) "barrier broadcast" 1300 br.Barriers.Barrier_sim.steps;
+  let cr =
+    Continuum.broadcast
+      { Continuum.box_side = 8.; agents = 32; radius = 0.5; sigma = 0.2;
+        seed = 0; trial = 0; max_steps = 1_000_000 }
+  in
+  Alcotest.(check int) "continuum broadcast" 274 cr.Continuum.steps;
+  let cl =
+    Baselines.Clementi.broadcast
+      { Baselines.Clementi.side = 16; agents = 64; big_r = 2; rho = 2;
+        seed = 0; trial = 0; max_steps = 100_000 }
+  in
+  Alcotest.(check int) "clementi broadcast" 15 cl.Baselines.Clementi.steps
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "prng stream" `Quick test_prng_stream;
+          Alcotest.test_case "walk endpoint" `Quick test_walk_endpoint;
+          Alcotest.test_case "engine completion times" `Quick
+            test_engine_completion_times;
+          Alcotest.test_case "satellite simulators" `Quick
+            test_satellite_simulators;
+        ] );
+    ]

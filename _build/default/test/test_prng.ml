@@ -1,0 +1,387 @@
+(* Unit and property tests for the Prng module. *)
+
+let draws n f rng = Array.init n (fun _ -> f rng)
+
+(* --- determinism and stream relationships --- *)
+
+let test_same_seed_same_sequence () =
+  let a = Prng.of_seed 42 and b = Prng.of_seed 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same output" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_different_seeds_differ () =
+  let a = Prng.of_seed 1 and b = Prng.of_seed 2 in
+  let da = draws 16 Prng.bits64 a and db = draws 16 Prng.bits64 b in
+  Alcotest.(check bool) "sequences differ" true (da <> db)
+
+let test_zero_seed_not_degenerate () =
+  let rng = Prng.of_seed 0 in
+  let outputs = draws 32 Prng.bits64 rng in
+  Alcotest.(check bool) "not all zero" true
+    (Array.exists (fun v -> v <> 0L) outputs);
+  (* not all equal either *)
+  Alcotest.(check bool) "not constant" true
+    (Array.exists (fun v -> v <> outputs.(0)) outputs)
+
+let test_copy_shares_future () =
+  let a = Prng.of_seed 7 in
+  ignore (draws 10 Prng.bits64 a);
+  let b = Prng.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copies agree" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_split_independent_of_parent () =
+  let parent = Prng.of_seed 11 in
+  let child = Prng.split parent in
+  let p = draws 64 Prng.bits64 parent and c = draws 64 Prng.bits64 child in
+  Alcotest.(check bool) "child differs from parent" true (p <> c)
+
+let test_split_deterministic () =
+  let mk () =
+    let parent = Prng.of_seed 13 in
+    let child = Prng.split parent in
+    draws 16 Prng.bits64 child
+  in
+  Alcotest.(check bool) "same parent state, same child" true (mk () = mk ())
+
+let test_fingerprint_does_not_advance () =
+  let a = Prng.of_seed 3 in
+  let fp1 = Prng.fingerprint a in
+  let fp2 = Prng.fingerprint a in
+  Alcotest.(check int64) "fingerprint is stable" fp1 fp2;
+  let next = Prng.bits64 a in
+  let b = Prng.of_seed 3 in
+  Alcotest.(check int64) "stream unaffected" (Prng.bits64 b) next
+
+(* --- bounded integers --- *)
+
+let test_int_in_bounds () =
+  let rng = Prng.of_seed 5 in
+  List.iter
+    (fun bound ->
+      for _ = 1 to 1000 do
+        let v = Prng.int rng bound in
+        Alcotest.(check bool)
+          (Printf.sprintf "0 <= %d < %d" v bound)
+          true
+          (v >= 0 && v < bound)
+      done)
+    [ 1; 2; 3; 7; 8; 100; 1 lsl 20 ]
+
+let test_int_invalid () =
+  let rng = Prng.of_seed 5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0));
+  Alcotest.check_raises "negative bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int rng (-3)))
+
+let test_int_uniform () =
+  let rng = Prng.of_seed 17 in
+  let buckets = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let v = Prng.int rng 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  let expected = n / 8 in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d near uniform (%d)" i c)
+        true
+        (abs (c - expected) < expected / 10))
+    buckets
+
+let test_int_non_power_of_two_uniform () =
+  (* the rejection path: modulo bias would overweight small residues *)
+  let rng = Prng.of_seed 23 in
+  let buckets = Array.make 5 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Prng.int rng 5 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  let expected = n / 5 in
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "unbiased" true (abs (c - expected) < expected / 10))
+    buckets
+
+let test_int_incl () =
+  let rng = Prng.of_seed 31 in
+  let saw_lo = ref false and saw_hi = ref false in
+  for _ = 1 to 2000 do
+    let v = Prng.int_incl rng (-3) 3 in
+    Alcotest.(check bool) "in range" true (v >= -3 && v <= 3);
+    if v = -3 then saw_lo := true;
+    if v = 3 then saw_hi := true
+  done;
+  Alcotest.(check bool) "lower endpoint reachable" true !saw_lo;
+  Alcotest.(check bool) "upper endpoint reachable" true !saw_hi;
+  Alcotest.(check int) "degenerate range" 9 (Prng.int_incl rng 9 9);
+  Alcotest.check_raises "empty range" (Invalid_argument "Prng.int_incl: empty range")
+    (fun () -> ignore (Prng.int_incl rng 2 1))
+
+let test_bits30 () =
+  let rng = Prng.of_seed 37 in
+  for _ = 1 to 1000 do
+    let v = Prng.bits30 rng in
+    Alcotest.(check bool) "30-bit range" true (v >= 0 && v < 1 lsl 30)
+  done
+
+(* --- floats --- *)
+
+let test_unit_float_range () =
+  let rng = Prng.of_seed 41 in
+  for _ = 1 to 10_000 do
+    let v = Prng.unit_float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0. && v < 1.)
+  done
+
+let test_unit_float_mean () =
+  let rng = Prng.of_seed 43 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.unit_float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.4f near 0.5" mean)
+    true
+    (Float.abs (mean -. 0.5) < 0.01)
+
+let test_float_bounds () =
+  let rng = Prng.of_seed 47 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0. && v < 2.5)
+  done;
+  Alcotest.check_raises "negative bound"
+    (Invalid_argument "Prng.float: bound must be positive and finite")
+    (fun () -> ignore (Prng.float rng (-1.)));
+  Alcotest.check_raises "infinite bound"
+    (Invalid_argument "Prng.float: bound must be positive and finite")
+    (fun () -> ignore (Prng.float rng infinity))
+
+(* --- distributions --- *)
+
+let test_bernoulli_endpoints () =
+  let rng = Prng.of_seed 53 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never true" false (Prng.bernoulli rng ~p:0.);
+    Alcotest.(check bool) "p=1 always true" true (Prng.bernoulli rng ~p:1.)
+  done;
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Prng.bernoulli: p not in [0,1]") (fun () ->
+      ignore (Prng.bernoulli rng ~p:1.5))
+
+let test_bernoulli_frequency () =
+  let rng = Prng.of_seed 59 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Prng.bernoulli rng ~p:0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "freq %.3f near 0.3" freq)
+    true
+    (Float.abs (freq -. 0.3) < 0.01)
+
+let test_geometric () =
+  let rng = Prng.of_seed 61 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "p=1 is always 0" 0 (Prng.geometric rng ~p:1.)
+  done;
+  let n = 50_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    let v = Prng.geometric rng ~p:0.5 in
+    Alcotest.(check bool) "non-negative" true (v >= 0);
+    sum := !sum + v
+  done;
+  (* mean of failures-before-success at p = 1/2 is 1 *)
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f near 1.0" mean)
+    true
+    (Float.abs (mean -. 1.0) < 0.05);
+  Alcotest.check_raises "p = 0 rejected"
+    (Invalid_argument "Prng.geometric: p not in (0,1]") (fun () ->
+      ignore (Prng.geometric rng ~p:0.))
+
+let test_exponential () =
+  let rng = Prng.of_seed 67 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let v = Prng.exponential rng ~rate:2. in
+    Alcotest.(check bool) "non-negative" true (v >= 0.);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.4f near 0.5" mean)
+    true
+    (Float.abs (mean -. 0.5) < 0.02)
+
+let test_gaussian () =
+  let rng = Prng.of_seed 71 in
+  let n = 50_000 in
+  let acc = Stats.Online.create () in
+  for _ = 1 to n do
+    Stats.Online.add acc (Prng.gaussian rng ~mean:3. ~stddev:2.)
+  done;
+  Alcotest.(check bool) "mean near 3" true
+    (Float.abs (Stats.Online.mean acc -. 3.) < 0.05);
+  Alcotest.(check bool) "stddev near 2" true
+    (Float.abs (Stats.Online.stddev acc -. 2.) < 0.05)
+
+(* --- array operations --- *)
+
+let test_choose () =
+  let rng = Prng.of_seed 73 in
+  Alcotest.(check int) "singleton" 9 (Prng.choose rng [| 9 |]);
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (Array.mem (Prng.choose rng arr) arr)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.choose: empty array")
+    (fun () -> ignore (Prng.choose rng [||]))
+
+let test_shuffle_permutation () =
+  let rng = Prng.of_seed 79 in
+  let arr = Array.init 50 (fun i -> i) in
+  let original = Array.copy arr in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" original sorted
+
+let test_shuffle_uniform_first () =
+  (* first element after shuffling [0;1;2;3] should be near-uniform *)
+  let rng = Prng.of_seed 83 in
+  let counts = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let arr = [| 0; 1; 2; 3 |] in
+    Prng.shuffle rng arr;
+    counts.(arr.(0)) <- counts.(arr.(0)) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "near uniform" true
+        (abs (c - (n / 4)) < n / 40))
+    counts
+
+let test_sample_distinct () =
+  let rng = Prng.of_seed 89 in
+  let sample = Prng.sample_distinct rng ~m:10 ~bound:100 in
+  Alcotest.(check int) "length" 10 (Array.length sample);
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "in bound" true (v >= 0 && v < 100);
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem seen v);
+      Hashtbl.replace seen v ())
+    sample;
+  (* m = bound must return a permutation of the whole range *)
+  let full = Prng.sample_distinct rng ~m:20 ~bound:20 in
+  let sorted = Array.copy full in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "full range" (Array.init 20 (fun i -> i)) sorted;
+  Alcotest.(check (array int)) "m = 0" [||]
+    (Prng.sample_distinct rng ~m:0 ~bound:5);
+  Alcotest.check_raises "m > bound"
+    (Invalid_argument "Prng.sample_distinct: m exceeds bound") (fun () ->
+      ignore (Prng.sample_distinct rng ~m:6 ~bound:5))
+
+(* --- qcheck properties --- *)
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"int always within bound" ~count:1000
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Prng.of_seed seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_sample_distinct =
+  QCheck.Test.make ~name:"sample_distinct yields distinct values" ~count:300
+    QCheck.(pair small_int (int_range 1 200))
+    (fun (seed, bound) ->
+      let rng = Prng.of_seed seed in
+      let m = min bound ((seed land 0xFF) mod (bound + 1)) in
+      let sample = Prng.sample_distinct rng ~m ~bound in
+      let unique = List.sort_uniq compare (Array.to_list sample) in
+      List.length unique = m)
+
+let prop_int_incl_endpoints =
+  QCheck.Test.make ~name:"int_incl stays within closed range" ~count:1000
+    QCheck.(triple small_int (int_range (-1000) 1000) (int_range 0 2000))
+    (fun (seed, lo, span) ->
+      let hi = lo + span in
+      let rng = Prng.of_seed seed in
+      let v = Prng.int_incl rng lo hi in
+      v >= lo && v <= hi)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "streams",
+        [
+          Alcotest.test_case "same seed, same sequence" `Quick
+            test_same_seed_same_sequence;
+          Alcotest.test_case "different seeds differ" `Quick
+            test_different_seeds_differ;
+          Alcotest.test_case "zero seed is fine" `Quick
+            test_zero_seed_not_degenerate;
+          Alcotest.test_case "copy shares future" `Quick test_copy_shares_future;
+          Alcotest.test_case "split is independent" `Quick
+            test_split_independent_of_parent;
+          Alcotest.test_case "split is deterministic" `Quick
+            test_split_deterministic;
+          Alcotest.test_case "fingerprint side-effect free" `Quick
+            test_fingerprint_does_not_advance;
+        ] );
+      ( "integers",
+        [
+          Alcotest.test_case "int in bounds" `Quick test_int_in_bounds;
+          Alcotest.test_case "int rejects bad bounds" `Quick test_int_invalid;
+          Alcotest.test_case "int uniform (pow2)" `Slow test_int_uniform;
+          Alcotest.test_case "int uniform (non-pow2)" `Slow
+            test_int_non_power_of_two_uniform;
+          Alcotest.test_case "int_incl" `Quick test_int_incl;
+          Alcotest.test_case "bits30" `Quick test_bits30;
+        ] );
+      ( "floats",
+        [
+          Alcotest.test_case "unit_float range" `Quick test_unit_float_range;
+          Alcotest.test_case "unit_float mean" `Slow test_unit_float_mean;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "bernoulli endpoints" `Quick
+            test_bernoulli_endpoints;
+          Alcotest.test_case "bernoulli frequency" `Slow
+            test_bernoulli_frequency;
+          Alcotest.test_case "geometric" `Slow test_geometric;
+          Alcotest.test_case "exponential" `Slow test_exponential;
+          Alcotest.test_case "gaussian" `Slow test_gaussian;
+        ] );
+      ( "arrays",
+        [
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+          Alcotest.test_case "shuffle uniform" `Slow test_shuffle_uniform_first;
+          Alcotest.test_case "sample_distinct" `Quick test_sample_distinct;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_int_in_range; prop_sample_distinct; prop_int_incl_endpoints ] );
+    ]

@@ -1,0 +1,148 @@
+(* Tests for the ASCII renderer. *)
+
+module Config = Mobile_network.Config
+module Simulation = Mobile_network.Simulation
+module Domain = Barriers.Domain
+
+let lines s = String.split_on_char '\n' (String.trim s)
+
+(* frame output minus its header line (the header contains letters that
+   collide with agent glyphs) *)
+let body s =
+  match lines s with _ :: rows -> String.concat "\n" rows | [] -> ""
+
+
+let test_frame_dimensions () =
+  let sim = Simulation.create (Config.make ~side:32 ~agents:5 ()) in
+  let s = Render.frame ~max_width:16 sim in
+  match lines s with
+  | header :: rows ->
+      Alcotest.(check bool) "header mentions time" true
+        (String.length header > 0 && header.[0] = 't');
+      Alcotest.(check int) "16 rows" 16 (List.length rows);
+      List.iter
+        (fun row -> Alcotest.(check int) "16 cols" 16 (String.length row))
+        rows
+  | [] -> Alcotest.fail "empty frame"
+
+let test_frame_shows_all_agents () =
+  (* 5 agents: the frame must contain at least one agent glyph and the
+     source must render informed *)
+  let sim = Simulation.create (Config.make ~side:16 ~agents:5 ~seed:3 ()) in
+  let s = body (Render.frame ~max_width:16 sim) in
+  Alcotest.(check bool) "has informed glyph" true (String.contains s '#');
+  let glyphs =
+    String.fold_left
+      (fun acc c -> if c = '#' || c = 'o' then acc + 1 else acc)
+      0 s
+  in
+  Alcotest.(check bool) "agent glyphs within [1, 5]" true
+    (glyphs >= 1 && glyphs <= 5)
+
+let test_frame_full_resolution_when_small () =
+  let sim = Simulation.create (Config.make ~side:8 ~agents:2 ()) in
+  let s = Render.frame ~max_width:64 sim in
+  match lines s with
+  | _ :: rows -> Alcotest.(check int) "one char per node" 8 (List.length rows)
+  | [] -> Alcotest.fail "empty frame"
+
+let test_frame_all_informed_at_completion () =
+  let sim = Simulation.create (Config.make ~side:10 ~agents:4 ()) in
+  ignore (Simulation.run sim);
+  let s = body (Render.frame sim) in
+  Alcotest.(check bool) "no uninformed glyph left" false
+    (String.contains s 'o');
+  Alcotest.(check bool) "informed glyphs present" true (String.contains s '#')
+
+let test_domain_ascii () =
+  let d = Domain.central_wall (Grid.create ~side:10 ()) ~gap:2 in
+  let s = Render.domain_ascii ~max_width:10 d in
+  Alcotest.(check bool) "wall rendered" true (String.contains s '%');
+  Alcotest.(check bool) "free space rendered" true (String.contains s '.');
+  Alcotest.(check int) "10 rows" 10 (List.length (lines s))
+
+let test_domain_ascii_open () =
+  let d = Domain.unobstructed (Grid.create ~side:6 ()) in
+  let s = Render.domain_ascii ~max_width:6 d in
+  Alcotest.(check bool) "no walls" false (String.contains s '%')
+
+let test_domain_frame () =
+  let grid = Grid.create ~side:10 () in
+  let d = Domain.central_wall grid ~gap:2 in
+  let positions = [| Grid.index grid ~x:0 ~y:0; Grid.index grid ~x:9 ~y:9 |] in
+  let s =
+    Render.domain_frame ~max_width:10 d ~positions ~informed:(fun i -> i = 0)
+  in
+  Alcotest.(check bool) "informed glyph" true (String.contains s '#');
+  Alcotest.(check bool) "uninformed glyph" true (String.contains s 'o');
+  Alcotest.(check bool) "wall glyph" true (String.contains s '%');
+  (* y grows upward: the informed agent at (0,0) must be on the LAST
+     line, the uninformed one at (9,9) on the first *)
+  (match lines s with
+  | first :: _ -> Alcotest.(check bool) "top row holds (9,9)" true
+      (String.contains first 'o')
+  | [] -> Alcotest.fail "empty");
+  match List.rev (lines s) with
+  | last :: _ ->
+      Alcotest.(check bool) "bottom row holds (0,0)" true
+        (String.contains last '#')
+  | [] -> Alcotest.fail "empty"
+
+let test_downsampled_blocks () =
+  (* 32x32 grid at max_width 8: one char covers 4x4 nodes; an informed
+     agent anywhere in a block must mark that block *)
+  let grid = Grid.create ~side:32 () in
+  let d = Domain.unobstructed grid in
+  let positions = [| Grid.index grid ~x:2 ~y:1; Grid.index grid ~x:30 ~y:31 |] in
+  let s =
+    Render.domain_frame ~max_width:8 d ~positions ~informed:(fun i -> i = 1)
+  in
+  let rows = lines s in
+  Alcotest.(check int) "8 rows" 8 (List.length rows);
+  (* agent 0 (uninformed) is in block (0,0) -> bottom-left; agent 1
+     (informed) in block (7,7) -> top-right *)
+  (match rows with
+  | first :: _ ->
+      Alcotest.(check char) "top-right informed" '#'
+        first.[String.length first - 1]
+  | [] -> Alcotest.fail "empty");
+  (match List.rev rows with
+  | last :: _ -> Alcotest.(check char) "bottom-left uninformed" 'o' last.[0]
+  | [] -> Alcotest.fail "empty");
+  (* majority-blocked background: a domain with a fully blocked half *)
+  let half =
+    Domain.with_rectangles grid ~rects:[ { Domain.x = 0; y = 0; w = 32; h = 16 } ]
+  in
+  let map = Render.domain_ascii ~max_width:8 half in
+  let map_rows = lines map in
+  Alcotest.(check char) "blocked half renders walls" '%'
+    (List.nth map_rows 7).[0];
+  Alcotest.(check char) "free half renders floor" '.' (List.hd map_rows).[0]
+
+let test_deterministic () =
+  let sim = Simulation.create (Config.make ~side:12 ~agents:3 ~seed:5 ()) in
+  Alcotest.(check string) "same state, same frame" (Render.frame sim)
+    (Render.frame sim)
+
+let () =
+  Alcotest.run "render"
+    [
+      ( "frames",
+        [
+          Alcotest.test_case "dimensions" `Quick test_frame_dimensions;
+          Alcotest.test_case "agents visible" `Quick
+            test_frame_shows_all_agents;
+          Alcotest.test_case "full resolution" `Quick
+            test_frame_full_resolution_when_small;
+          Alcotest.test_case "completion" `Quick
+            test_frame_all_informed_at_completion;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "downsampling" `Quick test_downsampled_blocks;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "walls" `Quick test_domain_ascii;
+          Alcotest.test_case "open" `Quick test_domain_ascii_open;
+          Alcotest.test_case "frame with agents" `Quick test_domain_frame;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* Tests for the Rumor_set bitset. *)
+
+module R = Mobile_network.Rumor_set
+
+let test_create_empty () =
+  let s = R.create ~capacity:10 in
+  Alcotest.(check int) "capacity" 10 (R.capacity s);
+  Alcotest.(check int) "cardinal" 0 (R.cardinal s);
+  Alcotest.(check bool) "not full" false (R.is_full s);
+  for i = 0 to 9 do
+    Alcotest.(check bool) "no members" false (R.mem s i)
+  done;
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Rumor_set.create: negative capacity") (fun () ->
+      ignore (R.create ~capacity:(-1)))
+
+let test_zero_capacity () =
+  let s = R.create ~capacity:0 in
+  Alcotest.(check bool) "empty set of nothing is full" true (R.is_full s);
+  Alcotest.(check int) "cardinal" 0 (R.cardinal s)
+
+let test_add_and_mem () =
+  let s = R.create ~capacity:20 in
+  Alcotest.(check int) "first add returns 1" 1 (R.add s 7);
+  Alcotest.(check int) "repeat add returns 0" 0 (R.add s 7);
+  Alcotest.(check bool) "member" true (R.mem s 7);
+  Alcotest.(check bool) "non-member" false (R.mem s 8);
+  Alcotest.(check int) "cardinal tracks" 1 (R.cardinal s);
+  Alcotest.check_raises "out of range" (Invalid_argument "Rumor_set: id out of range")
+    (fun () -> ignore (R.add s 20));
+  Alcotest.check_raises "negative" (Invalid_argument "Rumor_set: id out of range")
+    (fun () -> ignore (R.mem s (-1)))
+
+let test_singleton () =
+  let s = R.singleton ~capacity:5 3 in
+  Alcotest.(check int) "cardinal" 1 (R.cardinal s);
+  Alcotest.(check bool) "member" true (R.mem s 3)
+
+let test_full () =
+  let s = R.create ~capacity:9 in
+  for i = 0 to 8 do
+    ignore (R.add s i)
+  done;
+  Alcotest.(check bool) "full" true (R.is_full s);
+  Alcotest.(check int) "cardinal" 9 (R.cardinal s)
+
+let test_union_into () =
+  let a = R.create ~capacity:16 and b = R.create ~capacity:16 in
+  List.iter (fun i -> ignore (R.add a i)) [ 0; 3; 9; 15 ];
+  List.iter (fun i -> ignore (R.add b i)) [ 3; 4; 15 ];
+  let added = R.union_into ~src:a ~dst:b in
+  Alcotest.(check int) "two new rumors" 2 added;
+  Alcotest.(check int) "b cardinal" 5 (R.cardinal b);
+  List.iter
+    (fun i -> Alcotest.(check bool) "b has all" true (R.mem b i))
+    [ 0; 3; 4; 9; 15 ];
+  (* src unchanged *)
+  Alcotest.(check int) "a unchanged" 4 (R.cardinal a);
+  Alcotest.(check bool) "a lacks 4" false (R.mem a 4);
+  (* idempotent *)
+  Alcotest.(check int) "repeat union adds nothing" 0
+    (R.union_into ~src:a ~dst:b)
+
+let test_union_capacity_mismatch () =
+  let a = R.create ~capacity:8 and b = R.create ~capacity:9 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Rumor_set.union_into: capacity mismatch") (fun () ->
+      ignore (R.union_into ~src:a ~dst:b))
+
+let test_copy_independent () =
+  let a = R.singleton ~capacity:4 1 in
+  let b = R.copy a in
+  ignore (R.add b 2);
+  Alcotest.(check int) "copy gained" 2 (R.cardinal b);
+  Alcotest.(check int) "original untouched" 1 (R.cardinal a);
+  Alcotest.(check bool) "equality after copy diverges" false (R.equal a b)
+
+let test_equal () =
+  let a = R.create ~capacity:12 and b = R.create ~capacity:12 in
+  Alcotest.(check bool) "both empty" true (R.equal a b);
+  ignore (R.add a 5);
+  Alcotest.(check bool) "differ" false (R.equal a b);
+  ignore (R.add b 5);
+  Alcotest.(check bool) "equal again" true (R.equal a b);
+  let c = R.create ~capacity:13 in
+  Alcotest.(check bool) "capacity mismatch unequal" false (R.equal a c)
+
+let test_iter_order () =
+  let s = R.create ~capacity:30 in
+  List.iter (fun i -> ignore (R.add s i)) [ 17; 2; 29; 0 ];
+  let seen = ref [] in
+  R.iter s ~f:(fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "increasing order" [ 0; 2; 17; 29 ]
+    (List.rev !seen)
+
+(* --- qcheck: bitset behaves like a reference implementation (int sets) --- *)
+
+let ops_gen capacity =
+  QCheck.(list_of_size (Gen.int_range 0 60) (int_range 0 (capacity - 1)))
+
+let prop_matches_reference =
+  let capacity = 37 in
+  QCheck.Test.make ~name:"add/mem/cardinal match a reference set" ~count:300
+    (ops_gen capacity) (fun adds ->
+      let s = R.create ~capacity in
+      let reference = Hashtbl.create 32 in
+      List.iter
+        (fun i ->
+          let fresh = not (Hashtbl.mem reference i) in
+          Hashtbl.replace reference i ();
+          let added = R.add s i in
+          assert ((added = 1) = fresh))
+        adds;
+      R.cardinal s = Hashtbl.length reference
+      && List.for_all (fun i -> R.mem s i) adds)
+
+let prop_union_cardinal =
+  let capacity = 41 in
+  QCheck.Test.make ~name:"union cardinal = |a U b|" ~count:300
+    QCheck.(pair (ops_gen capacity) (ops_gen capacity))
+    (fun (xs, ys) ->
+      let a = R.create ~capacity and b = R.create ~capacity in
+      List.iter (fun i -> ignore (R.add a i)) xs;
+      List.iter (fun i -> ignore (R.add b i)) ys;
+      ignore (R.union_into ~src:a ~dst:b);
+      let expected = List.sort_uniq compare (xs @ ys) in
+      R.cardinal b = List.length expected
+      && List.for_all (fun i -> R.mem b i) expected)
+
+let () =
+  Alcotest.run "rumor_set"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "create" `Quick test_create_empty;
+          Alcotest.test_case "zero capacity" `Quick test_zero_capacity;
+          Alcotest.test_case "add and mem" `Quick test_add_and_mem;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "full set" `Quick test_full;
+        ] );
+      ( "unions",
+        [
+          Alcotest.test_case "union_into" `Quick test_union_into;
+          Alcotest.test_case "capacity mismatch" `Quick
+            test_union_capacity_mismatch;
+          Alcotest.test_case "copy independent" `Quick test_copy_independent;
+          Alcotest.test_case "equal" `Quick test_equal;
+          Alcotest.test_case "iter in order" `Quick test_iter_order;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_matches_reference; prop_union_cardinal ] );
+    ]

@@ -1,0 +1,206 @@
+(* Tests for the bucket-grid spatial index, validated against a brute
+   force O(k^2) pair scan. *)
+
+let brute_pairs grid ~radius positions =
+  let k = Array.length positions in
+  let out = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      if Grid.manhattan grid positions.(i) positions.(j) <= radius then
+        out := (i, j) :: !out
+    done
+  done;
+  List.sort compare !out
+
+let index_pairs grid ~radius positions =
+  let index = Spatial.create grid ~radius in
+  Spatial.rebuild index ~positions;
+  let out = ref [] in
+  Spatial.iter_close_pairs index ~f:(fun i j -> out := (i, j) :: !out);
+  List.sort compare !out
+
+let test_matches_brute_force_various () =
+  let grid = Grid.create ~side:20 () in
+  let rng = Prng.of_seed 100 in
+  List.iter
+    (fun (k, radius) ->
+      for _ = 1 to 10 do
+        let positions = Array.init k (fun _ -> Grid.random_node grid rng) in
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "k=%d r=%d" k radius)
+          (brute_pairs grid ~radius positions)
+          (index_pairs grid ~radius positions)
+      done)
+    [ (1, 0); (2, 0); (10, 0); (10, 1); (20, 3); (40, 5); (15, 19); (30, 40) ]
+
+let test_radius_zero_cohabitation () =
+  let grid = Grid.create ~side:4 () in
+  (* agents 0,2 share a node; 1 is alone; 3,4,5 share another *)
+  let positions = [| 5; 7; 5; 9; 9; 9 |] in
+  let pairs = index_pairs grid ~radius:0 positions in
+  Alcotest.(check (list (pair int int)))
+    "exact cohabitation"
+    [ (0, 2); (3, 4); (3, 5); (4, 5) ]
+    pairs
+
+let test_pairs_ordered_and_unique () =
+  let grid = Grid.create ~side:10 () in
+  let rng = Prng.of_seed 7 in
+  let positions = Array.init 30 (fun _ -> Grid.random_node grid rng) in
+  let index = Spatial.create grid ~radius:4 in
+  Spatial.rebuild index ~positions;
+  let seen = Hashtbl.create 64 in
+  Spatial.iter_close_pairs index ~f:(fun i j ->
+      Alcotest.(check bool) "i < j" true (i < j);
+      Alcotest.(check bool) "no duplicates" false (Hashtbl.mem seen (i, j));
+      Hashtbl.replace seen (i, j) ())
+
+let test_count_close_pairs () =
+  let grid = Grid.create ~side:12 () in
+  let rng = Prng.of_seed 9 in
+  let positions = Array.init 25 (fun _ -> Grid.random_node grid rng) in
+  let index = Spatial.create grid ~radius:2 in
+  Spatial.rebuild index ~positions;
+  Alcotest.(check int) "count = brute force"
+    (List.length (brute_pairs grid ~radius:2 positions))
+    (Spatial.count_close_pairs index)
+
+let test_rebuild_replaces () =
+  let grid = Grid.create ~side:6 () in
+  let index = Spatial.create grid ~radius:0 in
+  Spatial.rebuild index ~positions:[| 0; 0 |];
+  Alcotest.(check int) "one pair" 1 (Spatial.count_close_pairs index);
+  Spatial.rebuild index ~positions:[| 0; 35 |];
+  Alcotest.(check int) "pairs replaced" 0 (Spatial.count_close_pairs index)
+
+let test_radius_getter_and_invalid () =
+  let grid = Grid.create ~side:6 () in
+  let index = Spatial.create grid ~radius:3 in
+  Alcotest.(check int) "radius" 3 (Spatial.radius index);
+  Alcotest.check_raises "negative radius"
+    (Invalid_argument "Spatial.create: negative radius") (fun () ->
+      ignore (Spatial.create grid ~radius:(-1)))
+
+let test_iter_agents_near () =
+  let grid = Grid.create ~side:15 () in
+  let rng = Prng.of_seed 21 in
+  let positions = Array.init 30 (fun _ -> Grid.random_node grid rng) in
+  let index = Spatial.create grid ~radius:2 in
+  Spatial.rebuild index ~positions;
+  for probe = 0 to Grid.nodes grid - 1 do
+    if probe mod 17 = 0 then begin
+      let range = 4 in
+      let expected =
+        List.sort compare
+          (List.filteri (fun _ _ -> true)
+             (List.filter_map
+                (fun i ->
+                  if Grid.manhattan grid probe positions.(i) <= range then
+                    Some i
+                  else None)
+                (List.init 30 (fun i -> i))))
+      in
+      let got = ref [] in
+      Spatial.iter_agents_near index probe ~range ~f:(fun i ->
+          got := i :: !got);
+      Alcotest.(check (list int))
+        (Printf.sprintf "agents near node %d" probe)
+        expected
+        (List.sort compare !got)
+    end
+  done
+
+let test_iter_agents_near_invalid () =
+  let grid = Grid.create ~side:6 () in
+  let index = Spatial.create grid ~radius:1 in
+  Spatial.rebuild index ~positions:[| 0 |];
+  Alcotest.check_raises "negative range"
+    (Invalid_argument "Spatial.iter_agents_near: negative range") (fun () ->
+      Spatial.iter_agents_near index 0 ~range:(-1) ~f:(fun _ -> ()))
+
+(* --- qcheck: randomized agreement with brute force --- *)
+
+let prop_agreement =
+  QCheck.Test.make ~name:"index pairs = brute-force pairs" ~count:200
+    QCheck.(
+      quad (int_range 2 25) (int_range 1 40) (int_range 0 12) small_int)
+    (fun (side, k, radius, seed) ->
+      let grid = Grid.create ~side () in
+      let rng = Prng.of_seed seed in
+      let positions = Array.init k (fun _ -> Grid.random_node grid rng) in
+      brute_pairs grid ~radius positions = index_pairs grid ~radius positions)
+
+let prop_pair_distance =
+  QCheck.Test.make ~name:"reported pairs are within radius" ~count:200
+    QCheck.(quad (int_range 2 20) (int_range 1 30) (int_range 0 8) small_int)
+    (fun (side, k, radius, seed) ->
+      let grid = Grid.create ~side () in
+      let rng = Prng.of_seed seed in
+      let positions = Array.init k (fun _ -> Grid.random_node grid rng) in
+      let index = Spatial.create grid ~radius in
+      Spatial.rebuild index ~positions;
+      let ok = ref true in
+      Spatial.iter_close_pairs index ~f:(fun i j ->
+          if Grid.manhattan grid positions.(i) positions.(j) > radius then
+            ok := false);
+      !ok)
+
+let test_iter_agents_near_torus () =
+  let grid = Grid.create ~topology:Grid.Torus ~side:10 () in
+  let rng = Prng.of_seed 31 in
+  let positions = Array.init 20 (fun _ -> Grid.random_node grid rng) in
+  let index = Spatial.create grid ~radius:2 in
+  Spatial.rebuild index ~positions;
+  let probe = Grid.index grid ~x:0 ~y:0 in
+  let range = 3 in
+  let expected =
+    List.sort compare
+      (List.filter_map
+         (fun i ->
+           if Grid.manhattan grid probe positions.(i) <= range then Some i
+           else None)
+         (List.init 20 (fun i -> i)))
+  in
+  let got = ref [] in
+  Spatial.iter_agents_near index probe ~range ~f:(fun i -> got := i :: !got);
+  Alcotest.(check (list int)) "wrap-aware query" expected
+    (List.sort compare !got)
+
+let prop_torus_agreement =
+  QCheck.Test.make ~name:"torus index pairs = brute-force (wrap distances)"
+    ~count:200
+    QCheck.(
+      quad (int_range 3 25) (int_range 1 40) (int_range 0 12) small_int)
+    (fun (side, k, radius, seed) ->
+      let grid = Grid.create ~topology:Grid.Torus ~side () in
+      let rng = Prng.of_seed seed in
+      let positions = Array.init k (fun _ -> Grid.random_node grid rng) in
+      brute_pairs grid ~radius positions = index_pairs grid ~radius positions)
+
+let () =
+  Alcotest.run "spatial"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "matches brute force" `Quick
+            test_matches_brute_force_various;
+          Alcotest.test_case "radius 0 cohabitation" `Quick
+            test_radius_zero_cohabitation;
+          Alcotest.test_case "pairs ordered, unique" `Quick
+            test_pairs_ordered_and_unique;
+          Alcotest.test_case "count" `Quick test_count_close_pairs;
+          Alcotest.test_case "rebuild replaces" `Quick test_rebuild_replaces;
+          Alcotest.test_case "radius getter / invalid" `Quick
+            test_radius_getter_and_invalid;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "agents near node" `Quick test_iter_agents_near;
+          Alcotest.test_case "invalid range" `Quick
+            test_iter_agents_near_invalid;
+          Alcotest.test_case "torus query" `Quick test_iter_agents_near_torus;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_agreement; prop_pair_distance; prop_torus_agreement ] );
+    ]

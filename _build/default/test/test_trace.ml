@@ -1,0 +1,180 @@
+(* Tests for the trace capture / serialization / validation pipeline. *)
+
+module Config = Mobile_network.Config
+module Protocol = Mobile_network.Protocol
+
+let capture ?(protocol = Protocol.Broadcast) ?(side = 12) ?(agents = 5)
+    ?(seed = 0) ?max_steps () =
+  Trace.capture (Config.make ~side ~agents ~protocol ~seed ?max_steps ())
+
+let test_capture_basics () =
+  let t = capture () in
+  Alcotest.(check int) "population" 5 t.Trace.population;
+  Alcotest.(check int) "nodes" 144 t.Trace.nodes;
+  Alcotest.(check string) "protocol" "broadcast" t.Trace.protocol;
+  Alcotest.(check bool) "completed" true t.Trace.completed;
+  Alcotest.(check bool) "has entries" true (Array.length t.Trace.entries > 1);
+  let last = t.Trace.entries.(Array.length t.Trace.entries - 1) in
+  Alcotest.(check int) "all informed at the end" 5 last.Trace.informed
+
+let test_capture_timeout () =
+  let t = capture ~side:24 ~agents:3 ~max_steps:2 () in
+  Alcotest.(check bool) "timed out" false t.Trace.completed;
+  Alcotest.(check int) "entries = cap + 1" 3 (Array.length t.Trace.entries)
+
+let test_captured_trace_validates () =
+  List.iter
+    (fun protocol ->
+      let t = capture ~protocol () in
+      match Trace.validate t with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "%s trace failed validation: %s"
+            (Protocol.to_string protocol)
+            e)
+    [ Protocol.Broadcast; Protocol.Gossip; Protocol.Frog;
+      Protocol.Broadcast_cover; Protocol.Cover_walks;
+      Protocol.Predator_prey { preys = 3 } ]
+
+let test_roundtrip () =
+  let t = capture ~seed:7 () in
+  let text = Trace.to_jsonl t in
+  match Trace.of_jsonl text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok t' ->
+      Alcotest.(check bool) "roundtrip equal" true (Trace.equal t t');
+      (* and the re-parsed trace still validates *)
+      Alcotest.(check bool) "revalidates" true
+        (match Trace.validate t' with Ok () -> true | Error _ -> false)
+
+let test_jsonl_shape () =
+  let t = capture () in
+  let text = Trace.to_jsonl t in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+  in
+  Alcotest.(check int) "one line per entry plus header"
+    (Array.length t.Trace.entries + 1)
+    (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "JSON object lines" true
+        (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines
+
+let test_parse_errors () =
+  (match Trace.of_jsonl "" with
+  | Error e -> Alcotest.(check string) "empty" "empty document" e
+  | Ok _ -> Alcotest.fail "empty accepted");
+  (match Trace.of_jsonl "not json\n" with
+  | Error e ->
+      Alcotest.(check bool) "header error mentions line 1" true
+        (String.length e >= 6 && String.sub e 0 6 = "line 1")
+  | Ok _ -> Alcotest.fail "junk accepted");
+  let t = capture () in
+  let text = Trace.to_jsonl t ^ "garbage\n" in
+  match Trace.of_jsonl text with
+  | Error e ->
+      Alcotest.(check bool) "entry error carries line number" true
+        (String.length e >= 4 && String.sub e 0 4 = "line")
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+
+let tampered t ~f =
+  let entries = Array.map (fun e -> e) t.Trace.entries in
+  f entries;
+  { t with Trace.entries }
+
+let test_validation_catches_tampering () =
+  let t = capture ~seed:3 () in
+  let broken label f =
+    let bad = tampered t ~f in
+    match Trace.validate bad with
+    | Ok () -> Alcotest.failf "%s not caught" label
+    | Error _ -> ()
+  in
+  broken "informed decrease" (fun e ->
+      let n = Array.length e in
+      e.(n - 1) <- { e.(n - 1) with Trace.informed = 0 });
+  broken "time gap" (fun e ->
+      e.(1) <- { e.(1) with Trace.time = 5 });
+  broken "informed overflow" (fun e ->
+      e.(0) <- { e.(0) with Trace.informed = 1000 });
+  broken "frontier out of grid" (fun e ->
+      e.(0) <- { e.(0) with Trace.frontier_x = 999 });
+  (* flipping the completion flag must also be caught for broadcast *)
+  let flag = { t with Trace.completed = false } in
+  (match Trace.validate flag with
+  | Ok () -> Alcotest.fail "completion flip not caught"
+  | Error _ -> ());
+  (* truncation: dropping the tail leaves informed < population *)
+  let truncated =
+    { t with Trace.entries = Array.sub t.Trace.entries 0 2 }
+  in
+  match Trace.validate truncated with
+  | Ok () -> Alcotest.fail "truncation not caught"
+  | Error _ -> ()
+
+let test_validate_accepts_timeout_trace () =
+  let t = capture ~side:24 ~agents:3 ~max_steps:4 () in
+  Alcotest.(check bool) "timeout trace is valid" true
+    (match Trace.validate t with Ok () -> true | Error _ -> false)
+
+let test_pp_summary () =
+  let t = capture () in
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  Trace.pp_summary fmt t;
+  Format.pp_print_flush fmt ();
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "mentions protocol" true
+    (String.length s > 0
+    && String.sub s 0 9 = "broadcast")
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"capture -> jsonl -> parse roundtrips" ~count:40
+    QCheck.(triple (int_range 4 12) (int_range 1 6) small_int)
+    (fun (side, agents, seed) ->
+      let t =
+        Trace.capture (Config.make ~side ~agents ~seed ~max_steps:200 ())
+      in
+      match Trace.of_jsonl (Trace.to_jsonl t) with
+      | Ok t' -> Trace.equal t t'
+      | Error _ -> false)
+
+let prop_captured_valid =
+  QCheck.Test.make ~name:"every captured trace validates" ~count:40
+    QCheck.(triple (int_range 4 12) (int_range 1 6) small_int)
+    (fun (side, agents, seed) ->
+      let t =
+        Trace.capture (Config.make ~side ~agents ~seed ~max_steps:200 ())
+      in
+      match Trace.validate t with Ok () -> true | Error _ -> false)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "capture",
+        [
+          Alcotest.test_case "basics" `Quick test_capture_basics;
+          Alcotest.test_case "timeout" `Quick test_capture_timeout;
+          Alcotest.test_case "all protocols validate" `Quick
+            test_captured_trace_validates;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "jsonl shape" `Quick test_jsonl_shape;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "catches tampering" `Quick
+            test_validation_catches_tampering;
+          Alcotest.test_case "accepts timeouts" `Quick
+            test_validate_accepts_timeout_trace;
+          Alcotest.test_case "summary" `Quick test_pp_summary;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_captured_valid ] );
+    ]

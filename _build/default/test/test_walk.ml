@@ -1,0 +1,363 @@
+(* Tests for the random-walk kernels: validity of single steps, the
+   paper's stationarity property, and the excursion statistics. *)
+
+let kernels = [ Walk.Lazy_one_fifth; Walk.Simple; Walk.Lazy_half ]
+
+let test_step_stays_on_grid () =
+  let grid = Grid.create ~side:6 () in
+  let rng = Prng.of_seed 3 in
+  List.iter
+    (fun kernel ->
+      for v = 0 to Grid.nodes grid - 1 do
+        for _ = 1 to 20 do
+          let u = Walk.step grid kernel rng v in
+          Alcotest.(check bool) "valid node" true (u >= 0 && u < 36);
+          Alcotest.(check bool) "moves at most 1" true
+            (Grid.manhattan grid v u <= 1)
+        done
+      done)
+    kernels
+
+let test_simple_never_stays () =
+  let grid = Grid.create ~side:5 () in
+  let rng = Prng.of_seed 5 in
+  for v = 0 to Grid.nodes grid - 1 do
+    for _ = 1 to 30 do
+      let u = Walk.step grid Walk.Simple rng v in
+      Alcotest.(check bool) "simple walk always moves" true (u <> v)
+    done
+  done
+
+let test_lazy_can_stay () =
+  let grid = Grid.create ~side:5 () in
+  let rng = Prng.of_seed 7 in
+  let stayed = ref false in
+  let v = Grid.center grid in
+  for _ = 1 to 200 do
+    if Walk.step grid Walk.Lazy_one_fifth rng v = v then stayed := true
+  done;
+  Alcotest.(check bool) "lazy walk sometimes stays" true !stayed
+
+let test_lazy_one_fifth_rates () =
+  (* from an interior node: each neighbour 1/5, stay 1/5 *)
+  let grid = Grid.create ~side:7 () in
+  let rng = Prng.of_seed 11 in
+  let v = Grid.center grid in
+  let counts = Hashtbl.create 8 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let u = Walk.step grid Walk.Lazy_one_fifth rng v in
+    Hashtbl.replace counts u
+      (1 + Option.value (Hashtbl.find_opt counts u) ~default:0)
+  done;
+  let expected = n / 5 in
+  Hashtbl.iter
+    (fun _ c ->
+      Alcotest.(check bool) "each outcome near 1/5" true
+        (abs (c - expected) < expected / 10))
+    counts;
+  Alcotest.(check int) "five outcomes" 5 (Hashtbl.length counts)
+
+let test_lazy_one_fifth_boundary_rates () =
+  (* from a corner (2 neighbours): each neighbour 1/5, stay 3/5 *)
+  let grid = Grid.create ~side:7 () in
+  let rng = Prng.of_seed 13 in
+  let corner = Grid.index grid ~x:0 ~y:0 in
+  let stay = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Walk.step grid Walk.Lazy_one_fifth rng corner = corner then incr stay
+  done;
+  let freq = float_of_int !stay /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "corner stay rate %.3f near 0.6" freq)
+    true
+    (Float.abs (freq -. 0.6) < 0.02)
+
+let test_uniform_stationarity () =
+  (* the paper's kernel preserves the uniform distribution: after many
+     steps the occupancy histogram stays flat *)
+  let side = 6 in
+  let grid = Grid.create ~side () in
+  let rng = Prng.of_seed 17 in
+  let walkers = 20_000 in
+  let steps = 30 in
+  let counts = Array.make (Grid.nodes grid) 0 in
+  for _ = 1 to walkers do
+    let start = Grid.random_node grid rng in
+    let finish = Walk.advance grid Walk.Lazy_one_fifth rng start ~steps in
+    counts.(finish) <- counts.(finish) + 1
+  done;
+  let expected = walkers / Grid.nodes grid in
+  Array.iteri
+    (fun v c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d occupancy %d near %d" v c expected)
+        true
+        (abs (c - expected) < expected / 4))
+    counts
+
+let test_simple_walk_not_uniform () =
+  (* the plain SRW is stationary proportional to degree, so corners must
+     be under-occupied relative to interior nodes *)
+  let side = 6 in
+  let grid = Grid.create ~side () in
+  let rng = Prng.of_seed 19 in
+  let walkers = 40_000 in
+  let steps = 40 in
+  let counts = Array.make (Grid.nodes grid) 0 in
+  for _ = 1 to walkers do
+    let start = Grid.random_node grid rng in
+    let finish = Walk.advance grid Walk.Simple rng start ~steps in
+    counts.(finish) <- counts.(finish) + 1
+  done;
+  let corner = counts.(0) in
+  let interior = counts.(Grid.center grid) in
+  Alcotest.(check bool)
+    (Printf.sprintf "corner %d well below interior %d" corner interior)
+    true
+    (float_of_int corner < 0.8 *. float_of_int interior)
+
+let test_advance_and_path () =
+  let grid = Grid.create ~side:8 () in
+  let start = Grid.center grid in
+  let path =
+    Walk.path grid Walk.Lazy_one_fifth (Prng.of_seed 23) start ~steps:50
+  in
+  Alcotest.(check int) "path length" 51 (Array.length path);
+  Alcotest.(check int) "path starts at start" start path.(0);
+  for i = 1 to 50 do
+    Alcotest.(check bool) "consecutive nodes adjacent or equal" true
+      (Grid.manhattan grid path.(i - 1) path.(i) <= 1)
+  done;
+  (* advance with the same stream reproduces the path's endpoint *)
+  let finish =
+    Walk.advance grid Walk.Lazy_one_fifth (Prng.of_seed 23) start ~steps:50
+  in
+  Alcotest.(check int) "advance = path end" path.(50) finish;
+  Alcotest.(check int) "zero steps" start
+    (Walk.advance grid Walk.Simple (Prng.of_seed 1) start ~steps:0);
+  Alcotest.check_raises "negative steps"
+    (Invalid_argument "Walk.advance: negative steps") (fun () ->
+      ignore (Walk.advance grid Walk.Simple (Prng.of_seed 1) start ~steps:(-1)))
+
+let test_excursion_stats () =
+  let grid = Grid.create ~side:16 () in
+  let start = Grid.center grid in
+  let rng = Prng.of_seed 29 in
+  for _ = 1 to 20 do
+    let e = Walk.excursion_stats grid Walk.Lazy_one_fifth rng start ~steps:40 in
+    Alcotest.(check bool) "range within [1, steps+1]" true
+      (e.Walk.range >= 1 && e.Walk.range <= 41);
+    Alcotest.(check bool) "displacement bounded by steps" true
+      (e.Walk.max_displacement <= 40);
+    Alcotest.(check bool) "final within max displacement" true
+      (Grid.manhattan grid start e.Walk.final <= e.Walk.max_displacement
+       || e.Walk.max_displacement = 0)
+  done;
+  let zero = Walk.excursion_stats grid Walk.Simple rng start ~steps:0 in
+  Alcotest.(check int) "zero-step range" 1 zero.Walk.range;
+  Alcotest.(check int) "zero-step displacement" 0 zero.Walk.max_displacement;
+  Alcotest.(check int) "zero-step final" start zero.Walk.final
+
+let test_excursion_consistency_with_path () =
+  (* the same stream must give identical results computed via path *)
+  let grid = Grid.create ~side:12 () in
+  let start = Grid.index grid ~x:2 ~y:3 in
+  let steps = 60 in
+  let e =
+    Walk.excursion_stats grid Walk.Lazy_half (Prng.of_seed 31) start ~steps
+  in
+  let path = Walk.path grid Walk.Lazy_half (Prng.of_seed 31) start ~steps in
+  let visited = Hashtbl.create 64 in
+  Array.iter (fun v -> Hashtbl.replace visited v ()) path;
+  let max_disp =
+    Array.fold_left
+      (fun acc v -> max acc (Grid.manhattan grid start v))
+      0 path
+  in
+  Alcotest.(check int) "range matches path" (Hashtbl.length visited) e.Walk.range;
+  Alcotest.(check int) "displacement matches path" max_disp
+    e.Walk.max_displacement;
+  Alcotest.(check int) "final matches path" path.(steps) e.Walk.final
+
+let test_hits_within () =
+  let grid = Grid.create ~side:10 () in
+  let rng = Prng.of_seed 37 in
+  let v = Grid.center grid in
+  Alcotest.(check bool) "start = target hits immediately" true
+    (Walk.hits_within grid Walk.Simple rng ~start:v ~target:v ~steps:0);
+  (* a neighbour is unreachable in zero steps *)
+  let u = List.hd (Grid.neighbours grid v) in
+  Alcotest.(check bool) "no steps, no hit" false
+    (Walk.hits_within grid Walk.Simple rng ~start:v ~target:u ~steps:0);
+  (* generous budget on a small grid: hit is near-certain *)
+  let hits = ref 0 in
+  for _ = 1 to 50 do
+    if Walk.hits_within grid Walk.Lazy_one_fifth rng ~start:v ~target:u ~steps:2000
+    then incr hits
+  done;
+  Alcotest.(check bool) "long walks hit a neighbour" true (!hits >= 48)
+
+let test_first_meeting () =
+  let grid = Grid.create ~side:8 () in
+  let rng = Prng.of_seed 41 in
+  let v = Grid.center grid in
+  Alcotest.(check (option int)) "same start meets at time 0" (Some 0)
+    (Walk.first_meeting grid Walk.Simple rng ~a:v ~b:v ~steps:10 ());
+  Alcotest.(check (option int)) "where-filter can reject time 0" None
+    (Walk.first_meeting grid Walk.Simple rng ~a:v ~b:v ~steps:0
+       ~where:(fun _ -> false) ());
+  (* distant starts cannot meet at time 0 *)
+  let a = Grid.index grid ~x:0 ~y:0 and b = Grid.index grid ~x:7 ~y:7 in
+  (match Walk.first_meeting grid Walk.Lazy_one_fifth rng ~a ~b ~steps:5000 () with
+  | Some t -> Alcotest.(check bool) "meeting time positive" true (t > 0)
+  | None -> ());
+  (* zero budget, distinct starts: no meeting *)
+  Alcotest.(check (option int)) "no budget, no meeting" None
+    (Walk.first_meeting grid Walk.Simple rng ~a ~b ~steps:0 ())
+
+let test_meeting_disk () =
+  let grid = Grid.create ~side:12 () in
+  let a = Grid.index grid ~x:2 ~y:5 and b = Grid.index grid ~x:6 ~y:5 in
+  let d = Grid.manhattan grid a b in
+  let in_lens = Walk.meeting_disk grid ~a ~b in
+  for v = 0 to Grid.nodes grid - 1 do
+    let expected = Grid.manhattan grid a v <= d && Grid.manhattan grid b v <= d in
+    Alcotest.(check bool) "lens membership" expected (in_lens v)
+  done
+
+let test_kernel_to_string () =
+  Alcotest.(check string) "lazy" "lazy-1/5" (Walk.kernel_to_string Walk.Lazy_one_fifth);
+  Alcotest.(check string) "simple" "simple" (Walk.kernel_to_string Walk.Simple);
+  Alcotest.(check string) "lazy half" "lazy-1/2" (Walk.kernel_to_string Walk.Lazy_half)
+
+(* --- qcheck --- *)
+
+let prop_path_valid =
+  QCheck.Test.make ~name:"paths stay on grid with unit steps" ~count:200
+    QCheck.(triple (int_range 2 20) small_int (int_range 0 100))
+    (fun (side, seed, steps) ->
+      let grid = Grid.create ~side () in
+      let rng = Prng.of_seed seed in
+      let start = Grid.random_node grid rng in
+      let path = Walk.path grid Walk.Lazy_one_fifth rng start ~steps in
+      let ok = ref (path.(0) = start) in
+      for i = 1 to steps do
+        if
+          path.(i) < 0
+          || path.(i) >= Grid.nodes grid
+          || Grid.manhattan grid path.(i - 1) path.(i) > 1
+        then ok := false
+      done;
+      !ok)
+
+let prop_excursion_range_bounds =
+  QCheck.Test.make ~name:"excursion range within [1, steps+1]" ~count:200
+    QCheck.(triple (int_range 2 20) small_int (int_range 0 80))
+    (fun (side, seed, steps) ->
+      let grid = Grid.create ~side () in
+      let rng = Prng.of_seed seed in
+      let start = Grid.random_node grid rng in
+      let e = Walk.excursion_stats grid Walk.Simple rng start ~steps in
+      e.Walk.range >= 1
+      && e.Walk.range <= steps + 1
+      && e.Walk.range <= Grid.nodes grid)
+
+(* --- torus --- *)
+
+let test_torus_walk_valid () =
+  let grid = Grid.create ~topology:Grid.Torus ~side:6 () in
+  let rng = Prng.of_seed 43 in
+  List.iter
+    (fun kernel ->
+      for v = 0 to Grid.nodes grid - 1 do
+        for _ = 1 to 10 do
+          let u = Walk.step grid kernel rng v in
+          Alcotest.(check bool) "valid node" true (u >= 0 && u < 36);
+          Alcotest.(check bool) "unit wrap move" true
+            (Grid.manhattan grid v u <= 1)
+        done
+      done)
+    kernels
+
+let test_torus_simple_walk_uniform () =
+  (* the torus is vertex-transitive: even the plain SRW is
+     uniform-stationary there, unlike on the bounded grid *)
+  let side = 6 in
+  let grid = Grid.create ~topology:Grid.Torus ~side () in
+  let rng = Prng.of_seed 47 in
+  let walkers = 30_000 in
+  let counts = Array.make (Grid.nodes grid) 0 in
+  for _ = 1 to walkers do
+    let start = Grid.random_node grid rng in
+    let finish = Walk.advance grid Walk.Simple rng start ~steps:31 in
+    counts.(finish) <- counts.(finish) + 1
+  done;
+  Alcotest.(check bool) "uniform by chi-square" true
+    (Stats.Chi_square.test_uniform ~counts ~confidence:0.999)
+
+let test_torus_lazy_moves_four_fifths () =
+  (* no border: the lazy walk moves with probability exactly 4/5 *)
+  let grid = Grid.create ~topology:Grid.Torus ~side:5 () in
+  let rng = Prng.of_seed 53 in
+  let moves = ref 0 in
+  let trials = 50_000 in
+  let v = 7 in
+  for _ = 1 to trials do
+    if Walk.step grid Walk.Lazy_one_fifth rng v <> v then incr moves
+  done;
+  let freq = float_of_int !moves /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "move rate %.3f near 0.8" freq)
+    true
+    (Float.abs (freq -. 0.8) < 0.01)
+
+let () =
+  Alcotest.run "walk"
+    [
+      ( "kernels",
+        [
+          Alcotest.test_case "step stays on grid" `Quick
+            test_step_stays_on_grid;
+          Alcotest.test_case "simple never stays" `Quick
+            test_simple_never_stays;
+          Alcotest.test_case "lazy can stay" `Quick test_lazy_can_stay;
+          Alcotest.test_case "lazy 1/5 interior rates" `Slow
+            test_lazy_one_fifth_rates;
+          Alcotest.test_case "lazy 1/5 boundary rates" `Slow
+            test_lazy_one_fifth_boundary_rates;
+          Alcotest.test_case "kernel names" `Quick test_kernel_to_string;
+        ] );
+      ( "stationarity",
+        [
+          Alcotest.test_case "lazy walk keeps uniform law" `Slow
+            test_uniform_stationarity;
+          Alcotest.test_case "simple walk is degree-biased" `Slow
+            test_simple_walk_not_uniform;
+        ] );
+      ( "trajectories",
+        [
+          Alcotest.test_case "advance and path" `Quick test_advance_and_path;
+          Alcotest.test_case "excursion stats" `Quick test_excursion_stats;
+          Alcotest.test_case "excursion = path recomputation" `Quick
+            test_excursion_consistency_with_path;
+        ] );
+      ( "meetings",
+        [
+          Alcotest.test_case "hits_within" `Quick test_hits_within;
+          Alcotest.test_case "first_meeting" `Quick test_first_meeting;
+          Alcotest.test_case "meeting disk" `Quick test_meeting_disk;
+        ] );
+      ( "torus",
+        [
+          Alcotest.test_case "steps valid" `Quick test_torus_walk_valid;
+          Alcotest.test_case "SRW uniform on torus" `Slow
+            test_torus_simple_walk_uniform;
+          Alcotest.test_case "lazy move rate 4/5" `Slow
+            test_torus_lazy_moves_four_fifths;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_path_valid; prop_excursion_range_bounds ] );
+    ]
