@@ -1,0 +1,25 @@
+# Convenience entry points; dune is the real build system.
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Tier-1 gate plus a smoke run of the parallel path: the full quick-mode
+# registry fanned out over a 2-worker domain pool must still pass every
+# shape check (results are identical to --jobs 1 by construction).
+check:
+	dune build @all
+	dune runtest
+	dune exec bin/mobisim.exe -- exp --quick --jobs 2
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

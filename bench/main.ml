@@ -2,21 +2,46 @@
 
    Part 1 regenerates every reproduction table (the paper has no
    empirical tables of its own — every theorem/lemma became an
-   experiment E1..E12/L1/L2; see DESIGN.md) in full mode and verifies
-   the shape checks.
+   experiment: E1..E16, the A1..A3 ablations, the X1..X5 extensions and
+   the L1..L5 lemma probes; see DESIGN.md) in full mode and verifies
+   the shape checks. `--jobs N` fans the regeneration out over a domain
+   pool (default: the recommended domain count, capped); results are
+   identical for every N.
 
    Part 2 times the system with Bechamel: one Test.make per experiment
-   (quick mode), plus micro-benchmarks of the engine's hot paths. *)
+   (quick mode), plus micro-benchmarks of the engine's hot paths and a
+   sequential-vs-pooled trial-replication comparison. *)
 
 open Bechamel
 open Toolkit
 
 (* --- part 1: regenerate all paper tables --- *)
 
+let jobs =
+  (* bechamel owns no CLI; accept a bare `--jobs N` (or `--jobs=N`). *)
+  let rec scan = function
+    | "--jobs" :: n :: _ -> int_of_string_opt n
+    | arg :: rest ->
+        let prefix = "--jobs=" in
+        if String.length arg > String.length prefix
+           && String.sub arg 0 (String.length prefix) = prefix then
+          int_of_string_opt
+            (String.sub arg (String.length prefix)
+               (String.length arg - String.length prefix))
+        else scan rest
+    | [] -> None
+  in
+  match scan (Array.to_list Sys.argv) with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> Runtime.Pool.recommended_jobs ()
+
 let regenerate_tables () =
   Format.printf "==============================================================@.";
   Format.printf " Reproduction tables (full mode) — one per theorem/lemma@.";
+  Format.printf " (fan-out: %d worker domain%s)@." jobs
+    (if jobs = 1 then "" else "s");
   Format.printf "==============================================================@.@.";
+  Runtime.Pool.set_ambient_jobs jobs;
   let results = Experiments.Registry.run_all ~seed:0 Format.std_formatter () in
   let failed =
     List.filter
@@ -121,6 +146,29 @@ let bench_chi_square =
     (Staged.stage (fun () ->
          ignore (Stats.Chi_square.test_uniform ~counts ~confidence:0.999)))
 
+(* sequential vs pooled trial replication: the fan-out the parallel
+   runtime exists for (32 independent trials of one fixed config) *)
+let replicate_trials pool =
+  ignore
+    (Runtime.Pool.init pool ~n:32 ~f:(fun trial ->
+         (Simulation.run_config
+            (Config.make ~side:32 ~agents:16 ~radius:0 ~seed:7 ~trial
+               ~max_steps:2000 ()))
+           .Simulation.steps))
+
+let bench_trials_seq =
+  let pool = Runtime.Pool.create ~jobs:1 in
+  Test.make ~name:"runtime: 32 trials sequential (jobs=1)"
+    (Staged.stage (fun () -> replicate_trials pool))
+
+let bench_trials_pooled =
+  let pool = Runtime.Pool.create ~jobs:(max 2 (Runtime.Pool.recommended_jobs ())) in
+  Test.make
+    ~name:
+      (Printf.sprintf "runtime: 32 trials pooled (jobs=%d)"
+         (Runtime.Pool.jobs pool))
+    (Staged.stage (fun () -> replicate_trials pool))
+
 let engine_tests =
   [
     bench_prng_int; bench_walk_step; bench_rumor_union; bench_dsu;
@@ -128,6 +176,7 @@ let engine_tests =
     bench_sim_run ~k:64 ~radius:8; bench_torus_run;
     bench_snapshot ~k:64 ~radius:0; bench_snapshot ~k:256 ~radius:8;
     bench_line_of_sight; bench_continuum_components; bench_chi_square;
+    bench_trials_seq; bench_trials_pooled;
   ]
 
 let run_benchmarks tests =

@@ -91,6 +91,17 @@ let csv_dir_arg =
   let doc = "Also write each experiment's table as CSV into $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for trial/experiment fan-out (default: the \
+     recommended domain count, capped at 8). Results are identical for \
+     every value; 1 disables parallelism."
+  in
+  Arg.(
+    value
+    & opt int (Runtime.Pool.recommended_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 (* --- simulate ------------------------------------------------------------- *)
 
 let run_simulate side agents radius protocol kernel seed trial max_steps
@@ -174,7 +185,12 @@ let write_csv dir (result : Experiments.Exp_result.t) =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
-let run_experiments ids quick seed csv_dir =
+let run_experiments ids quick seed jobs csv_dir =
+  if jobs < 1 then begin
+    Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
+    exit 2
+  end;
+  Runtime.Pool.set_ambient_jobs jobs;
   let entries =
     match ids with
     | [] -> Experiments.Registry.all
@@ -191,12 +207,10 @@ let run_experiments ids quick seed csv_dir =
   in
   let fmt = Format.std_formatter in
   let results =
-    List.map
-      (fun (e : Experiments.Registry.entry) ->
-        let result = e.run ~quick ~seed () in
+    Experiments.Registry.run_entries ~quick ~seed
+      ~on_result:(fun result ->
         Experiments.Exp_result.render fmt result;
-        Option.iter (fun dir -> write_csv dir result) csv_dir;
-        result)
+        Option.iter (fun dir -> write_csv dir result) csv_dir)
       entries
   in
   let failed =
@@ -217,7 +231,9 @@ let exp_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
   let term =
-    Term.(const run_experiments $ ids $ quick_arg $ seed_arg $ csv_dir_arg)
+    Term.(
+      const run_experiments $ ids $ quick_arg $ seed_arg $ jobs_arg
+      $ csv_dir_arg)
   in
   Cmd.v
     (Cmd.info "exp"

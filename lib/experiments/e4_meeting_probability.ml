@@ -3,7 +3,12 @@ let run ?(quick = false) ~seed () =
   let grid = Grid.create ~side () in
   let ds = if quick then [ 2; 4; 8; 16 ] else [ 2; 4; 8; 16; 32 ] in
   let trials = if quick then 600 else 2000 in
-  let rng = Prng.of_seed (seed + 0xE4) in
+  (* one independent stream per (d, trial), in the Config.root_rng idiom:
+     trials must be identified by their index alone so that the pooled
+     and the sequential sweep draw identical randomness *)
+  let rng ~d ~trial =
+    Prng.of_seed (((seed + 0xE4) * 0x9E3779B9) lxor ((d lsl 20) lxor trial))
+  in
   let table =
     Table.create ~header:[ "d"; "T=d^2"; "trials"; "P(meet in D)"; "P * ln d" ]
   in
@@ -17,10 +22,10 @@ let run ?(quick = false) ~seed () =
       let in_lens = Walk.meeting_disk grid ~a ~b in
       let steps = d * d in
       let p =
-        Sweep.probability ~trials ~f:(fun ~trial:_ ->
+        Sweep.probability ~trials ~f:(fun ~trial ->
             match
-              Walk.first_meeting grid Walk.Lazy_one_fifth rng ~a ~b ~steps
-                ~where:in_lens ()
+              Walk.first_meeting grid Walk.Lazy_one_fifth (rng ~d ~trial) ~a
+                ~b ~steps ~where:in_lens ()
             with
             | Some _ -> true
             | None -> false)

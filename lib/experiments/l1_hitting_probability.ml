@@ -3,7 +3,12 @@ let run ?(quick = false) ~seed () =
   let grid = Grid.create ~side () in
   let ds = if quick then [ 2; 4; 8; 16 ] else [ 2; 4; 8; 16; 32 ] in
   let trials = if quick then 300 else 1000 in
-  let rng = Prng.of_seed (seed + 0x11) in
+  (* one independent stream per (d, trial), in the Config.root_rng idiom:
+     trials must be identified by their index alone so that the pooled
+     and the sequential sweep draw identical randomness *)
+  let rng ~d ~trial =
+    Prng.of_seed (((seed + 0x11) * 0x9E3779B9) lxor ((d lsl 20) lxor trial))
+  in
   let table =
     Table.create ~header:[ "d"; "T=d^2"; "trials"; "P(hit)"; "P * ln d" ]
   in
@@ -15,9 +20,9 @@ let run ?(quick = false) ~seed () =
       let target = Grid.index grid ~x:(cx + d) ~y:cy in
       let steps = d * d in
       let p =
-        Sweep.probability ~trials ~f:(fun ~trial:_ ->
-            Walk.hits_within grid Walk.Lazy_one_fifth rng ~start ~target
-              ~steps)
+        Sweep.probability ~trials ~f:(fun ~trial ->
+            Walk.hits_within grid Walk.Lazy_one_fifth (rng ~d ~trial) ~start
+              ~target ~steps)
       in
       let s = p *. Float.max 1. (log (float_of_int d)) in
       scaled := s :: !scaled;

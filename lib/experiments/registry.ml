@@ -159,10 +159,12 @@ let find id =
 
 let ids () = List.map (fun e -> e.id) all
 
-let run_all ?quick ~seed fmt () =
-  List.map
-    (fun entry ->
-      let result = entry.run ?quick ~seed () in
-      Exp_result.render fmt result;
-      result)
-    all
+let run_entries ?pool ?quick ~seed ~on_result entries =
+  let pool = match pool with Some p -> p | None -> Runtime.Pool.ambient () in
+  Runtime.Pool.map pool
+    ~on_result:(fun _index result -> on_result result)
+    ~f:(fun _index entry -> entry.run ?quick ~seed ())
+    entries
+
+let run_all ?pool ?quick ~seed fmt () =
+  run_entries ?pool ?quick ~seed ~on_result:(Exp_result.render fmt) all

@@ -3,26 +3,39 @@ type measured = {
   timeouts : int;
 }
 
+(* Trials fan out over the ambient domain pool (Runtime.Pool.ambient,
+   jobs = 1 unless a front end raised it with --jobs). Each trial draws
+   all randomness from its own (seed, trial) PRNG stream, so the pooled
+   values are identical to the sequential ones; at jobs = 1 the pool
+   runs the same in-order loop this code always had. *)
+
 let completion_times ~trials ~cfg =
   if trials <= 0 then invalid_arg "Sweep.completion_times: trials <= 0";
-  let timeouts = ref 0 in
-  let times =
-    Array.init trials (fun trial ->
+  let samples =
+    Runtime.Pool.init (Runtime.Pool.ambient ()) ~n:trials ~f:(fun trial ->
         let report = Mobile_network.Simulation.run_config (cfg ~trial) in
-        (match report.Mobile_network.Simulation.outcome with
-        | Mobile_network.Simulation.Completed -> ()
-        | Mobile_network.Simulation.Timed_out -> incr timeouts);
-        float_of_int report.Mobile_network.Simulation.steps)
+        let timed_out =
+          match report.Mobile_network.Simulation.outcome with
+          | Mobile_network.Simulation.Completed -> false
+          | Mobile_network.Simulation.Timed_out -> true
+        in
+        (float_of_int report.Mobile_network.Simulation.steps, timed_out))
   in
-  { times; timeouts = !timeouts }
+  {
+    times = Array.map fst samples;
+    timeouts =
+      Array.fold_left (fun n (_, timed_out) -> if timed_out then n + 1 else n)
+        0 samples;
+  }
 
 let probability ~trials ~f =
   if trials <= 0 then invalid_arg "Sweep.probability: trials <= 0";
-  let hits = ref 0 in
-  for trial = 0 to trials - 1 do
-    if f ~trial then incr hits
-  done;
-  float_of_int !hits /. float_of_int trials
+  let hits =
+    Runtime.Pool.init (Runtime.Pool.ambient ()) ~n:trials ~f:(fun trial ->
+        f ~trial)
+    |> Array.fold_left (fun n hit -> if hit then n + 1 else n) 0
+  in
+  float_of_int hits /. float_of_int trials
 
 let doublings ~from ~count =
   if from <= 0 then invalid_arg "Sweep.doublings: from <= 0";

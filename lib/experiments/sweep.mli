@@ -4,7 +4,13 @@
     is identified by its index alone, so any row of any table can be
     reproduced in isolation. Timed-out runs are counted and contribute
     the step cap as a (conservative) completion-time sample rather than
-    being silently dropped. *)
+    being silently dropped.
+
+    Trial replication fans out over the ambient domain pool
+    ({!Runtime.Pool.ambient}); because each trial is keyed by its index
+    alone, the measured values are independent of the pool size. With
+    the default ambient size of 1 the behaviour is the exact sequential
+    loop of old. *)
 
 type measured = {
   times : float array;  (** one completion time per trial *)

@@ -1,0 +1,298 @@
+(* Fixed-size domain pool with one shared work queue and a helping
+   scheduler for nested fan-out. See pool.mli for the contract.
+
+   A "job" is a self-contained thunk: it computes one indexed result,
+   writes it into its fan-out's context under that context's lock and
+   signals completion. Because thunks own all their synchronisation, any
+   domain may execute any queued thunk — which is what lets a nested
+   [map] help the pool instead of blocking a worker. *)
+
+type job = unit -> unit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;  (* guards [queue] and [stopping] *)
+  work : Condition.t;  (* signalled on new work or shutdown *)
+  queue : job Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* True on any domain currently executing pool jobs. A fan-out started
+   from such a domain must help rather than block (all workers could
+   otherwise be waiting on sub-jobs that no domain is left to run). *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.stopping then None
+    else begin
+      Condition.wait t.work t.mutex;
+      next ()
+    end
+  in
+  match next () with
+  | None -> Mutex.unlock t.mutex
+  | Some job ->
+      Mutex.unlock t.mutex;
+      job ();
+      worker_loop t
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <-
+      List.init jobs (fun _ ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set in_worker true;
+              worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~jobs fn =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> fn t)
+
+let try_pop t =
+  Mutex.lock t.mutex;
+  let job = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.mutex;
+  job
+
+(* --- one fan-out (a single map/init/map_reduce call) --- *)
+
+type 'b ctx = {
+  total : int;
+  results : 'b option array;
+  mutable completed : int;
+  (* lowest-indexed failure so far: the exception the sequential run
+     would have raised first *)
+  mutable failed : (int * exn * Printexc.raw_backtrace) option;
+  completions : int Queue.t;  (* completion order, drives on_progress *)
+  mutable next_ordered : int;  (* next index to hand to on_result *)
+  cmutex : Mutex.t;
+  cdone : Condition.t;
+}
+
+let job_thunk ctx f i x () =
+  let outcome = try Ok (f i x) with e -> Error (e, Printexc.get_raw_backtrace ()) in
+  Mutex.lock ctx.cmutex;
+  (match outcome with
+  | Ok r -> ctx.results.(i) <- Some r
+  | Error (e, bt) -> (
+      match ctx.failed with
+      | Some (j, _, _) when j < i -> ()
+      | _ -> ctx.failed <- Some (i, e, bt)));
+  ctx.completed <- ctx.completed + 1;
+  Queue.push i ctx.completions;
+  Condition.broadcast ctx.cdone;
+  Mutex.unlock ctx.cmutex
+
+(* Deliver pending callbacks on the calling domain: on_progress in
+   completion order, then on_result for the completed ordered prefix
+   (halting at the first failed index, as the sequential run would).
+   One event per lock round-trip; callbacks run unlocked. *)
+let dispatch ?on_progress ?on_result ctx =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock ctx.cmutex;
+    let progress_evt =
+      if Queue.is_empty ctx.completions then None
+      else Some (Queue.pop ctx.completions, ctx.completed)
+    in
+    let result_evt =
+      match progress_evt with
+      | Some _ -> None
+      | None ->
+          let i = ctx.next_ordered in
+          let blocked =
+            match ctx.failed with Some (j, _, _) -> i >= j | None -> false
+          in
+          if blocked || i >= ctx.total then None
+          else (
+            match ctx.results.(i) with
+            | Some r ->
+                ctx.next_ordered <- i + 1;
+                Some (i, r)
+            | None -> None)
+    in
+    Mutex.unlock ctx.cmutex;
+    match (progress_evt, result_evt) with
+    | Some (job, done_), _ -> (
+        match on_progress with
+        | Some cb -> cb ~done_ ~total:ctx.total ~job
+        | None -> ())
+    | None, Some (i, r) -> (
+        match on_result with Some cb -> cb i r | None -> ())
+    | None, None -> continue := false
+  done
+
+let run_parallel ?on_progress ?on_result t ctx thunks =
+  Mutex.lock t.mutex;
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool: pool already shut down"
+  end;
+  List.iter (fun job -> Queue.push job t.queue) thunks;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  if Domain.DLS.get in_worker then begin
+    (* Nested fan-out: help run queued jobs (ours or anyone's) instead
+       of blocking; a blocked worker could deadlock the pool. *)
+    let rec help () =
+      dispatch ?on_progress ?on_result ctx;
+      Mutex.lock ctx.cmutex;
+      let finished = ctx.completed = ctx.total in
+      Mutex.unlock ctx.cmutex;
+      if not finished then begin
+        (match try_pop t with
+        | Some job -> job ()
+        | None ->
+            (* Queue empty, so every remaining job of ours is already
+               running on some other domain; each completion broadcasts
+               [cdone], so sleeping here cannot miss the last one. *)
+            Mutex.lock ctx.cmutex;
+            if ctx.completed < ctx.total && Queue.is_empty ctx.completions
+            then Condition.wait ctx.cdone ctx.cmutex;
+            Mutex.unlock ctx.cmutex);
+        help ()
+      end
+    in
+    help ()
+  end
+  else begin
+    (* Coordinator: sleep between completion events, waking to deliver
+       progress/result callbacks as the ordered prefix grows. *)
+    let rec wait () =
+      dispatch ?on_progress ?on_result ctx;
+      Mutex.lock ctx.cmutex;
+      if ctx.completed < ctx.total then begin
+        if Queue.is_empty ctx.completions then Condition.wait ctx.cdone ctx.cmutex;
+        Mutex.unlock ctx.cmutex;
+        wait ()
+      end
+      else Mutex.unlock ctx.cmutex
+    in
+    wait ()
+  end;
+  dispatch ?on_progress ?on_result ctx;
+  match ctx.failed with
+  | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let run_seq ?on_progress ?on_result ~f items total =
+  List.mapi
+    (fun i x ->
+      let r = f i x in
+      (match on_progress with
+      | Some cb -> cb ~done_:(i + 1) ~total ~job:i
+      | None -> ());
+      (match on_result with Some cb -> cb i r | None -> ());
+      r)
+    items
+
+let map ?on_progress ?on_result t ~f items =
+  let total = List.length items in
+  if total = 0 then []
+  else if t.jobs = 1 then run_seq ?on_progress ?on_result ~f items total
+  else begin
+    let ctx =
+      {
+        total;
+        results = Array.make total None;
+        completed = 0;
+        failed = None;
+        completions = Queue.create ();
+        next_ordered = 0;
+        cmutex = Mutex.create ();
+        cdone = Condition.create ();
+      }
+    in
+    let thunks = List.mapi (fun i x -> job_thunk ctx f i x) items in
+    run_parallel ?on_progress ?on_result t ctx thunks;
+    Array.to_list (Array.map Option.get ctx.results)
+  end
+
+let init t ~n ~f =
+  if n < 0 then invalid_arg "Pool.init: n < 0";
+  if t.jobs = 1 || n <= 1 then Array.init n f
+  else begin
+    (* Individual items (trials) can be microseconds long, so batch them
+       into contiguous chunks — a few per worker for load balance — and
+       fan the chunks out. Chunk boundaries depend only on (n, jobs) and
+       each chunk runs its items in ascending index order, so the
+       assembled array is identical to the sequential one. *)
+    let chunks = min n (t.jobs * 8) in
+    let bounds =
+      List.init chunks (fun c -> (c * n / chunks, (c + 1) * n / chunks))
+    in
+    let pieces =
+      map t
+        ~f:(fun _ (lo, hi) -> Array.init (hi - lo) (fun i -> f (lo + i)))
+        bounds
+    in
+    Array.concat pieces
+  end
+
+let map_reduce t ~map:f ~reduce ~init items =
+  List.fold_left reduce init (map t ~f items)
+
+let recommended_jobs ?(cap = 8) () =
+  max 1 (min cap (Domain.recommended_domain_count ()))
+
+(* --- ambient pool --- *)
+
+let ambient_lock = Mutex.create ()
+let ambient_size = ref 1
+let ambient_pool : t option ref = ref None
+
+let set_ambient_jobs n =
+  if n < 1 then invalid_arg "Pool.set_ambient_jobs: jobs < 1";
+  Mutex.lock ambient_lock;
+  (match !ambient_pool with
+  | Some p when p.jobs <> n ->
+      shutdown p;
+      ambient_pool := None
+  | _ -> ());
+  ambient_size := n;
+  Mutex.unlock ambient_lock
+
+let ambient_jobs () =
+  Mutex.lock ambient_lock;
+  let n = !ambient_size in
+  Mutex.unlock ambient_lock;
+  n
+
+let ambient () =
+  Mutex.lock ambient_lock;
+  let p =
+    match !ambient_pool with
+    | Some p -> p
+    | None ->
+        let p = create ~jobs:!ambient_size in
+        ambient_pool := Some p;
+        p
+  in
+  Mutex.unlock ambient_lock;
+  p

@@ -1,0 +1,103 @@
+(** Deterministic domain-pool scheduler.
+
+    A fixed-size pool of OCaml 5 [Domain] workers sharing one work
+    queue, with a fan-out API over indexed job lists. The contract that
+    makes parallelism safe for the experiment harness is the one the
+    engine was designed around: a job is identified by its index alone
+    (every simulation derives all randomness from [(seed, trial)]), so
+    results never depend on evaluation order. The pool preserves that
+    observable determinism:
+
+    - {b Submission order}: [map], [init] and [map_reduce] always return
+      results in submission order, regardless of completion order.
+    - {b Sequential identity}: a pool with [jobs = 1] runs every job
+      inline on the calling domain, in order, with no worker domains —
+      bit-for-bit identical to the plain [List.map] / [Array.init] code
+      it replaces (enforced by test).
+    - {b Exceptions}: with [jobs = 1] an exception propagates
+      immediately, exactly like the sequential code. With [jobs > 1] the
+      pool drains every submitted job, then re-raises the exception of
+      the {e lowest-indexed} failed job — the same exception the
+      sequential run would have raised first.
+    - {b Nesting}: a job may itself call [map]/[init]/[map_reduce] on a
+      pool. The nested call does not block a worker: it enqueues its
+      sub-jobs and then {e helps}, executing queued jobs from the shared
+      queue until its own are done. This makes trial-level and
+      experiment-level fan-out compose without deadlock and keeps every
+      domain busy even when outer jobs are imbalanced.
+
+    Progress callbacks ([on_progress], [on_result]) are only ever
+    invoked on the domain that called [map]: completion events are
+    queued by workers and marshalled back to that coordinating domain,
+    so live table rendering needs no locking of its own. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs] worker domains ([jobs = 1] spawns
+    none; such a pool is purely sequential).
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Number of workers the pool was created with (1 = sequential). *)
+
+val shutdown : t -> unit
+(** Join all workers. Idempotent. Outstanding jobs are completed first;
+    calling [map] after shutdown raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)
+
+val map :
+  ?on_progress:(done_:int -> total:int -> job:int -> unit) ->
+  ?on_result:(int -> 'b -> unit) ->
+  t ->
+  f:(int -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** [map pool ~f [x0; x1; ...]] computes [[f 0 x0; f 1 x1; ...]],
+    results in submission order. [on_progress] fires once per completed
+    job, in completion order; [on_result] fires once per job, in
+    {e submission} order, as soon as the ordered prefix up to that job
+    has completed — this is what incremental table rendering hangs off.
+    Both run on the calling domain. *)
+
+val init : t -> n:int -> f:(int -> 'b) -> 'b array
+(** [init pool ~n ~f] is a parallel [Array.init n f] (submission order
+    preserved). Items are batched into contiguous chunks (a few per
+    worker) before being enqueued, so micro-jobs such as single trials
+    do not drown in scheduling overhead; chunking depends only on
+    [(n, jobs pool)] and never changes the result.
+    @raise Invalid_argument if [n < 0]. *)
+
+val map_reduce :
+  t ->
+  map:(int -> 'a -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc
+(** Parallel map, then a sequential in-order fold on the calling domain;
+    deterministic even for non-commutative [reduce]. *)
+
+val recommended_jobs : ?cap:int -> unit -> int
+(** [Domain.recommended_domain_count ()] clamped to [[1, cap]]
+    ([cap] defaults to 8). The default for every [--jobs] flag. *)
+
+(** {2 Ambient pool}
+
+    One process-wide pool shared by every fan-out point that cannot
+    thread a [t] through its signature (e.g. [Sweep.completion_times],
+    called from 29 experiment modules). Defaults to [jobs = 1], i.e.
+    exactly the sequential behaviour, until a front end opts in. *)
+
+val set_ambient_jobs : int -> unit
+(** Set the ambient pool size. If an ambient pool of a different size
+    already exists it is shut down and recreated lazily.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val ambient_jobs : unit -> int
+(** Current ambient pool size (without forcing pool creation). *)
+
+val ambient : unit -> t
+(** The ambient pool, created on first use. *)

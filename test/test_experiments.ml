@@ -54,12 +54,25 @@ let test_seed_changes_results () =
   Alcotest.(check bool) "different seeds, different measurements" true
     (Exp_result.to_csv a <> Exp_result.to_csv b)
 
+let test_ids_duplicate_free () =
+  let ids = Registry.ids () in
+  let sorted = List.sort_uniq compare ids in
+  Alcotest.(check int)
+    "no duplicate experiment ids" (List.length ids) (List.length sorted);
+  (* lookup is case-insensitive, so ids must also be unique up to case *)
+  let folded = List.sort_uniq compare (List.map String.uppercase_ascii ids) in
+  Alcotest.(check int)
+    "no ids colliding case-insensitively" (List.length ids)
+    (List.length folded)
+
 let () =
   Alcotest.run "experiments"
     [
       ("reproduction (quick mode)", List.map experiment_case Registry.all);
       ( "harness behaviour",
         [
+          Alcotest.test_case "registry ids duplicate-free" `Quick
+            test_ids_duplicate_free;
           Alcotest.test_case "deterministic given seed" `Slow
             test_quick_mode_deterministic;
           Alcotest.test_case "seed sensitivity" `Slow test_seed_changes_results;
