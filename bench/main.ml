@@ -17,23 +17,52 @@ open Toolkit
 
 (* --- part 1: regenerate all paper tables --- *)
 
-let jobs =
-  (* bechamel owns no CLI; accept a bare `--jobs N` (or `--jobs=N`). *)
+(* bechamel owns no CLI; accept bare `--<flag> V` (or `--<flag>=V`). *)
+let scan_flag flag =
+  let long = "--" ^ flag and prefix = "--" ^ flag ^ "=" in
   let rec scan = function
-    | "--jobs" :: n :: _ -> int_of_string_opt n
+    | key :: v :: _ when key = long -> Some v
     | arg :: rest ->
-        let prefix = "--jobs=" in
         if String.length arg > String.length prefix
            && String.sub arg 0 (String.length prefix) = prefix then
-          int_of_string_opt
+          Some
             (String.sub arg (String.length prefix)
                (String.length arg - String.length prefix))
         else scan rest
     | [] -> None
   in
-  match scan (Array.to_list Sys.argv) with
+  scan (Array.to_list Sys.argv)
+
+let jobs =
+  match Option.bind (scan_flag "jobs") int_of_string_opt with
   | Some n when n >= 1 -> n
   | Some _ | None -> Runtime.Pool.recommended_jobs ()
+
+(* `--metrics FILE`: observe the table regeneration (part 1) and write
+   a snapshot before the micro-benchmarks start. *)
+let metrics_file = scan_flag "metrics"
+
+let finish_metrics =
+  match metrics_file with
+  | None -> fun () -> ()
+  | Some path ->
+      let reg = Obs.Registry.create () in
+      let sink = Obs.Sink.of_registry reg in
+      Obs.Sink.set_ambient sink;
+      Runtime.Pool.set_ambient_metrics sink;
+      let gc0 = Obs.Gcstats.global () in
+      fun () ->
+        Obs.Gcstats.accumulate
+          (Obs.Gcstats.counters reg ~prefix:"process.gc")
+          (Obs.Gcstats.delta ~before:gc0 ~after:(Obs.Gcstats.global ()));
+        Runtime.Pool.publish_stats (Runtime.Pool.ambient ());
+        let oc = open_out path in
+        output_string oc (Obs.Snapshot.to_json_string reg);
+        close_out oc;
+        Format.printf "metrics: wrote %s@." path;
+        (* micro-benchmarks below should run unobserved *)
+        Obs.Sink.set_ambient Obs.Sink.null;
+        Runtime.Pool.set_ambient_metrics Obs.Sink.null
 
 let regenerate_tables () =
   Format.printf "==============================================================@.";
@@ -209,6 +238,7 @@ let run_benchmarks tests =
 
 let () =
   regenerate_tables ();
+  finish_metrics ();
   Format.printf "==============================================================@.";
   Format.printf " Engine micro-benchmarks (Bechamel)@.";
   Format.printf "==============================================================@.";

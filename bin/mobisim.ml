@@ -102,10 +102,48 @@ let jobs_arg =
     & opt int (Runtime.Pool.recommended_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Write an observability snapshot (sorted JSON: per-phase simulation \
+     timings, pool queue-wait/busy-fraction, per-domain GC deltas) to \
+     $(docv) after the run, and print the human-readable table to stderr. \
+     Metrics are diagnostics only: they never change results."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Install a recording ambient sink and return the finalizer that
+   publishes derived gauges, writes FILE and prints the table. With
+   [None] everything stays on the null sink (the no-op default). *)
+let install_metrics ?(pool = false) path =
+  match path with
+  | None -> fun () -> ()
+  | Some path ->
+      let reg = Obs.Registry.create () in
+      let sink = Obs.Sink.of_registry reg in
+      Obs.Sink.set_ambient sink;
+      if pool then Runtime.Pool.set_ambient_metrics sink;
+      let gc0 = Obs.Gcstats.global () in
+      let wall = Obs.Clock.now_ns () in
+      fun () ->
+        (* whole-process view from the main domain, next to the pool's
+           per-domain rows *)
+        Obs.Gcstats.accumulate
+          (Obs.Gcstats.counters reg ~prefix:"process.gc")
+          (Obs.Gcstats.delta ~before:gc0 ~after:(Obs.Gcstats.global ()));
+        Obs.Metric.Gauge.set
+          (Obs.Registry.gauge reg "process.wall_s")
+          (Obs.Clock.ns_to_s (Obs.Clock.now_ns () - wall));
+        if pool then Runtime.Pool.publish_stats (Runtime.Pool.ambient ());
+        let oc = open_out path in
+        output_string oc (Obs.Snapshot.to_json_string reg);
+        close_out oc;
+        prerr_string (Obs.Snapshot.to_table reg);
+        Printf.eprintf "metrics: wrote %s\n" path
+
 (* --- simulate ------------------------------------------------------------- *)
 
 let run_simulate side agents radius protocol kernel seed trial max_steps
-    trace render torus trace_out =
+    trace render torus trace_out metrics =
   let cfg =
     Config.make ~torus ~side ~agents ~radius ~protocol ~kernel ~seed ~trial
       ?max_steps ()
@@ -115,6 +153,7 @@ let run_simulate side agents radius protocol kernel seed trial max_steps
       Printf.eprintf "invalid configuration: %s\n" msg;
       exit 2
   | Ok () ->
+      let finish_metrics = install_metrics metrics in
       Printf.printf "config: %s\n" (Config.to_string cfg);
       Printf.printf "n = %d nodes, r_c = %.2f, subcritical: %b\n"
         (Config.n cfg)
@@ -150,7 +189,8 @@ let run_simulate side agents radius protocol kernel seed trial max_steps
           Printf.printf "wrote trace (%d entries) to %s\n"
             (Array.length t.Trace.entries)
             path)
-        trace_out
+        trace_out;
+      finish_metrics ()
 
 let simulate_cmd =
   let trace =
@@ -169,7 +209,7 @@ let simulate_cmd =
     Term.(
       const run_simulate $ side_arg $ agents_arg $ radius_arg $ protocol_arg
       $ kernel_arg $ seed_arg $ trial_arg $ max_steps_arg $ trace $ render
-      $ torus_arg $ trace_out)
+      $ torus_arg $ trace_out $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a single simulation and report its outcome.")
@@ -185,12 +225,13 @@ let write_csv dir (result : Experiments.Exp_result.t) =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
-let run_experiments ids quick seed jobs csv_dir =
+let run_experiments ids quick seed jobs csv_dir metrics =
   if jobs < 1 then begin
     Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
     exit 2
   end;
   Runtime.Pool.set_ambient_jobs jobs;
+  let finish_metrics = install_metrics ~pool:true metrics in
   let entries =
     match ids with
     | [] -> Experiments.Registry.all
@@ -217,6 +258,7 @@ let run_experiments ids quick seed jobs csv_dir =
     List.filter (fun r -> not (Experiments.Exp_result.all_passed r)) results
   in
   Format.pp_print_flush fmt ();
+  finish_metrics ();
   if failed <> [] then begin
     Printf.printf "shape checks FAILED in: %s\n"
       (String.concat ", "
@@ -233,7 +275,7 @@ let exp_cmd =
   let term =
     Term.(
       const run_experiments $ ids $ quick_arg $ seed_arg $ jobs_arg
-      $ csv_dir_arg)
+      $ csv_dir_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "exp"
@@ -440,6 +482,46 @@ let validate_trace_cmd =
        ~doc:"Parse a JSONL run trace and re-check the engine's invariants.")
     Term.(const run_validate_trace $ path)
 
+(* --- metrics validation -------------------------------------------------- *)
+
+let run_validate_metrics path =
+  let text =
+    try
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error e ->
+      Printf.eprintf "cannot read metrics snapshot: %s\n" e;
+      exit 1
+  in
+  match Obs.Snapshot.parse text with
+  | Error e ->
+      Printf.eprintf "INVALID metrics snapshot: %s\n" e;
+      exit 1
+  | Ok json ->
+      let size section =
+        match Obs.Json.member section json with
+        | Some (Obs.Json.Assoc members) -> List.length members
+        | Some _ | None -> 0
+      in
+      Printf.printf
+        "metrics snapshot OK: %d counters, %d gauges, %d histograms\n"
+        (size "counters") (size "gauges") (size "histograms")
+
+let validate_metrics_cmd =
+  let path =
+    let doc = "Snapshot file written by '--metrics FILE'." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "validate-metrics"
+       ~doc:
+         "Parse a metrics snapshot written by --metrics and check its \
+          structure.")
+    Term.(const run_validate_metrics $ path)
+
 (* --- theory ----------------------------------------------------------------- *)
 
 let run_theory side agents =
@@ -487,5 +569,5 @@ let () =
          (Pettarin, Pietracaprina, Pucci, Upfal; PODC 2011)."
   in
   let group = Cmd.group info [ simulate_cmd; exp_cmd; list_cmd; percolation_cmd; theory_cmd;
-       barrier_cmd; continuum_cmd; validate_trace_cmd ] in
+       barrier_cmd; continuum_cmd; validate_trace_cmd; validate_metrics_cmd ] in
   exit (Cmd.eval group)

@@ -26,6 +26,20 @@ type recorder = {
   rec_covered : Intbuf.t;
 }
 
+(* Pre-resolved phase instruments, allocated only when a recording
+   metrics sink is attached. The step pipeline (move -> index ->
+   components -> exchange -> record) observes one latency sample per
+   phase per step; all simulations sharing a registry (e.g. the trials
+   of a sweep) aggregate into the same histograms. *)
+type phase_timers = {
+  ph_move : Obs.Metric.Histogram.t;
+  ph_index : Obs.Metric.Histogram.t;
+  ph_components : Obs.Metric.Histogram.t;
+  ph_exchange : Obs.Metric.Histogram.t;
+  ph_record : Obs.Metric.Histogram.t;
+  ph_steps : Obs.Metric.Counter.t;
+}
+
 type t = {
   cfg : Config.t;
   grid : Grid.t;
@@ -49,7 +63,21 @@ type t = {
   mutable island : int;
   mutable time : int;
   recorder : recorder option;
+  obs : phase_timers option;
 }
+
+(* Timing helpers. With metrics off, [phase_start] returns an immediate
+   0 and [phase_end] is a branch — no clock read, no allocation, so the
+   disabled hot path stays exactly as fast as before the subsystem
+   existed. The [sel] arguments below are closed closures (statically
+   allocated). *)
+let[@inline] phase_start t =
+  match t.obs with None -> 0 | Some _ -> Obs.Clock.now_ns ()
+
+let[@inline] phase_end t sel t0 =
+  match t.obs with
+  | None -> ()
+  | Some p -> Obs.Metric.Histogram.observe (sel p) (Obs.Clock.now_ns () - t0)
 
 let tracks_coverage cfg =
   match cfg.Config.protocol with
@@ -92,11 +120,15 @@ let update_coverage_and_frontier t =
 (* --- information exchange ----------------------------------------------- *)
 
 let rebuild_components t =
-  Dsu.reset t.dsu;
+  let t0 = phase_start t in
   Spatial.rebuild t.spatial ~positions:t.pos;
+  phase_end t (fun p -> p.ph_index) t0;
+  let t1 = phase_start t in
+  Dsu.reset t.dsu;
   Spatial.iter_close_pairs t.spatial ~f:(fun i j ->
       ignore (Dsu.union t.dsu i j));
-  t.island <- Dsu.max_set_size t.dsu
+  t.island <- Dsu.max_set_size t.dsu;
+  phase_end t (fun p -> p.ph_components) t1
 
 (* Single-rumor flood: a component containing an informed agent becomes
    fully informed. Two passes over agents with a root-flag scratch
@@ -188,9 +220,9 @@ let single_hop_gossip t =
       end)
     !exchanges
 
-(* Predator-prey: direct contact only, no chaining through preys. *)
+(* Predator-prey: direct contact only, no chaining through preys.
+   Expects the spatial index to be current (rebuilt by [exchange]). *)
 let catch_preys t =
-  Spatial.rebuild t.spatial ~positions:t.pos;
   let k = k_of t in
   Spatial.iter_close_pairs t.spatial ~f:(fun i j ->
       (* i < j; predators occupy ids [0, k) *)
@@ -206,23 +238,34 @@ let catch_preys t =
           t.live_preys <- t.live_preys - 1
       | Some _ | None -> ())
 
+let timed_exchange t f =
+  let t0 = phase_start t in
+  f t;
+  phase_end t (fun p -> p.ph_exchange) t0
+
 let exchange t =
   match t.cfg.Config.protocol with
-  | Protocol.Broadcast | Protocol.Frog | Protocol.Broadcast_cover -> (
+  | Protocol.Broadcast | Protocol.Frog | Protocol.Broadcast_cover ->
       rebuild_components t;
-      match t.cfg.Config.exchange with
-      | Config.Flood_component -> flood_single t
-      | Config.Single_hop -> single_hop_single t)
+      timed_exchange t
+        (match t.cfg.Config.exchange with
+        | Config.Flood_component -> flood_single
+        | Config.Single_hop -> single_hop_single)
   | Protocol.Cover_walks ->
       (* everyone is informed from the start; components only matter for
          the island metric *)
       rebuild_components t
-  | Protocol.Gossip -> (
+  | Protocol.Gossip ->
       rebuild_components t;
-      match t.cfg.Config.exchange with
-      | Config.Flood_component -> flood_gossip t
-      | Config.Single_hop -> single_hop_gossip t)
-  | Protocol.Predator_prey _ -> catch_preys t
+      timed_exchange t
+        (match t.cfg.Config.exchange with
+        | Config.Flood_component -> flood_gossip
+        | Config.Single_hop -> single_hop_gossip)
+  | Protocol.Predator_prey _ ->
+      let t0 = phase_start t in
+      Spatial.rebuild t.spatial ~positions:t.pos;
+      phase_end t (fun p -> p.ph_index) t0;
+      timed_exchange t catch_preys
 
 (* --- stopping predicate -------------------------------------------------- *)
 
@@ -247,10 +290,29 @@ let record t =
 
 (* --- construction -------------------------------------------------------- *)
 
-let create cfg =
+let create ?metrics cfg =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Simulation.create: " ^ msg));
+  let metrics =
+    match metrics with Some s -> s | None -> Obs.Sink.ambient ()
+  in
+  let obs =
+    match Obs.Sink.registry metrics with
+    | None -> None
+    | Some reg ->
+        Obs.Metric.Counter.incr (Obs.Registry.counter reg "sim.runs");
+        Some
+          {
+            ph_move = Obs.Registry.histogram reg "sim.phase.move_ns";
+            ph_index = Obs.Registry.histogram reg "sim.phase.index_ns";
+            ph_components =
+              Obs.Registry.histogram reg "sim.phase.components_ns";
+            ph_exchange = Obs.Registry.histogram reg "sim.phase.exchange_ns";
+            ph_record = Obs.Registry.histogram reg "sim.phase.record_ns";
+            ph_steps = Obs.Registry.counter reg "sim.steps";
+          }
+  in
   let grid =
     Grid.create
       ~topology:(if cfg.Config.torus then Grid.Torus else Grid.Bounded)
@@ -329,6 +391,7 @@ let create cfg =
       frontier = -1;
       island = 0;
       time = 0;
+      obs;
       recorder =
         (if cfg.Config.record_history then
            Some
@@ -362,13 +425,20 @@ let agent_is_mobile t i =
 let step t =
   if not (is_done t) then begin
     t.time <- t.time + 1;
+    let t0 = phase_start t in
     for i = 0 to t.population - 1 do
       if agent_is_mobile t i then
         t.pos.(i) <- Walk.step t.grid t.cfg.Config.kernel t.rngs.(i) t.pos.(i)
     done;
+    phase_end t (fun p -> p.ph_move) t0;
     exchange t;
+    let t1 = phase_start t in
     update_coverage_and_frontier t;
-    record t
+    record t;
+    phase_end t (fun p -> p.ph_record) t1;
+    match t.obs with
+    | None -> ()
+    | Some p -> Obs.Metric.Counter.incr p.ph_steps
   end
 
 let run ?on_step t =
@@ -398,7 +468,7 @@ let run ?on_step t =
     history;
   }
 
-let run_config ?on_step cfg = run ?on_step (create cfg)
+let run_config ?on_step ?metrics cfg = run ?on_step (create ?metrics cfg)
 
 let completion_time cfg =
   let report = run_config cfg in

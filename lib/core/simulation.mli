@@ -54,8 +54,22 @@ type report = {
   history : history option;
 }
 
-val create : Config.t -> t
-(** @raise Invalid_argument if {!Config.validate} rejects the
+val create : ?metrics:Obs.Sink.t -> Config.t -> t
+(** [metrics] (default {!Obs.Sink.ambient}) selects where per-phase
+    timings go. Against the null sink instrumentation is free: the
+    per-step path performs no clock reads and no allocation. Against a
+    recording sink the engine observes, per executed step, one sample
+    into each of the phase histograms [sim.phase.move_ns],
+    [sim.phase.index_ns] (spatial-index rebuild),
+    [sim.phase.components_ns] (DSU build + island statistic),
+    [sim.phase.exchange_ns] (flood / single-hop / catch) and
+    [sim.phase.record_ns] (frontier, coverage, history), and increments
+    the [sim.steps] counter ([sim.runs] counts simulations). All
+    simulations sharing a registry aggregate into the same histograms —
+    that is how a sweep's trials produce one per-phase cost profile.
+    Metrics are pure observation: they never touch the random streams
+    or the results.
+    @raise Invalid_argument if {!Config.validate} rejects the
     configuration. *)
 
 (** {1 Inspection} *)
@@ -122,7 +136,8 @@ val run : ?on_step:(t -> unit) -> t -> report
 (** Step until done or the step cap is hit. [on_step] fires after every
     executed step (not for the initial state). *)
 
-val run_config : ?on_step:(t -> unit) -> Config.t -> report
+val run_config :
+  ?on_step:(t -> unit) -> ?metrics:Obs.Sink.t -> Config.t -> report
 (** [create] + [run]. *)
 
 val completion_time : Config.t -> int option

@@ -161,9 +161,21 @@ let ids () = List.map (fun e -> e.id) all
 
 let run_entries ?pool ?quick ~seed ~on_result entries =
   let pool = match pool with Some p -> p | None -> Runtime.Pool.ambient () in
+  let obs_registry = Obs.Sink.registry (Obs.Sink.ambient ()) in
   Runtime.Pool.map pool
     ~on_result:(fun _index result -> on_result result)
-    ~f:(fun _index entry -> entry.run ?quick ~seed ())
+    ~f:(fun _index entry ->
+      match obs_registry with
+      | None -> entry.run ?quick ~seed ()
+      | Some reg ->
+          (* one wall-clock gauge per experiment id: the coarse layer of
+             the timing pyramid (experiment > trial > step phase) *)
+          let t0 = Obs.Clock.now_ns () in
+          let result = entry.run ?quick ~seed () in
+          Obs.Metric.Gauge.set
+            (Obs.Registry.gauge reg ("exp." ^ entry.id ^ ".wall_s"))
+            (Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t0));
+          result)
     entries
 
 let run_all ?pool ?quick ~seed fmt () =

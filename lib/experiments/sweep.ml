@@ -9,16 +9,54 @@ type measured = {
    values are identical to the sequential ones; at jobs = 1 the pool
    runs the same in-order loop this code always had. *)
 
+(* Per-trial aggregation into the ambient sink: one wall-clock sample
+   and one steps sample per trial, plus timeout/trial counters. The
+   instruments are resolved once per sweep call; with the null sink the
+   trial body is exactly the uninstrumented code. *)
+type trial_obs = {
+  obs_trial_ns : Obs.Metric.Histogram.t;
+  obs_steps : Obs.Metric.Histogram.t;
+  obs_trials : Obs.Metric.Counter.t;
+  obs_timeouts : Obs.Metric.Counter.t;
+}
+
+let trial_obs () =
+  match Obs.Sink.registry (Obs.Sink.ambient ()) with
+  | None -> None
+  | Some reg ->
+      Some
+        {
+          obs_trial_ns = Obs.Registry.histogram reg "sweep.trial_ns";
+          obs_steps =
+            (* completion times in steps, not ns: decimal buckets *)
+            Obs.Registry.histogram reg "sweep.trial_steps"
+              ~bounds:
+                [| 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000 |];
+          obs_trials = Obs.Registry.counter reg "sweep.trials";
+          obs_timeouts = Obs.Registry.counter reg "sweep.timeouts";
+        }
+
 let completion_times ~trials ~cfg =
   if trials <= 0 then invalid_arg "Sweep.completion_times: trials <= 0";
+  let obs = trial_obs () in
   let samples =
     Runtime.Pool.init (Runtime.Pool.ambient ()) ~n:trials ~f:(fun trial ->
+        let t0 = match obs with None -> 0 | Some _ -> Obs.Clock.now_ns () in
         let report = Mobile_network.Simulation.run_config (cfg ~trial) in
         let timed_out =
           match report.Mobile_network.Simulation.outcome with
           | Mobile_network.Simulation.Completed -> false
           | Mobile_network.Simulation.Timed_out -> true
         in
+        (match obs with
+        | None -> ()
+        | Some o ->
+            Obs.Metric.Histogram.observe o.obs_trial_ns
+              (Obs.Clock.now_ns () - t0);
+            Obs.Metric.Histogram.observe o.obs_steps
+              report.Mobile_network.Simulation.steps;
+            Obs.Metric.Counter.incr o.obs_trials;
+            if timed_out then Obs.Metric.Counter.incr o.obs_timeouts);
         (float_of_int report.Mobile_network.Simulation.steps, timed_out))
   in
   {
@@ -30,9 +68,18 @@ let completion_times ~trials ~cfg =
 
 let probability ~trials ~f =
   if trials <= 0 then invalid_arg "Sweep.probability: trials <= 0";
+  let obs = trial_obs () in
   let hits =
     Runtime.Pool.init (Runtime.Pool.ambient ()) ~n:trials ~f:(fun trial ->
-        f ~trial)
+        let t0 = match obs with None -> 0 | Some _ -> Obs.Clock.now_ns () in
+        let hit = f ~trial in
+        (match obs with
+        | None -> ()
+        | Some o ->
+            Obs.Metric.Histogram.observe o.obs_trial_ns
+              (Obs.Clock.now_ns () - t0);
+            Obs.Metric.Counter.incr o.obs_trials);
+        hit)
     |> Array.fold_left (fun n hit -> if hit then n + 1 else n) 0
   in
   float_of_int hits /. float_of_int trials

@@ -10,7 +10,13 @@
     ({!Runtime.Pool.ambient}); because each trial is keyed by its index
     alone, the measured values are independent of the pool size. With
     the default ambient size of 1 the behaviour is the exact sequential
-    loop of old. *)
+    loop of old.
+
+    When the ambient metrics sink ({!Obs.Sink.ambient}) records, every
+    trial additionally reports wall-clock ([sweep.trial_ns]), simulated
+    steps ([sweep.trial_steps]) and timeout/trial counters into it —
+    aggregated over all sweeps of a run, purely observational, never
+    affecting the measured values. *)
 
 type measured = {
   times : float array;  (** one completion time per trial *)

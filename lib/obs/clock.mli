@@ -1,0 +1,13 @@
+(** Monotonic time source for all observability measurements.
+
+    Wall-clock time ([Unix.gettimeofday]) can jump under NTP
+    adjustment; phase timings and queue-wait latencies must not. This
+    reads [CLOCK_MONOTONIC] through a tiny C stub that returns a tagged
+    immediate int, so taking a timestamp never allocates. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary fixed origin. Monotonic,
+    allocation-free. Only differences are meaningful. *)
+
+val ns_to_s : int -> float
+(** Convenience: nanoseconds to seconds. *)

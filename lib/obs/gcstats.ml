@@ -1,0 +1,77 @@
+type snapshot = {
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+}
+
+let snapshot () =
+  (* [Gc.counters] is domain-local in OCaml 5 (it reads the calling
+     domain's allocation counters); [Gc.quick_stat]'s word fields are
+     summed over all domains, which is not what per-domain rows want.
+     Collection counts only exist as process-wide cycle counts — in
+     OCaml 5 a minor collection is one stop-the-world cycle that every
+     domain participates in, so that is also the meaningful number. *)
+  let s = Gc.quick_stat () in
+  let minor_words, promoted_words, major_words = Gc.counters () in
+  {
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+    compactions = s.Gc.compactions;
+    minor_words;
+    promoted_words;
+    major_words;
+  }
+
+let global () =
+  (* [Gc.quick_stat]'s word fields are summed over every domain that
+     has ever run — the process-wide totals the [process.gc] row wants. *)
+  let s = Gc.quick_stat () in
+  {
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+    compactions = s.Gc.compactions;
+    minor_words = s.Gc.minor_words;
+    promoted_words = s.Gc.promoted_words;
+    major_words = s.Gc.major_words;
+  }
+
+let delta ~before ~after =
+  {
+    minor_collections = after.minor_collections - before.minor_collections;
+    major_collections = after.major_collections - before.major_collections;
+    compactions = after.compactions - before.compactions;
+    minor_words = after.minor_words -. before.minor_words;
+    promoted_words = after.promoted_words -. before.promoted_words;
+    major_words = after.major_words -. before.major_words;
+  }
+
+type counters = {
+  c_minor : Metric.Counter.t;
+  c_major : Metric.Counter.t;
+  c_compactions : Metric.Counter.t;
+  c_minor_words : Metric.Counter.t;
+  c_promoted_words : Metric.Counter.t;
+  c_major_words : Metric.Counter.t;
+}
+
+let counters reg ~prefix =
+  let c name = Registry.counter reg (prefix ^ "." ^ name) in
+  {
+    c_minor = c "minor_collections";
+    c_major = c "major_collections";
+    c_compactions = c "compactions";
+    c_minor_words = c "minor_words";
+    c_promoted_words = c "promoted_words";
+    c_major_words = c "major_words";
+  }
+
+let accumulate c d =
+  Metric.Counter.add c.c_minor d.minor_collections;
+  Metric.Counter.add c.c_major d.major_collections;
+  Metric.Counter.add c.c_compactions d.compactions;
+  Metric.Counter.add c.c_minor_words (int_of_float d.minor_words);
+  Metric.Counter.add c.c_promoted_words (int_of_float d.promoted_words);
+  Metric.Counter.add c.c_major_words (int_of_float d.major_words)

@@ -1,0 +1,53 @@
+(** Per-domain GC accounting.
+
+    In OCaml 5 the minor heap is per-domain but minor collections are
+    stop-the-world: one domain filling its minor heap pauses all of
+    them. That makes "minor cycles per unit of work" the number that
+    decides whether a parallel run is paying a GC barrier tax — the
+    conjecture EXPERIMENTS.md could not test before this module.
+
+    A snapshot must be taken {e on the domain being measured}: the
+    word counters come from [Gc.counters], which reads the calling
+    domain's local allocation counters ([Gc.quick_stat]'s word fields
+    are summed over all domains — wrong for attribution). The
+    collection counts come from [Gc.quick_stat] and are process-wide
+    stop-the-world cycle counts: every domain participates in every
+    minor cycle, so a per-domain delta of [minor_collections] reads as
+    "STW minor cycles that interrupted this domain's work", not as a
+    private tally. The pattern is delta-based: snapshot on the domain,
+    do work, snapshot again, and [accumulate] the difference into
+    shared counters that any domain may read. *)
+
+type snapshot = {
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+}
+
+val snapshot : unit -> snapshot
+(** The calling domain's view: domain-local word counters
+    ([Gc.counters]) plus the process-wide collection-cycle counts.
+    Cheap; never triggers collection. *)
+
+val global : unit -> snapshot
+(** Process-wide totals: [Gc.quick_stat]'s word fields, summed over all
+    domains. For whole-process rows ([process.gc]); per-job accounting
+    wants {!snapshot}. *)
+
+val delta : before:snapshot -> after:snapshot -> snapshot
+(** Field-wise [after - before]. *)
+
+type counters
+(** Shared accumulation target: six registry counters under a common
+    prefix ([<prefix>.minor_collections], [<prefix>.major_collections],
+    [<prefix>.compactions], [<prefix>.minor_words],
+    [<prefix>.promoted_words], [<prefix>.major_words]; word counts are
+    rounded to whole words). *)
+
+val counters : Registry.t -> prefix:string -> counters
+
+val accumulate : counters -> snapshot -> unit
+(** Add one delta. Word fields are truncated to int words. *)

@@ -1,0 +1,17 @@
+/* Monotonic clock for Obs.Clock.
+
+   CLOCK_MONOTONIC nanoseconds as a tagged OCaml int (62 usable bits,
+   ~146 years of uptime), so reading the clock never allocates — the
+   whole observability layer leans on that for its "disabled path is
+   free, enabled path is cheap" contract. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value obs_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,58 @@
+type metric =
+  | Counter of Metric.Counter.t
+  | Gauge of Metric.Gauge.t
+  | Histogram of Metric.Histogram.t
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, metric) Hashtbl.t;
+}
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 64 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+(* get-or-create under the lock; [make] must be cheap *)
+let resolve t name ~make ~extract =
+  Mutex.lock t.mutex;
+  let metric =
+    match Hashtbl.find_opt t.table name with
+    | Some m -> m
+    | None ->
+        let m = make () in
+        Hashtbl.add t.table name m;
+        m
+  in
+  Mutex.unlock t.mutex;
+  match extract metric with
+  | Some instrument -> instrument
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Obs.Registry: %S is a %s, not the requested kind"
+           name (kind_name metric))
+
+let counter t name =
+  resolve t name
+    ~make:(fun () -> Counter (Metric.Counter.create ()))
+    ~extract:(function Counter c -> Some c | Gauge _ | Histogram _ -> None)
+
+let gauge t name =
+  resolve t name
+    ~make:(fun () -> Gauge (Metric.Gauge.create ()))
+    ~extract:(function Gauge g -> Some g | Counter _ | Histogram _ -> None)
+
+let histogram ?bounds t name =
+  resolve t name
+    ~make:(fun () -> Histogram (Metric.Histogram.create ?bounds ()))
+    ~extract:(function
+      | Histogram h -> Some h
+      | Counter _ | Gauge _ -> None)
+
+let to_list t =
+  Mutex.lock t.mutex;
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [] in
+  Mutex.unlock t.mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries

@@ -1,0 +1,32 @@
+(** Named metric registry.
+
+    Accessors are get-or-create: asking twice for the same name returns
+    the same instrument, which is how independent layers (a simulation
+    per trial, the pool, the sweep driver) aggregate into one shared
+    document — all trials of an experiment observe into the single
+    histogram registered under e.g. ["sim.phase.move_ns"]. Creation is
+    serialised by a mutex; the returned instruments themselves are
+    lock-free, so resolve names once outside hot loops and hold the
+    instrument. *)
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> Metric.Counter.t
+val gauge : t -> string -> Metric.Gauge.t
+
+val histogram : ?bounds:int array -> t -> string -> Metric.Histogram.t
+(** [bounds] only takes effect on first creation of the name. *)
+
+(** All three @raise Invalid_argument if [name] is already registered
+    as a different kind of instrument. *)
+
+type metric =
+  | Counter of Metric.Counter.t
+  | Gauge of Metric.Gauge.t
+  | Histogram of Metric.Histogram.t
+
+val to_list : t -> (string * metric) list
+(** Every registered instrument, sorted by name (the stable order every
+    export uses). *)

@@ -1,0 +1,161 @@
+let partition registry =
+  List.fold_left
+    (fun (counters, gauges, histograms) (name, metric) ->
+      match metric with
+      | Registry.Counter c -> ((name, c) :: counters, gauges, histograms)
+      | Registry.Gauge g -> (counters, (name, g) :: gauges, histograms)
+      | Registry.Histogram h -> (counters, gauges, (name, h) :: histograms))
+    ([], [], [])
+    (List.rev (Registry.to_list registry))
+(* [to_list] is name-sorted; the double reversal keeps each class
+   sorted too. *)
+
+let histogram_json h =
+  let count = Metric.Histogram.count h in
+  let opt_int v = if count = 0 then Json.Null else Json.Int v in
+  let buckets =
+    Metric.Histogram.buckets h
+    |> Array.to_list
+    |> List.filter_map (fun (edge, c) ->
+           if c = 0 then None
+           else
+             let edge_json =
+               if edge = max_int then Json.String "+Inf" else Json.Int edge
+             in
+             Some (Json.List [ edge_json; Json.Int c ]))
+  in
+  Json.Assoc
+    [
+      ("count", Json.Int count);
+      ("sum_ns", Json.Int (Metric.Histogram.sum_ns h));
+      ("min_ns", opt_int (Metric.Histogram.min_ns h));
+      ("max_ns", opt_int (Metric.Histogram.max_ns h));
+      ( "mean_ns",
+        if count = 0 then Json.Null else Json.Float (Metric.Histogram.mean_ns h)
+      );
+      ("buckets", Json.List buckets);
+    ]
+
+let to_json registry =
+  let counters, gauges, histograms = partition registry in
+  Json.Assoc
+    [
+      ( "counters",
+        Json.Assoc
+          (List.map
+             (fun (name, c) -> (name, Json.Int (Metric.Counter.value c)))
+             counters) );
+      ( "gauges",
+        Json.Assoc
+          (List.map
+             (fun (name, g) -> (name, Json.Float (Metric.Gauge.value g)))
+             gauges) );
+      ( "histograms",
+        Json.Assoc
+          (List.map (fun (name, h) -> (name, histogram_json h)) histograms) );
+    ]
+
+let to_json_string registry = Json.to_string_pretty (to_json registry) ^ "\n"
+
+(* --- human-readable table ------------------------------------------------- *)
+
+let humanise_ns ns =
+  let f = float_of_int ns in
+  if f >= 1e9 then Printf.sprintf "%.2f s" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2f ms" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.2f us" (f /. 1e3)
+  else Printf.sprintf "%d ns" ns
+
+let to_table registry =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let counters, gauges, histograms = partition registry in
+  if counters <> [] then begin
+    line "counters";
+    List.iter
+      (fun (name, c) -> line "  %-48s %14d" name (Metric.Counter.value c))
+      counters
+  end;
+  if gauges <> [] then begin
+    line "gauges";
+    List.iter
+      (fun (name, g) -> line "  %-48s %14.4f" name (Metric.Gauge.value g))
+      gauges
+  end;
+  if histograms <> [] then begin
+    line "histograms%42s%11s%11s%11s%11s" "count" "mean" "min" "max" "total";
+    List.iter
+      (fun (name, h) ->
+        let count = Metric.Histogram.count h in
+        if count = 0 then line "  %-48s %9d" name 0
+        else
+          line "  %-48s %9d %10s %10s %10s %10s" name count
+            (humanise_ns (int_of_float (Metric.Histogram.mean_ns h)))
+            (humanise_ns (Metric.Histogram.min_ns h))
+            (humanise_ns (Metric.Histogram.max_ns h))
+            (humanise_ns (Metric.Histogram.sum_ns h)))
+      histograms
+  end;
+  Buffer.contents buf
+
+(* --- validation ----------------------------------------------------------- *)
+
+let validate json =
+  let ( let* ) = Result.bind in
+  let error fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let section name check =
+    match Json.member name json with
+    | None -> error "missing %S section" name
+    | Some (Json.Assoc members) ->
+        List.fold_left
+          (fun acc (key, value) ->
+            let* () = acc in
+            check key value)
+          (Ok ()) members
+    | Some _ -> error "%S is not an object" name
+  in
+  let* () =
+    match json with
+    | Json.Assoc _ -> Ok ()
+    | _ -> Error "snapshot is not a JSON object"
+  in
+  let* () =
+    section "counters" (fun key -> function
+      | Json.Int _ -> Ok ()
+      | _ -> error "counter %S is not an integer" key)
+  in
+  let* () =
+    section "gauges" (fun key -> function
+      | Json.Int _ | Json.Float _ -> Ok ()
+      | _ -> error "gauge %S is not a number" key)
+  in
+  section "histograms" (fun key -> function
+    | Json.Assoc _ as h -> (
+        let int_field name =
+          match Json.member name h with
+          | Some (Json.Int _) -> Ok ()
+          | _ -> error "histogram %S: bad or missing %S" key name
+        in
+        let* () = int_field "count" in
+        let* () = int_field "sum_ns" in
+        match Json.member "buckets" h with
+        | Some (Json.List buckets) ->
+            List.fold_left
+              (fun acc bucket ->
+                let* () = acc in
+                match bucket with
+                | Json.List [ (Json.Int _ | Json.String "+Inf"); Json.Int _ ]
+                  ->
+                    Ok ()
+                | _ -> error "histogram %S: malformed bucket" key)
+              (Ok ()) buckets
+        | _ -> error "histogram %S: bad or missing \"buckets\"" key)
+    | _ -> error "histogram %S is not an object" key)
+
+let parse text =
+  match Json.parse text with
+  | Error _ as e -> e
+  | Ok json -> (
+      match validate json with
+      | Ok () -> Ok json
+      | Error msg -> Error ("invalid metrics snapshot: " ^ msg))

@@ -1,0 +1,38 @@
+(** Point-in-time export of a registry.
+
+    Two renderings of the same document: a JSON object with all keys
+    sorted (stable across runs up to the measured values themselves —
+    goldenable structure, diffable runs) and a fixed-width table for
+    humans. The JSON shape is:
+
+    {v
+    { "counters":   { "<name>": <int>, ... },
+      "gauges":     { "<name>": <float>, ... },
+      "histograms": { "<name>": { "count": <int>, "sum_ns": <int>,
+                                  "min_ns": <int|null>, "max_ns": <int|null>,
+                                  "mean_ns": <float|null>,
+                                  "buckets": [[<le_ns|"+Inf">, <count>], ...] },
+                      ... } }
+    v}
+
+    with empty buckets omitted and the overflow bucket keyed ["+Inf"].
+
+    Snapshots are reads of lock-free instruments, so a snapshot taken
+    {e while domains are still recording} is internally consistent per
+    field but not across fields; take final snapshots after the run
+    (what [--metrics] does) or accept the skew for mid-run peeks. *)
+
+val to_json : Registry.t -> Json.t
+
+val to_json_string : Registry.t -> string
+(** Pretty-printed {!to_json}, newline-terminated. *)
+
+val to_table : Registry.t -> string
+(** One line per instrument, aligned, durations humanised. *)
+
+val validate : Json.t -> (unit, string) result
+(** Structural check of the documented shape. *)
+
+val parse : string -> (Json.t, string) result
+(** Parse then {!validate} — the well-formedness gate the CLI's
+    [validate-metrics] command and the [make check] smoke test use. *)

@@ -1,0 +1,23 @@
+type t =
+  | Nil
+  | Active of {
+      hist : Metric.Histogram.t;
+      start : int;
+    }
+
+let null = Nil
+
+let enter sink name =
+  match Sink.registry sink with
+  | None -> Nil
+  | Some reg ->
+      Active { hist = Registry.histogram reg name; start = Clock.now_ns () }
+
+let exit = function
+  | Nil -> ()
+  | Active { hist; start } ->
+      Metric.Histogram.observe hist (Clock.now_ns () - start)
+
+let with_ sink name f =
+  let span = enter sink name in
+  Fun.protect ~finally:(fun () -> exit span) f

@@ -1,0 +1,28 @@
+(** Monotonic-clock phase timing.
+
+    A span times one region of code and records the elapsed nanoseconds
+    into the histogram named [name] in the sink's registry. Spans nest
+    freely — each records its own full (inclusive) duration, so a
+    parent's time always covers its children's.
+
+    Against the null sink, [enter] returns the preallocated {!null}
+    span and [exit] is a no-op: entering and exiting a span does not
+    allocate. For per-step hot loops, prefer resolving the histogram
+    once and calling {!Metric.Histogram.observe} with raw
+    {!Clock.now_ns} deltas (what [Simulation] and [Pool] do); spans are
+    for coarser scopes — a trial, an experiment, a CLI run. *)
+
+type t
+
+val null : t
+
+val enter : Sink.t -> string -> t
+(** Start a span. Looks the histogram up by name — not for per-step
+    loops. *)
+
+val exit : t -> unit
+(** Stop the span and record it. No-op on {!null}. *)
+
+val with_ : Sink.t -> string -> (unit -> 'a) -> 'a
+(** [with_ sink name f] runs [f] inside a span, recording also when [f]
+    raises. *)

@@ -9,6 +9,28 @@
 
 type job = unit -> unit
 
+(* One metric row per executing domain: the [jobs] worker domains, plus
+   one shared row for the coordinating/helping domain (the caller of a
+   fan-out, which executes jobs inline at [jobs = 1] and during nested
+   helping). GC deltas are sampled on the executing domain around each
+   job — [Gc.quick_stat]'s allocation counters are domain-local — which
+   is what turns "is parallelism paying a minor-GC barrier tax?" into a
+   per-domain measured number. *)
+type worker_row = {
+  wr_name : string;  (* registry prefix, e.g. "pool.domain0" *)
+  wr_busy_ns : Obs.Metric.Counter.t;
+  wr_jobs : Obs.Metric.Counter.t;
+  wr_gc : Obs.Gcstats.counters;
+}
+
+type metrics = {
+  m_registry : Obs.Registry.t;
+  m_queue_wait : Obs.Metric.Histogram.t;  (* submission -> execution start *)
+  m_task : Obs.Metric.Histogram.t;  (* job body latency *)
+  m_rows : worker_row array;  (* workers 0..jobs-1, then the coordinator *)
+  m_attached_ns : int;  (* busy-fraction denominator origin *)
+}
+
 type t = {
   jobs : int;
   mutex : Mutex.t;  (* guards [queue] and [stopping] *)
@@ -16,12 +38,28 @@ type t = {
   queue : job Queue.t;
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
+  mutable metrics : metrics option;
+      (* write-once-ish (set by [set_metrics] between fan-outs); jobs
+         capture the value at submission, so a mid-fan-out swap is
+         harmless *)
+}
+
+type stats = {
+  stat_jobs : int;
+  queue_depth : int;
+  tasks_run : int;
+  wall_ns : int;
+  busy_fraction : float array;
 }
 
 (* True on any domain currently executing pool jobs. A fan-out started
    from such a domain must help rather than block (all workers could
    otherwise be waiting on sub-jobs that no domain is left to run). *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Which metric row this domain accounts to: workers set their index at
+   spawn; -1 (any non-worker domain) maps to the coordinator row. *)
+let worker_slot : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
 
 let rec worker_loop t =
   Mutex.lock t.mutex;
@@ -40,6 +78,33 @@ let rec worker_loop t =
       job ();
       worker_loop t
 
+let make_metrics t reg =
+  let row name =
+    {
+      wr_name = name;
+      wr_busy_ns = Obs.Registry.counter reg (name ^ ".busy_ns");
+      wr_jobs = Obs.Registry.counter reg (name ^ ".jobs_run");
+      wr_gc = Obs.Gcstats.counters reg ~prefix:(name ^ ".gc");
+    }
+  in
+  let nworkers = if t.jobs = 1 then 0 else t.jobs in
+  {
+    m_registry = reg;
+    m_queue_wait = Obs.Registry.histogram reg "pool.queue_wait_ns";
+    m_task = Obs.Registry.histogram reg "pool.task_ns";
+    m_rows =
+      Array.init (nworkers + 1) (fun i ->
+          if i = nworkers then row "pool.coordinator"
+          else row (Printf.sprintf "pool.domain%d" i));
+    m_attached_ns = Obs.Clock.now_ns ();
+  }
+
+let set_metrics t sink =
+  t.metrics <-
+    (match Obs.Sink.registry sink with
+    | None -> None
+    | Some reg -> Some (make_metrics t reg))
+
 let create ~jobs =
   if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
   let t =
@@ -50,13 +115,15 @@ let create ~jobs =
       queue = Queue.create ();
       stopping = false;
       workers = [];
+      metrics = None;
     }
   in
   if jobs > 1 then
     t.workers <-
-      List.init jobs (fun _ ->
+      List.init jobs (fun i ->
           Domain.spawn (fun () ->
               Domain.DLS.set in_worker true;
+              Domain.DLS.set worker_slot i;
               worker_loop t));
   t
 
@@ -70,9 +137,61 @@ let shutdown t =
   List.iter Domain.join t.workers;
   t.workers <- []
 
-let with_pool ~jobs fn =
+let with_pool ?(metrics = Obs.Sink.null) ~jobs fn =
   let t = create ~jobs in
+  set_metrics t metrics;
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> fn t)
+
+(* --- job accounting --- *)
+
+let row_for m =
+  let coordinator = Array.length m.m_rows - 1 in
+  let s = Domain.DLS.get worker_slot in
+  m.m_rows.(if s >= 0 && s < coordinator then s else coordinator)
+
+(* A domain that is already inside an accounted job may run further
+   jobs inline (the coordinator helps drain the queue, and nested
+   map/init calls execute on the same domain). Those inner jobs are
+   covered by the outer job's span; accounting them again would
+   double-count busy time and GC work, pushing busy fractions past 1.
+   The flag below makes accounting apply to outermost jobs only. *)
+let in_accounted : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Timing + GC accounting around one job body, attributed to the
+   executing domain's row. Pure observation — it wraps the thunk without
+   reordering anything, so scheduling and results are untouched. *)
+let accounted m job () =
+  if Domain.DLS.get in_accounted then job ()
+  else begin
+    Domain.DLS.set in_accounted true;
+    let start = Obs.Clock.now_ns () in
+    let row = row_for m in
+    let gc0 = Obs.Gcstats.snapshot () in
+    Fun.protect
+      ~finally:(fun () ->
+        let stop = Obs.Clock.now_ns () in
+        let gc1 = Obs.Gcstats.snapshot () in
+        Domain.DLS.set in_accounted false;
+        Obs.Metric.Histogram.observe m.m_task (stop - start);
+        Obs.Metric.Counter.add row.wr_busy_ns (stop - start);
+        Obs.Metric.Counter.incr row.wr_jobs;
+        Obs.Gcstats.accumulate row.wr_gc
+          (Obs.Gcstats.delta ~before:gc0 ~after:gc1))
+      job
+  end
+
+(* Wrap a queued job at submission time: measures queue wait
+   (submission to execution start), then runs the accounted body. With
+   metrics off this is the identity — no wrapper closure exists. *)
+let instrument t job =
+  match t.metrics with
+  | None -> job
+  | Some m ->
+      let enqueued = Obs.Clock.now_ns () in
+      fun () ->
+        Obs.Metric.Histogram.observe m.m_queue_wait
+          (Obs.Clock.now_ns () - enqueued);
+        accounted m job ()
 
 let try_pop t =
   Mutex.lock t.mutex;
@@ -154,7 +273,7 @@ let run_parallel ?on_progress ?on_result t ctx thunks =
     Mutex.unlock t.mutex;
     invalid_arg "Pool: pool already shut down"
   end;
-  List.iter (fun job -> Queue.push job t.queue) thunks;
+  List.iter (fun job -> Queue.push (instrument t job) t.queue) thunks;
   Condition.broadcast t.work;
   Mutex.unlock t.mutex;
   if Domain.DLS.get in_worker then begin
@@ -212,10 +331,18 @@ let run_seq ?on_progress ?on_result ~f items total =
       r)
     items
 
+(* jobs = 1: no queue, so no queue-wait — but task latency, coordinator
+   busy time and coordinator GC deltas are still worth having. *)
+let seq_accounted t f =
+  match t.metrics with
+  | None -> f
+  | Some m -> fun i x -> accounted m (fun () -> f i x) ()
+
 let map ?on_progress ?on_result t ~f items =
   let total = List.length items in
   if total = 0 then []
-  else if t.jobs = 1 then run_seq ?on_progress ?on_result ~f items total
+  else if t.jobs = 1 then
+    run_seq ?on_progress ?on_result ~f:(seq_accounted t f) items total
   else begin
     let ctx =
       {
@@ -236,7 +363,14 @@ let map ?on_progress ?on_result t ~f items =
 
 let init t ~n ~f =
   if n < 0 then invalid_arg "Pool.init: n < 0";
-  if t.jobs = 1 || n <= 1 then Array.init n f
+  if (t.jobs = 1 && t.metrics = None) || n <= 1 then Array.init n f
+  else if t.jobs = 1 then
+    (* metrics on: run the same in-order loop through [map] so trial
+       batches are task-accounted; values are identical either way *)
+    Array.init n (fun i -> i)
+    |> Array.to_list
+    |> map t ~f:(fun _ i -> f i)
+    |> Array.of_list
   else begin
     (* Individual items (trials) can be microseconds long, so batch them
        into contiguous chunks — a few per worker for load balance — and
@@ -261,10 +395,52 @@ let map_reduce t ~map:f ~reduce ~init items =
 let recommended_jobs ?(cap = 8) () =
   max 1 (min cap (Domain.recommended_domain_count ()))
 
+(* --- observability snapshots --- *)
+
+let stats t =
+  match t.metrics with
+  | None -> None
+  | Some m ->
+      Mutex.lock t.mutex;
+      let queue_depth = Queue.length t.queue in
+      Mutex.unlock t.mutex;
+      let wall_ns = max 1 (Obs.Clock.now_ns () - m.m_attached_ns) in
+      Some
+        {
+          stat_jobs = t.jobs;
+          queue_depth;
+          tasks_run =
+            Array.fold_left
+              (fun acc row -> acc + Obs.Metric.Counter.value row.wr_jobs)
+              0 m.m_rows;
+          wall_ns;
+          busy_fraction =
+            Array.map
+              (fun row ->
+                float_of_int (Obs.Metric.Counter.value row.wr_busy_ns)
+                /. float_of_int wall_ns)
+              m.m_rows;
+        }
+
+let publish_stats t =
+  match (t.metrics, stats t) with
+  | Some m, Some s ->
+      let gauge name v =
+        Obs.Metric.Gauge.set (Obs.Registry.gauge m.m_registry name) v
+      in
+      gauge "pool.queue_depth" (float_of_int s.queue_depth);
+      gauge "pool.wall_s" (Obs.Clock.ns_to_s s.wall_ns);
+      Array.iteri
+        (fun i row ->
+          gauge (row.wr_name ^ ".busy_fraction") s.busy_fraction.(i))
+        m.m_rows
+  | _ -> ()
+
 (* --- ambient pool --- *)
 
 let ambient_lock = Mutex.create ()
 let ambient_size = ref 1
+let ambient_sink = ref Obs.Sink.null
 let ambient_pool : t option ref = ref None
 
 let set_ambient_jobs n =
@@ -284,6 +460,12 @@ let ambient_jobs () =
   Mutex.unlock ambient_lock;
   n
 
+let set_ambient_metrics sink =
+  Mutex.lock ambient_lock;
+  ambient_sink := sink;
+  (match !ambient_pool with Some p -> set_metrics p sink | None -> ());
+  Mutex.unlock ambient_lock
+
 let ambient () =
   Mutex.lock ambient_lock;
   let p =
@@ -291,6 +473,7 @@ let ambient () =
     | Some p -> p
     | None ->
         let p = create ~jobs:!ambient_size in
+        set_metrics p !ambient_sink;
         ambient_pool := Some p;
         p
   in

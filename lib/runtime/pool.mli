@@ -35,7 +35,8 @@ type t
 
 val create : jobs:int -> t
 (** [create ~jobs] spawns [jobs] worker domains ([jobs = 1] spawns
-    none; such a pool is purely sequential).
+    none; such a pool is purely sequential). Metrics are off until
+    {!set_metrics} attaches a sink.
     @raise Invalid_argument if [jobs < 1]. *)
 
 val jobs : t -> int
@@ -45,7 +46,7 @@ val shutdown : t -> unit
 (** Join all workers. Idempotent. Outstanding jobs are completed first;
     calling [map] after shutdown raises [Invalid_argument]. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?metrics:Obs.Sink.t -> jobs:int -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] (also on exception). *)
 
 val map :
@@ -60,7 +61,14 @@ val map :
     job, in completion order; [on_result] fires once per job, in
     {e submission} order, as soon as the ordered prefix up to that job
     has completed — this is what incremental table rendering hangs off.
-    Both run on the calling domain. *)
+    Both run on the calling domain.
+
+    For live dashboards, an [on_progress] callback may additionally
+    poll {!stats} on the same pool: both run on the calling domain, so
+    a front end can render "done m/n, queue depth q, workers x% busy"
+    per completion event without any locking of its own. Like metrics
+    in general, such polling is read-only — it cannot change what the
+    pool computes (see the determinism note below {!stats}). *)
 
 val init : t -> n:int -> f:(int -> 'b) -> 'b array
 (** [init pool ~n ~f] is a parallel [Array.init n f] (submission order
@@ -84,6 +92,53 @@ val recommended_jobs : ?cap:int -> unit -> int
 (** [Domain.recommended_domain_count ()] clamped to [[1, cap]]
     ([cap] defaults to 8). The default for every [--jobs] flag. *)
 
+(** {2 Observability}
+
+    With a recording sink attached, the pool reports into the sink's
+    registry: [pool.queue_wait_ns] (histogram, submission to execution
+    start), [pool.task_ns] (histogram, job body latency), and per
+    executing domain [pool.domain<i>.*] / [pool.coordinator.*] rows
+    with [busy_ns], [jobs_run] and [gc.*] counters — minor/major
+    collections, promoted/minor/major words, sampled around each job on
+    the domain that ran it. The coordinator row covers the calling
+    domain: all jobs at [jobs = 1], and jobs it executes while helping
+    a nested fan-out.
+
+    {b Determinism note:} metrics are pure observation and must never
+    influence scheduling or results. Attaching a sink wraps each job in
+    timing/GC accounting but submits the same jobs to the same queue in
+    the same order; the pool's ordering guarantees above are unchanged,
+    and the rendered output of any fan-out is byte-identical with
+    metrics on or off, at any [jobs] value (enforced by [test_obs]). *)
+
+val set_metrics : t -> Obs.Sink.t -> unit
+(** Attach (or, with {!Obs.Sink.null}, detach) a metrics sink. Takes
+    effect for subsequently submitted jobs; safe between fan-outs. *)
+
+(** Point-in-time view of a pool mid-run (all fields since the sink was
+    attached). *)
+type stats = {
+  stat_jobs : int;  (** pool size, for busy-fraction context *)
+  queue_depth : int;  (** jobs submitted but not yet started *)
+  tasks_run : int;  (** jobs finished, across all domains *)
+  wall_ns : int;  (** elapsed wall-clock since attach *)
+  busy_fraction : float array;
+      (** fraction of wall time each row spent executing jobs; indices
+          [0 .. jobs-1] are worker domains, the last entry is the
+          coordinator row ([jobs = 1] pools have only the coordinator) *)
+}
+
+val stats : t -> stats option
+(** [None] iff no recording sink is attached. Safe to call from
+    [on_progress] (mid-run): instruments are lock-free, so this never
+    blocks workers. *)
+
+val publish_stats : t -> unit
+(** Write the current {!stats} into the attached registry as gauges
+    ([pool.queue_depth], [pool.wall_s], [<row>.busy_fraction]) so they
+    appear in {!Obs.Snapshot} exports. Front ends call this once after
+    a run, before writing [--metrics FILE]. No-op without a sink. *)
+
 (** {2 Ambient pool}
 
     One process-wide pool shared by every fan-out point that cannot
@@ -95,6 +150,12 @@ val set_ambient_jobs : int -> unit
 (** Set the ambient pool size. If an ambient pool of a different size
     already exists it is shut down and recreated lazily.
     @raise Invalid_argument if [jobs < 1]. *)
+
+val set_ambient_metrics : Obs.Sink.t -> unit
+(** Sink for the ambient pool: applied to the existing ambient pool if
+    one is live, and remembered for lazy (re)creation. Front ends set
+    this together with {!Obs.Sink.set_ambient} when [--metrics] is
+    given. *)
 
 val ambient_jobs : unit -> int
 (** Current ambient pool size (without forcing pool creation). *)
