@@ -12,15 +12,18 @@ test:
 
 # Tier-1 gate plus a smoke run of the parallel path: the full quick-mode
 # registry fanned out over a 2-worker domain pool must still pass every
-# shape check (results are identical to --jobs 1 by construction), and a
-# metrics smoke test: an instrumented run must emit a snapshot that the
-# obs parser accepts.
+# shape check (results are identical to --jobs 1 by construction), a
+# metrics smoke test (an instrumented run must emit a snapshot that the
+# obs parser accepts), and a non-grid engine smoke: the continuum space
+# instance of the shared engine must run end to end from the CLI.
+# `dune build @all` also builds examples/.
 check:
 	dune build @all
 	dune runtest
 	dune exec bin/mobisim.exe -- exp --quick --jobs 2
 	dune exec bin/mobisim.exe -- exp E1 --quick --metrics /tmp/mobisim-metrics.json
 	dune exec bin/mobisim.exe -- validate-metrics /tmp/mobisim-metrics.json
+	dune exec bin/mobisim.exe -- simulate --space continuum --side 8 -k 16 -r 2
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,72 @@
+(* perf_probe — focused wall-clock + allocation probe for the engine hot
+   paths that the Space/Exchange/Engine refactor touches. Unlike the
+   Bechamel harness this runs in seconds and reports per-step minor-heap
+   allocation, which is the quantity the exchange-scratch and
+   continuum-index work is meant to drive down. Used to record the
+   before/after numbers in EXPERIMENTS.md. *)
+
+module Config = Mobile_network.Config
+module Protocol = Mobile_network.Protocol
+module Simulation = Mobile_network.Simulation
+
+let time_alloc ~label ~reps f =
+  (* warmup run: fill caches, trigger lazy allocations *)
+  ignore (f ());
+  let minor0 = Gc.minor_words () in
+  let t0 = Obs.Clock.now_ns () in
+  let steps = ref 0 in
+  for _ = 1 to reps do
+    steps := !steps + f ()
+  done;
+  let dt = Obs.Clock.now_ns () - t0 in
+  let minor = Gc.minor_words () -. minor0 in
+  Printf.printf "%-34s %8d steps  %8.0f ns/step  %10.1f words/step\n%!" label
+    !steps
+    (float_of_int dt /. float_of_int (max 1 !steps))
+    (minor /. float_of_int (max 1 !steps))
+
+let () =
+  Printf.printf "%-34s %14s %15s %20s\n" "probe" "total" "time" "minor alloc";
+  (* core broadcast: the bench E1-quick proxy (flood over components) *)
+  time_alloc ~label:"core broadcast side=64 k=64 r=0" ~reps:20 (fun () ->
+      (Simulation.run_config
+         (Config.make ~side:64 ~agents:64 ~radius:0 ~seed:7 ~max_steps:2000 ()))
+        .Simulation.steps);
+  time_alloc ~label:"core broadcast side=64 k=64 r=8" ~reps:20 (fun () ->
+      (Simulation.run_config
+         (Config.make ~side:64 ~agents:64 ~radius:8 ~seed:7 ~max_steps:2000 ()))
+        .Simulation.steps);
+  (* gossip flood: per-step shared-set table churn *)
+  time_alloc ~label:"gossip flood side=32 k=64 r=2" ~reps:10 (fun () ->
+      (Simulation.run_config
+         (Config.make ~side:32 ~agents:64 ~radius:2
+            ~protocol:Protocol.Gossip ~seed:7 ~max_steps:500 ()))
+        .Simulation.steps);
+  (* gossip single-hop: per-step snapshot table + exchange list churn *)
+  time_alloc ~label:"gossip single-hop side=32 k=64 r=2" ~reps:10 (fun () ->
+      (Simulation.run_config
+         (Config.make ~side:32 ~agents:64 ~radius:2
+            ~protocol:Protocol.Gossip ~exchange:Config.Single_hop ~seed:7
+            ~max_steps:500 ()))
+        .Simulation.steps);
+  (* continuum: per-step bucket-table rebuild *)
+  time_alloc ~label:"continuum k=256 box=16 r=1.2" ~reps:10 (fun () ->
+      (Continuum.broadcast
+         { Continuum.box_side = 16.; agents = 256; radius = 1.2; sigma = 0.3;
+           seed = 7; trial = 0; max_steps = 500 })
+        .Continuum.steps);
+  (* clementi dense baseline: one-hop exchange at scale *)
+  time_alloc ~label:"clementi side=48 k=1152 R=4" ~reps:10 (fun () ->
+      (Baselines.Clementi.broadcast
+         { Baselines.Clementi.side = 48; agents = 1152; big_r = 4; rho = 4;
+           seed = 7; trial = 0; max_steps = 4800 })
+        .Baselines.Clementi.steps);
+  (* barriers: DSU + LOS exchange *)
+  let domain =
+    Barriers.Domain.central_wall (Grid.create ~side:40 ()) ~gap:2
+  in
+  time_alloc ~label:"barrier side=40 k=24 wall gap=2" ~reps:10 (fun () ->
+      (Barriers.Barrier_sim.broadcast
+         { Barriers.Barrier_sim.domain; agents = 24; radius = 4;
+           los_blocking = true; seed = 7; trial = 0; max_steps = 20_000 })
+        .Barriers.Barrier_sim.steps)

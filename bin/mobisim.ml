@@ -68,11 +68,22 @@ let kernel_arg =
     | "lazy" | "lazy-1/5" | "paper" -> Ok Walk.Lazy_one_fifth
     | "simple" | "srw" -> Ok Walk.Simple
     | "lazy-half" | "lazy-1/2" -> Ok Walk.Lazy_half
-    | s -> Error (`Msg (Printf.sprintf "unknown kernel %S" s))
+    | s -> (
+        match String.index_opt s ':' with
+        | Some i when String.sub s 0 i = "jump" -> (
+            let rest = String.sub s (i + 1) (String.length s - i - 1) in
+            match int_of_string_opt rest with
+            | Some rho when rho >= 0 -> Ok (Walk.Jump rho)
+            | Some _ | None ->
+                Error (`Msg "jump:<rho> needs a non-negative int"))
+        | Some _ | None -> Error (`Msg (Printf.sprintf "unknown kernel %S" s)))
   in
   let print fmt k = Format.pp_print_string fmt (Walk.kernel_to_string k) in
   let kernel_conv = Arg.conv (parse, print) in
-  let doc = "Mobility kernel: lazy (paper's 1/5 walk), simple, lazy-half." in
+  let doc =
+    "Mobility kernel: lazy (paper's 1/5 walk), simple, lazy-half or \
+     jump:<rho> (the dense-baseline jump within Manhattan distance rho)."
+  in
   Arg.(value & opt kernel_conv Walk.Lazy_one_fifth & info [ "kernel" ] ~docv:"KERNEL" ~doc)
 
 let torus_arg =
@@ -142,7 +153,79 @@ let install_metrics ?(pool = false) path =
 
 (* --- simulate ------------------------------------------------------------- *)
 
-let run_simulate side agents radius protocol kernel seed trial max_steps
+let space_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "grid" -> Ok `Grid
+    | "continuum" -> Ok `Continuum
+    | "domain" -> Ok `Domain
+    | s ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown space %S (expected grid, continuum or domain)" s))
+  in
+  let print fmt s =
+    Format.pp_print_string fmt
+      (match s with
+      | `Grid -> "grid"
+      | `Continuum -> "continuum"
+      | `Domain -> "domain")
+  in
+  let space_conv = Arg.conv (parse, print) in
+  let doc =
+    "Space instance to run the shared engine on: grid (the paper's model; \
+     full protocol/kernel support), continuum (Brownian agents in a \
+     side x side box, r and sigma = r/4 in continuous units) or domain \
+     (an unobstructed barrier domain). Non-grid spaces run a plain \
+     broadcast and ignore --protocol/--kernel/--torus/--trace/--render."
+  in
+  Arg.(value & opt space_conv `Grid & info [ "space" ] ~docv:"SPACE" ~doc)
+
+let run_simulate_continuum side agents radius seed trial max_steps metrics =
+  let finish_metrics = install_metrics metrics in
+  let box_side = float_of_int side in
+  let radius = float_of_int radius in
+  let rc = Continuum.critical_radius ~box_side ~agents in
+  let cfg =
+    { Continuum.box_side; agents; radius;
+      sigma = (if radius > 0. then radius /. 4. else 1.0); seed; trial;
+      max_steps = (match max_steps with Some m -> m | None -> 1_000_000) }
+  in
+  Printf.printf "continuum: box=%.1f k=%d r=%.2f (%.2f r_c) sigma=%.2f\n"
+    box_side agents radius
+    (if rc > 0. then radius /. rc else 0.)
+    cfg.Continuum.sigma;
+  let report = Continuum.broadcast cfg in
+  (match report.Continuum.outcome with
+  | Continuum.Completed ->
+      Printf.printf "completed in %d steps\n" report.Continuum.steps
+  | Continuum.Timed_out ->
+      Printf.printf "TIMED OUT after %d steps (informed %d/%d)\n"
+        report.Continuum.steps report.Continuum.informed agents);
+  finish_metrics ()
+
+let run_simulate_domain side agents radius seed trial max_steps metrics =
+  let finish_metrics = install_metrics metrics in
+  let domain = Barriers.Domain.unobstructed (Grid.create ~side ()) in
+  Printf.printf "domain: open %dx%d, k=%d r=%d\n" side side agents radius;
+  let report =
+    Barriers.Barrier_sim.broadcast
+      { Barriers.Barrier_sim.domain; agents; radius; los_blocking = false;
+        seed; trial;
+        max_steps =
+          (match max_steps with Some m -> m | None -> 100 * side * side) }
+  in
+  (match report.Barriers.Barrier_sim.outcome with
+  | Barriers.Barrier_sim.Completed ->
+      Printf.printf "completed in %d steps\n" report.Barriers.Barrier_sim.steps
+  | Barriers.Barrier_sim.Timed_out ->
+      Printf.printf "TIMED OUT after %d steps (informed %d/%d)\n"
+        report.Barriers.Barrier_sim.steps
+        report.Barriers.Barrier_sim.informed agents);
+  finish_metrics ()
+
+let run_simulate_grid side agents radius protocol kernel seed trial max_steps
     trace render torus trace_out metrics =
   let cfg =
     Config.make ~torus ~side ~agents ~radius ~protocol ~kernel ~seed ~trial
@@ -192,6 +275,17 @@ let run_simulate side agents radius protocol kernel seed trial max_steps
         trace_out;
       finish_metrics ()
 
+let run_simulate space side agents radius protocol kernel seed trial max_steps
+    trace render torus trace_out metrics =
+  match space with
+  | `Grid ->
+      run_simulate_grid side agents radius protocol kernel seed trial max_steps
+        trace render torus trace_out metrics
+  | `Continuum ->
+      run_simulate_continuum side agents radius seed trial max_steps metrics
+  | `Domain ->
+      run_simulate_domain side agents radius seed trial max_steps metrics
+
 let simulate_cmd =
   let trace =
     let doc = "Print a status line every $(docv) steps (0 = silent)." in
@@ -207,9 +301,9 @@ let simulate_cmd =
   in
   let term =
     Term.(
-      const run_simulate $ side_arg $ agents_arg $ radius_arg $ protocol_arg
-      $ kernel_arg $ seed_arg $ trial_arg $ max_steps_arg $ trace $ render
-      $ torus_arg $ trace_out $ metrics_arg)
+      const run_simulate $ space_arg $ side_arg $ agents_arg $ radius_arg
+      $ protocol_arg $ kernel_arg $ seed_arg $ trial_arg $ max_steps_arg
+      $ trace $ render $ torus_arg $ trace_out $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a single simulation and report its outcome.")
@@ -345,12 +439,14 @@ let parse_plan side plan =
       | _ -> Error "rooms:<per-side>:<door> needs positive integers")
   | _ -> Error "expected open, wall:<gap> or rooms:<per-side>:<door>"
 
-let run_barrier side agents radius plan los seed trial max_steps show_map =
+let run_barrier side agents radius plan los seed trial max_steps show_map
+    metrics =
   match parse_plan side plan with
   | Error msg ->
       Printf.eprintf "invalid floor plan %S: %s\n" plan msg;
       exit 2
   | Ok domain ->
+      let finish_metrics = install_metrics metrics in
       if show_map then
         print_string (Render.domain_ascii ~max_width:64 domain);
       Printf.printf
@@ -374,7 +470,8 @@ let run_barrier side agents radius plan los seed trial max_steps show_map =
       | Barriers.Barrier_sim.Timed_out ->
           Printf.printf "TIMED OUT after %d steps (informed %d/%d)\n"
             report.Barriers.Barrier_sim.steps
-            report.Barriers.Barrier_sim.informed agents)
+            report.Barriers.Barrier_sim.informed agents);
+      finish_metrics ()
 
 let barrier_cmd =
   let plan =
@@ -395,7 +492,7 @@ let barrier_cmd =
   let term =
     Term.(
       const run_barrier $ side_arg $ agents_arg $ radius_arg $ plan $ los
-      $ seed_arg $ trial_arg $ max_steps_arg $ show_map)
+      $ seed_arg $ trial_arg $ max_steps_arg $ show_map $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "barrier"
@@ -406,7 +503,8 @@ let barrier_cmd =
 
 (* --- continuum ---------------------------------------------------------------- *)
 
-let run_continuum agents density radius_mult sigma_frac seed trial =
+let run_continuum agents density radius_mult sigma_frac seed trial metrics =
+  let finish_metrics = install_metrics metrics in
   let box_side = sqrt (float_of_int agents /. density) in
   let rc = Continuum.critical_radius ~box_side ~agents in
   let radius = radius_mult *. rc in
@@ -418,12 +516,13 @@ let run_continuum agents density radius_mult sigma_frac seed trial =
       { Continuum.box_side; agents; radius; sigma = radius *. sigma_frac;
         seed; trial; max_steps = 1_000_000 }
   in
-  match report.Continuum.outcome with
+  (match report.Continuum.outcome with
   | Continuum.Completed ->
       Printf.printf "completed in %d steps\n" report.Continuum.steps
   | Continuum.Timed_out ->
       Printf.printf "TIMED OUT after %d steps (informed %d/%d)\n"
-        report.Continuum.steps report.Continuum.informed agents
+        report.Continuum.steps report.Continuum.informed agents);
+  finish_metrics ()
 
 let continuum_cmd =
   let density =
@@ -441,7 +540,7 @@ let continuum_cmd =
   let term =
     Term.(
       const run_continuum $ agents_arg $ density $ radius_mult $ sigma_frac
-      $ seed_arg $ trial_arg)
+      $ seed_arg $ trial_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "continuum"

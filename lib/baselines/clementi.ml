@@ -1,3 +1,9 @@
+module Engine = Mobile_network.Engine
+module Exchange = Mobile_network.Exchange
+module Grid_space = Mobile_network.Grid_space
+
+module E = Engine.Make (Grid_space)
+
 type config = {
   side : int;
   agents : int;
@@ -18,70 +24,54 @@ type report = {
   informed : int;
 }
 
-(* Uniform over the Manhattan ball of radius rho around v, intersected
-   with the grid, by rejection from the bounding square. The acceptance
-   rate is >= 1/2 in the interior and bounded below by ~1/8 at corners. *)
-let jump grid rng rho v =
-  if rho = 0 then v
-  else begin
-    let side = Grid.side grid in
-    let x = Grid.x_of grid v and y = Grid.y_of grid v in
-    let rec draw () =
-      let dx = Prng.int_incl rng (-rho) rho in
-      let dy = Prng.int_incl rng (-rho) rho in
-      if abs dx + abs dy > rho then draw ()
-      else
-        let nx = x + dx and ny = y + dy in
-        if nx < 0 || nx >= side || ny < 0 || ny >= side then draw ()
-        else (ny * side) + nx
-    in
-    draw ()
-  end
+(* One transition of the jump kernel, kept as a named entry point for
+   the walk-statistics tests; the simulator itself runs [Walk.Jump]
+   through the shared engine. *)
+let jump grid rng rho v = Walk.step grid (Walk.Jump rho) rng v
 
-let broadcast cfg =
+let validate cfg =
   if cfg.side <= 0 then invalid_arg "Clementi.broadcast: side <= 0";
   if cfg.agents <= 0 then invalid_arg "Clementi.broadcast: agents <= 0";
   if cfg.big_r < 0 || cfg.rho < 0 then
     invalid_arg "Clementi.broadcast: negative radius";
-  if cfg.max_steps < 0 then invalid_arg "Clementi.broadcast: negative cap";
-  let grid = Grid.create ~side:cfg.side () in
-  let k = cfg.agents in
-  let master =
-    Prng.split (Prng.of_seed ((cfg.seed * 0x9E3779B9) lxor cfg.trial))
-  in
-  let rngs = Array.init k (fun _ -> Prng.split master) in
-  let pos = Array.init k (fun _ -> Grid.random_node grid master) in
-  let informed = Array.make k false in
-  informed.(Prng.int master k) <- true;
-  let informed_count = ref 1 in
-  let spatial = Spatial.create grid ~radius:cfg.big_r in
-  let newly = Array.make k false in
-  (* their exchange is one-hop: every agent within R of an informed
-     agent learns the rumor this step, based on pre-step knowledge *)
-  let exchange () =
-    Spatial.rebuild spatial ~positions:pos;
-    Array.fill newly 0 k false;
-    Spatial.iter_close_pairs spatial ~f:(fun i j ->
-        if informed.(i) && not informed.(j) then newly.(j) <- true
-        else if informed.(j) && not informed.(i) then newly.(i) <- true);
-    for i = 0 to k - 1 do
-      if newly.(i) then begin
-        informed.(i) <- true;
-        incr informed_count
-      end
-    done
-  in
-  exchange ();
-  let time = ref 0 in
-  while !informed_count < k && !time < cfg.max_steps do
-    incr time;
-    for i = 0 to k - 1 do
-      pos.(i) <- jump grid rngs.(i) cfg.rho pos.(i)
-    done;
-    exchange ()
-  done;
+  if cfg.max_steps < 0 then invalid_arg "Clementi.broadcast: negative cap"
+
+let space_of_config cfg =
+  Grid_space.create
+    (Grid.create ~side:cfg.side ())
+    ~kernel:(Walk.Jump cfg.rho) ~radius:cfg.big_r
+
+(* Their exchange is one-hop: every agent within R of an informed agent
+   learns the rumor this step, based on pre-step knowledge — the
+   engine's Single_hop mechanism. *)
+let spec_of_config cfg =
   {
-    outcome = (if !informed_count = k then Completed else Timed_out);
-    steps = !time;
-    informed = !informed_count;
+    (Engine.default_spec ~agents:cfg.agents ~seed:cfg.seed ~trial:cfg.trial
+       ~max_steps:cfg.max_steps)
+    with
+    Engine.exchange = Exchange.Single_hop;
+    (* dense regime: the pair set is huge and their model has no island
+       statistic, so skip the per-pair component build *)
+    track_islands = false;
   }
+
+let create ?metrics cfg =
+  validate cfg;
+  E.create ?metrics ~space:(space_of_config cfg) (spec_of_config cfg)
+
+let report_of (r : Engine.report) =
+  {
+    outcome =
+      (match r.Engine.outcome with
+      | Engine.Completed -> Completed
+      | Engine.Timed_out -> Timed_out);
+    steps = r.Engine.steps;
+    informed = r.Engine.informed;
+  }
+
+let run ?metrics ?(record_history = false) cfg =
+  validate cfg;
+  let spec = { (spec_of_config cfg) with Engine.record_history } in
+  E.run (E.create ?metrics ~space:(space_of_config cfg) spec)
+
+let broadcast ?metrics cfg = report_of (E.run (create ?metrics cfg))

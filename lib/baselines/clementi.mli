@@ -14,7 +14,15 @@
     [T_B = O(√n / rho + log n)] when [rho] dominates — so in the dense
     regime the broadcast time {e does} depend on the transmission radius,
     which is exactly the behaviour the paper proves disappears below the
-    percolation point. Experiment X2 reproduces that contrast. *)
+    percolation point. Experiment X2 reproduces that contrast.
+
+    Since the Space/Exchange/Engine refactor this simulator is the
+    {!Mobile_network.Grid_space} instance of the shared engine with the
+    {!Walk.Jump} kernel and the single-hop exchange mechanism — it
+    inherits phase metrics and history recording (the island series is
+    all zeros: their model has no component statistic and the dense pair
+    set makes the DSU build expensive, so the spec turns it off).
+    Reports are byte-identical to the pre-refactor implementation. *)
 
 type config = {
   side : int;
@@ -36,8 +44,24 @@ type report = {
   informed : int;
 }
 
-val broadcast : config -> report
+val jump : Grid.t -> Prng.t -> int -> Grid.node -> Grid.node
+(** [jump grid rng rho v]: one transition of the jump kernel — uniform
+    over the Manhattan ball of radius [rho] around [v] intersected with
+    the grid. An alias for [Walk.step grid (Walk.Jump rho) rng v]. *)
+
+val broadcast : ?metrics:Obs.Sink.t -> config -> report
 (** Single-rumor broadcast from a random source under the
     jump-and-exchange dynamics. Deterministic given [(seed, trial)].
+    [metrics] (default the ambient sink) receives the engine's
+    per-phase timings.
     @raise Invalid_argument on non-positive [agents]/[side], negative
     radii or a negative step cap. *)
+
+val run :
+  ?metrics:Obs.Sink.t ->
+  ?record_history:bool ->
+  config ->
+  Mobile_network.Engine.report
+(** Same run, exposing the full engine report (per-step history when
+    [record_history] is set). Consumes the same streams as
+    {!broadcast}. *)

@@ -1,3 +1,12 @@
+module Engine = Mobile_network.Engine
+
+(* Re-export the space instance so engine-generic callers (the CLI's
+   [simulate --space continuum], tests) can reach it as
+   [Continuum.Space]. *)
+module Space = Continuum_space
+
+module E = Engine.Make (Continuum_space)
+
 type config = {
   box_side : float;
   agents : int;
@@ -28,67 +37,14 @@ let critical_radius ~box_side ~agents =
   let lambda = float_of_int agents /. (box_side *. box_side) in
   sqrt (percolation_constant /. lambda)
 
-(* Reflect a coordinate into [0, l] (folding handles overshoots of any
-   size, though sigma << l in practice). *)
-let rec reflect l x =
-  if x < 0. then reflect l (-.x)
-  else if x > l then reflect l ((2. *. l) -. x)
-  else x
-
-(* Bucket-grid over float positions with cell side = radius: close pairs
-   lie in the same or 8-adjacent cells. *)
 let components ~box_side ~radius ~xs ~ys =
   let k = Array.length xs in
   let dsu = Dsu.create k in
-  if radius > 0. then begin
-    let cell = radius in
-    let per_row = max 1 (int_of_float (Float.ceil (box_side /. cell))) in
-    let buckets : (int, int list) Hashtbl.t = Hashtbl.create (2 * k) in
-    let bucket_of i =
-      let bx = min (per_row - 1) (int_of_float (xs.(i) /. cell)) in
-      let by = min (per_row - 1) (int_of_float (ys.(i) /. cell)) in
-      (by * per_row) + bx
-    in
-    for i = 0 to k - 1 do
-      let b = bucket_of i in
-      Hashtbl.replace buckets b
-        (i :: Option.value (Hashtbl.find_opt buckets b) ~default:[])
-    done;
-    let r2 = radius *. radius in
-    let close i j =
-      let dx = xs.(i) -. xs.(j) and dy = ys.(i) -. ys.(j) in
-      (dx *. dx) +. (dy *. dy) <= r2
-    in
-    Hashtbl.iter
-      (fun b members ->
-        (* intra-bucket pairs *)
-        let rec intra = function
-          | [] -> ()
-          | i :: rest ->
-              List.iter (fun j -> if close i j then ignore (Dsu.union dsu i j)) rest;
-              intra rest
-        in
-        intra members;
-        (* forward neighbours: E, N, NE, NW *)
-        let bx = b mod per_row and by = b / per_row in
-        let scan dx dy =
-          let nx = bx + dx and ny = by + dy in
-          if nx >= 0 && nx < per_row && ny >= 0 && ny < per_row then
-            match Hashtbl.find_opt buckets ((ny * per_row) + nx) with
-            | None -> ()
-            | Some others ->
-                List.iter
-                  (fun i ->
-                    List.iter
-                      (fun j -> if close i j then ignore (Dsu.union dsu i j))
-                      others)
-                  members
-        in
-        scan 1 0;
-        scan 0 1;
-        scan 1 1;
-        scan (-1) 1)
-      buckets
+  if radius > 0. && k > 0 then begin
+    let space = Continuum_space.create ~box_side ~radius ~sigma:0. ~agents:k in
+    Continuum_space.rebuild_index space { Continuum_space.xs; ys };
+    Continuum_space.iter_close_pairs space ~f:(fun i j ->
+        ignore (Dsu.union dsu i j))
   end;
   dsu
 
@@ -103,54 +59,38 @@ let giant_fraction rng ~box_side ~agents ~radius ~trials =
   done;
   !acc /. float_of_int trials
 
-let broadcast cfg =
+let validate cfg =
   if not (cfg.box_side > 0.) then invalid_arg "Continuum.broadcast: box <= 0";
   if cfg.agents <= 0 then invalid_arg "Continuum.broadcast: agents <= 0";
   if not (cfg.sigma > 0.) then invalid_arg "Continuum.broadcast: sigma <= 0";
   if cfg.radius < 0. then invalid_arg "Continuum.broadcast: negative radius";
-  if cfg.max_steps < 0 then invalid_arg "Continuum.broadcast: negative cap";
-  let k = cfg.agents in
-  let master =
-    Prng.split (Prng.of_seed ((cfg.seed * 0x9E3779B9) lxor cfg.trial))
-  in
-  let rngs = Array.init k (fun _ -> Prng.split master) in
-  let xs = Array.init k (fun _ -> Prng.float master cfg.box_side) in
-  let ys = Array.init k (fun _ -> Prng.float master cfg.box_side) in
-  let informed = Array.make k false in
-  informed.(Prng.int master k) <- true;
-  let informed_count = ref 1 in
-  let root_informed = Array.make k false in
-  let exchange () =
-    let dsu =
-      components ~box_side:cfg.box_side ~radius:cfg.radius ~xs ~ys
-    in
-    Array.fill root_informed 0 k false;
-    for i = 0 to k - 1 do
-      if informed.(i) then root_informed.(Dsu.find dsu i) <- true
-    done;
-    for i = 0 to k - 1 do
-      if (not informed.(i)) && root_informed.(Dsu.find dsu i) then begin
-        informed.(i) <- true;
-        incr informed_count
-      end
-    done
-  in
-  exchange ();
-  let time = ref 0 in
-  while !informed_count < k && !time < cfg.max_steps do
-    incr time;
-    for i = 0 to k - 1 do
-      xs.(i) <-
-        reflect cfg.box_side
-          (xs.(i) +. Prng.gaussian rngs.(i) ~mean:0. ~stddev:cfg.sigma);
-      ys.(i) <-
-        reflect cfg.box_side
-          (ys.(i) +. Prng.gaussian rngs.(i) ~mean:0. ~stddev:cfg.sigma)
-    done;
-    exchange ()
-  done;
+  if cfg.max_steps < 0 then invalid_arg "Continuum.broadcast: negative cap"
+
+let space_of_config cfg =
+  Continuum_space.create ~box_side:cfg.box_side ~radius:cfg.radius
+    ~sigma:cfg.sigma ~agents:cfg.agents
+
+let spec_of_config cfg =
+  Engine.default_spec ~agents:cfg.agents ~seed:cfg.seed ~trial:cfg.trial
+    ~max_steps:cfg.max_steps
+
+let create ?metrics cfg =
+  validate cfg;
+  E.create ?metrics ~space:(space_of_config cfg) (spec_of_config cfg)
+
+let report_of (r : Engine.report) =
   {
-    outcome = (if !informed_count = k then Completed else Timed_out);
-    steps = !time;
-    informed = !informed_count;
+    outcome =
+      (match r.Engine.outcome with
+      | Engine.Completed -> Completed
+      | Engine.Timed_out -> Timed_out);
+    steps = r.Engine.steps;
+    informed = r.Engine.informed;
   }
+
+let run ?metrics ?(record_history = false) cfg =
+  validate cfg;
+  let spec = { (spec_of_config cfg) with Engine.record_history } in
+  E.run (E.create ?metrics ~space:(space_of_config cfg) spec)
+
+let broadcast ?metrics cfg = report_of (E.run (create ?metrics cfg))

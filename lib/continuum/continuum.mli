@@ -16,7 +16,18 @@
 
     The continuum (Gilbert disk) percolation threshold is at intensity
     [lambda_c ≈ 1.436 / r²] (agents per unit area); {!critical_radius}
-    inverts this for a given density. *)
+    inverts this for a given density.
+
+    Since the Space/Exchange/Engine refactor this simulator is a thin
+    wrapper over {!Mobile_network.Engine} instantiated at {!Space}: the
+    same step loop, phase metrics and history recording as the grid
+    engine, with the Brownian box supplying mobility and the
+    close-pair index. Reports are byte-identical to the standalone
+    implementation it replaced (same seeds, same streams). *)
+
+(** The {!Mobile_network.Space.S} instance: float positions, Gaussian
+    moves, reflecting box, radius-bucket close pairs. *)
+module Space = Continuum_space
 
 type config = {
   box_side : float;  (** side length [L] of the square box *)
@@ -49,8 +60,19 @@ val giant_fraction :
 (** Mean largest-component fraction over fresh uniform placements —
     the continuum order parameter. *)
 
-val broadcast : config -> report
+val broadcast : ?metrics:Obs.Sink.t -> config -> report
 (** Single-rumor broadcast from a uniformly chosen source under
     reflected-Brownian dynamics with instant component flooding.
+    [metrics] (default the ambient sink) receives the engine's
+    per-phase timings, exactly as for {!Mobile_network.Simulation}.
     @raise Invalid_argument on non-positive box/agents/sigma, negative
     radius or negative step cap. *)
+
+val run :
+  ?metrics:Obs.Sink.t ->
+  ?record_history:bool ->
+  config ->
+  Mobile_network.Engine.report
+(** Same run, exposing the full engine report (per-step history when
+    [record_history] is set). [run cfg] and [broadcast cfg] consume
+    identical random streams and agree on outcome/steps/informed. *)

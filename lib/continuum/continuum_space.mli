@@ -1,0 +1,36 @@
+(** The continuum instance of the engine's space layer: agents at float
+    coordinates in a reflecting box, moving by isotropic Gaussian steps
+    (discretised Brownian motion), connected within Euclidean distance
+    [radius].
+
+    Close pairs are found through a bucket grid with cell side
+    [>= radius] (capped at ~[2 sqrt agents] cells per row so memory
+    stays O(agents) for any radius); the counting-sort storage is
+    allocated once at {!create} and reused every step, replacing the
+    per-step hash table the standalone simulator rebuilt. A zero radius
+    yields no pairs at all, even for coinciding agents — the same
+    degenerate semantics as the pre-refactor [Continuum.components]. *)
+
+type pos = {
+  xs : float array;
+  ys : float array;
+}
+
+include Mobile_network.Space.S with type pos := pos
+
+val create : box_side:float -> radius:float -> sigma:float -> agents:int -> t
+(** [agents] sizes the index (runs may use fewer agents; more reallocate
+    lazily). @raise Invalid_argument on a non-positive box or agent
+    count, or a negative radius. [sigma] may be 0 for a static
+    placement. *)
+
+val box_side : t -> float
+
+val radius : t -> float
+
+val sigma : t -> float
+
+val reflect : float -> float -> float
+(** [reflect l x] folds [x] into [[0, l]] — the boundary behaviour of
+    the Brownian discretisation (reflection preserves the uniform
+    stationary law). *)

@@ -107,11 +107,8 @@ let validate t =
   Ok ()
 
 let rng_for t =
-  (* fold seed and trial into one well-mixed root stream in O(1); the
-     golden-ratio multiplier separates adjacent (seed, trial) pairs and
-     the split discards any residual structure *)
-  let mixed = Prng.of_seed ((t.seed * 0x9E3779B9) lxor t.trial) in
-  Prng.split mixed
+  (* the split discards any residual structure left by the seed folding *)
+  Prng.split (Prng.of_seed_trial ~seed:t.seed ~trial:t.trial)
 
 let to_string t =
   Printf.sprintf

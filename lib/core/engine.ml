@@ -1,0 +1,416 @@
+type outcome =
+  | Completed
+  | Timed_out
+
+type history = {
+  informed : int array;
+  frontier_x : int array;
+  max_island : int array;
+  covered : int array;
+}
+
+type report = {
+  outcome : outcome;
+  steps : int;
+  informed : int;
+  covered : int;
+  history : history option;
+}
+
+type spec = {
+  agents : int;
+  protocol : Protocol.t;
+  exchange : Exchange.mechanism;
+  seed : int;
+  trial : int;
+  source : int option;
+  sources : int;
+  max_steps : int;
+  record_history : bool;
+  track_islands : bool;
+}
+
+let default_spec ~agents ~seed ~trial ~max_steps =
+  {
+    agents;
+    protocol = Protocol.Broadcast;
+    exchange = Exchange.Flood_component;
+    seed;
+    trial;
+    source = None;
+    sources = 1;
+    max_steps;
+    record_history = false;
+    track_islands = true;
+  }
+
+(* Recording buffers, allocated only when history is requested. *)
+type recorder = {
+  rec_informed : Intbuf.t;
+  rec_frontier : Intbuf.t;
+  rec_island : Intbuf.t;
+  rec_covered : Intbuf.t;
+}
+
+(* Pre-resolved phase instruments, allocated only when a recording
+   metrics sink is attached. The step pipeline (move -> index ->
+   components -> exchange -> record) observes one latency sample per
+   phase per step; all simulations sharing a registry (e.g. the trials
+   of a sweep) aggregate into the same histograms. *)
+type phase_timers = {
+  ph_move : Obs.Metric.Histogram.t;
+  ph_index : Obs.Metric.Histogram.t;
+  ph_components : Obs.Metric.Histogram.t;
+  ph_exchange : Obs.Metric.Histogram.t;
+  ph_record : Obs.Metric.Histogram.t;
+  ph_steps : Obs.Metric.Counter.t;
+}
+
+let tracks_coverage = function
+  | Protocol.Broadcast_cover | Protocol.Cover_walks -> true
+  | Protocol.Broadcast | Protocol.Gossip | Protocol.Frog
+  | Protocol.Predator_prey _ ->
+      false
+
+module Make (S : Space.S) = struct
+  type t = {
+    spec : spec;
+    space : S.t;
+    population : int;  (* k, or k + preys *)
+    rngs : Prng.t array;  (* one independent stream per individual *)
+    pos : S.pos;
+    ex : Exchange.t;
+    dsu : Dsu.t;
+    union_edge : int -> int -> unit;  (* preallocated: unions into dsu *)
+    iter_pairs : (int -> int -> unit) -> unit;  (* preallocated *)
+    mobility : Space.mobility;
+    cover : Space.Cover.t option;
+    cover_any : bool;
+    src : int option;
+    mutable frontier : int;
+    mutable island : int;
+    mutable time : int;
+    recorder : recorder option;
+    obs : phase_timers option;
+  }
+
+  (* Timing helpers. With metrics off, [phase_start] returns an immediate
+     0 and [phase_end] is a branch — no clock read, no allocation, so the
+     disabled hot path stays exactly as fast as before the subsystem
+     existed. The [sel] arguments below are closed closures (statically
+     allocated). *)
+  let[@inline] phase_start t =
+    match t.obs with None -> 0 | Some _ -> Obs.Clock.now_ns ()
+
+  let[@inline] phase_end t sel t0 =
+    match t.obs with
+    | None -> ()
+    | Some p -> Obs.Metric.Histogram.observe (sel p) (Obs.Clock.now_ns () - t0)
+
+  (* --- information exchange --------------------------------------------- *)
+
+  let rebuild_components t =
+    let t0 = phase_start t in
+    S.rebuild_index t.space t.pos;
+    phase_end t (fun p -> p.ph_index) t0;
+    let t1 = phase_start t in
+    Dsu.reset t.dsu;
+    S.iter_close_pairs t.space ~f:t.union_edge;
+    t.island <- Dsu.max_set_size t.dsu;
+    phase_end t (fun p -> p.ph_components) t1
+
+  (* Index rebuild without the component (DSU) pass — for exchanges that
+     only consume raw pairs when the island metric is off. *)
+  let rebuild_index_only t =
+    let t0 = phase_start t in
+    S.rebuild_index t.space t.pos;
+    phase_end t (fun p -> p.ph_index) t0
+
+  let timed_exchange t f =
+    let t0 = phase_start t in
+    f t;
+    phase_end t (fun p -> p.ph_exchange) t0
+
+  (* Single-hop exchanges read pairs directly, so the DSU build is pure
+     island-metric bookkeeping there; flooding always needs it. *)
+  let prepare_graph t =
+    match t.spec.exchange with
+    | Exchange.Flood_component -> rebuild_components t
+    | Exchange.Single_hop ->
+        if t.spec.track_islands then rebuild_components t
+        else rebuild_index_only t
+
+  let exchange t =
+    match t.spec.protocol with
+    | Protocol.Broadcast | Protocol.Frog | Protocol.Broadcast_cover ->
+        prepare_graph t;
+        timed_exchange t
+          (match t.spec.exchange with
+          | Exchange.Flood_component ->
+              fun t -> Exchange.flood_single t.ex ~dsu:t.dsu
+          | Exchange.Single_hop ->
+              fun t -> Exchange.single_hop_single t.ex ~iter_pairs:t.iter_pairs)
+    | Protocol.Cover_walks ->
+        (* everyone is informed from the start; components only matter for
+           the island metric *)
+        rebuild_components t
+    | Protocol.Gossip ->
+        prepare_graph t;
+        timed_exchange t
+          (match t.spec.exchange with
+          | Exchange.Flood_component ->
+              fun t -> Exchange.flood_gossip t.ex ~dsu:t.dsu
+          | Exchange.Single_hop ->
+              fun t -> Exchange.single_hop_gossip t.ex ~iter_pairs:t.iter_pairs)
+    | Protocol.Predator_prey _ ->
+        rebuild_index_only t;
+        timed_exchange t (fun t ->
+            Exchange.catch_preys t.ex ~iter_pairs:t.iter_pairs)
+
+  (* --- stopping predicate ------------------------------------------------ *)
+
+  let is_done t =
+    match t.spec.protocol with
+    | Protocol.Broadcast | Protocol.Frog ->
+        t.ex.Exchange.informed_count = t.population
+    | Protocol.Gossip ->
+        t.ex.Exchange.total_known = t.population * t.population
+    | Protocol.Broadcast_cover | Protocol.Cover_walks -> (
+        match t.cover with
+        | Some c -> Space.Cover.count c = S.cover_target t.space
+        | None -> false)
+    | Protocol.Predator_prey _ -> t.ex.Exchange.live_preys = 0
+
+  (* --- recording --------------------------------------------------------- *)
+
+  let covered_count t =
+    match t.cover with Some c -> Space.Cover.count c | None -> 0
+
+  let record t =
+    match t.recorder with
+    | None -> ()
+    | Some r ->
+        Intbuf.push r.rec_informed t.ex.Exchange.informed_count;
+        Intbuf.push r.rec_frontier t.frontier;
+        Intbuf.push r.rec_island t.island;
+        Intbuf.push r.rec_covered (covered_count t)
+
+  let observe_and_record t =
+    t.frontier <-
+      S.observe t.space t.pos ~informed:t.ex.Exchange.informed
+        ~frontier:t.frontier ~cover:t.cover ~cover_any:t.cover_any;
+    record t
+
+  (* --- construction ------------------------------------------------------ *)
+
+  let create ?metrics ~space spec =
+    if spec.agents <= 0 then invalid_arg "Engine.create: agents <= 0";
+    if spec.max_steps < 0 then invalid_arg "Engine.create: negative max_steps";
+    if spec.sources < 1 || spec.sources > spec.agents then
+      invalid_arg "Engine.create: sources must lie in [1, agents]";
+    (match spec.source with
+    | Some s when s < 0 || s >= spec.agents ->
+        invalid_arg "Engine.create: source agent index out of range"
+    | Some _ | None -> ());
+    let metrics =
+      match metrics with Some s -> s | None -> Obs.Sink.ambient ()
+    in
+    let obs =
+      match Obs.Sink.registry metrics with
+      | None -> None
+      | Some reg ->
+          Obs.Metric.Counter.incr (Obs.Registry.counter reg "sim.runs");
+          Some
+            {
+              ph_move = Obs.Registry.histogram reg "sim.phase.move_ns";
+              ph_index = Obs.Registry.histogram reg "sim.phase.index_ns";
+              ph_components =
+                Obs.Registry.histogram reg "sim.phase.components_ns";
+              ph_exchange = Obs.Registry.histogram reg "sim.phase.exchange_ns";
+              ph_record = Obs.Registry.histogram reg "sim.phase.record_ns";
+              ph_steps = Obs.Registry.counter reg "sim.steps";
+            }
+    in
+    let k = spec.agents in
+    let population = Protocol.population spec.protocol ~k in
+    let master = Prng.split (Prng.of_seed_trial ~seed:spec.seed ~trial:spec.trial) in
+    let rngs = Array.init population (fun _ -> Prng.split master) in
+    let pos = S.init_positions space master ~n:population in
+    let informed = Array.make population false in
+    let rumors =
+      match spec.protocol with
+      | Protocol.Gossip ->
+          Array.init population (fun i -> Rumor_set.singleton ~capacity:k i)
+      | Protocol.Broadcast | Protocol.Frog | Protocol.Broadcast_cover
+      | Protocol.Cover_walks | Protocol.Predator_prey _ ->
+          [||]
+    in
+    let src, informed_count, live_preys =
+      match spec.protocol with
+      | Protocol.Broadcast | Protocol.Frog | Protocol.Broadcast_cover ->
+          if spec.sources = 1 then begin
+            let s =
+              match spec.source with
+              | Some s -> s
+              | None -> Prng.int master k
+            in
+            informed.(s) <- true;
+            (Some s, 1, 0)
+          end
+          else begin
+            let chosen = Prng.sample_distinct master ~m:spec.sources ~bound:k in
+            Array.iter (fun s -> informed.(s) <- true) chosen;
+            (None, spec.sources, 0)
+          end
+      | Protocol.Gossip ->
+          (* agent 0 holds rumor 0; frontier tracks that rumor *)
+          informed.(0) <- true;
+          (None, 1, 0)
+      | Protocol.Cover_walks ->
+          Array.fill informed 0 population true;
+          (None, population, 0)
+      | Protocol.Predator_prey { preys } ->
+          for i = 0 to k - 1 do
+            informed.(i) <- true
+          done;
+          (None, k, preys)
+    in
+    let ex = Exchange.create ~population ~predators:k ~informed ~rumors in
+    ex.Exchange.informed_count <- informed_count;
+    ex.Exchange.total_known <- population;  (* gossip: each knows its own *)
+    ex.Exchange.live_preys <- live_preys;
+    let cover =
+      if tracks_coverage spec.protocol && S.cover_cells space > 0 then
+        Some (Space.Cover.create ~cells:(S.cover_cells space))
+      else None
+    in
+    let mobility =
+      match spec.protocol with
+      | Protocol.Frog -> Space.Mobile_informed informed
+      | Protocol.Predator_prey _ ->
+          Space.Mobile_predators { informed; predators = k }
+      | Protocol.Broadcast | Protocol.Gossip | Protocol.Broadcast_cover
+      | Protocol.Cover_walks ->
+          Space.Mobile_all
+    in
+    let dsu = Dsu.create population in
+    let t =
+      {
+        spec;
+        space;
+        population;
+        rngs;
+        pos;
+        ex;
+        dsu;
+        union_edge = (fun i j -> ignore (Dsu.union dsu i j));
+        iter_pairs = (fun f -> S.iter_close_pairs space ~f);
+        mobility;
+        cover;
+        cover_any =
+          (match spec.protocol with
+          | Protocol.Cover_walks -> true
+          | Protocol.Broadcast | Protocol.Gossip | Protocol.Frog
+          | Protocol.Broadcast_cover | Protocol.Predator_prey _ ->
+              false);
+        src;
+        frontier = -1;
+        island = 0;
+        time = 0;
+        obs;
+        recorder =
+          (if spec.record_history then
+             Some
+               {
+                 rec_informed = Intbuf.create ();
+                 rec_frontier = Intbuf.create ();
+                 rec_island = Intbuf.create ();
+                 rec_covered = Intbuf.create ();
+               }
+           else None);
+      }
+    in
+    (* time-0 exchange on the initial placement (§2: G_0 already floods) *)
+    exchange t;
+    observe_and_record t;
+    t
+
+  (* --- stepping ----------------------------------------------------------- *)
+
+  let step t =
+    if not (is_done t) then begin
+      t.time <- t.time + 1;
+      let t0 = phase_start t in
+      S.move_all t.space t.pos t.rngs t.mobility;
+      phase_end t (fun p -> p.ph_move) t0;
+      exchange t;
+      let t1 = phase_start t in
+      observe_and_record t;
+      phase_end t (fun p -> p.ph_record) t1;
+      match t.obs with
+      | None -> ()
+      | Some p -> Obs.Metric.Counter.incr p.ph_steps
+    end
+
+  let run ?on_step t =
+    let cap = t.spec.max_steps in
+    let fire () = match on_step with Some f -> f t | None -> () in
+    while (not (is_done t)) && t.time < cap do
+      step t;
+      fire ()
+    done;
+    let history =
+      Option.map
+        (fun r ->
+          {
+            informed = Intbuf.to_array r.rec_informed;
+            frontier_x = Intbuf.to_array r.rec_frontier;
+            max_island = Intbuf.to_array r.rec_island;
+            covered = Intbuf.to_array r.rec_covered;
+          })
+        t.recorder
+    in
+    {
+      outcome = (if is_done t then Completed else Timed_out);
+      steps = t.time;
+      informed = t.ex.Exchange.informed_count;
+      covered = covered_count t;
+      history;
+    }
+
+  (* --- getters ------------------------------------------------------------ *)
+
+  let spec t = t.spec
+
+  let space t = t.space
+
+  let time t = t.time
+
+  let population t = t.population
+
+  let informed_count t = t.ex.Exchange.informed_count
+
+  let informed t = t.ex.Exchange.informed
+
+  let rumors t = t.ex.Exchange.rumors
+
+  let pos t = t.pos
+
+  let source t = t.src
+
+  let frontier_x t = t.frontier
+
+  let max_island t = t.island
+
+  let island_sizes t =
+    match t.spec.protocol with
+    | Protocol.Predator_prey _ -> [||]
+    | Protocol.Broadcast | Protocol.Gossip | Protocol.Frog
+    | Protocol.Broadcast_cover | Protocol.Cover_walks ->
+        let sizes = ref [] in
+        Dsu.iter_sets t.dsu ~f:(fun ~representative:_ ~members ->
+            sizes := List.length members :: !sizes);
+        Array.of_list !sizes
+
+  let live_preys t = t.ex.Exchange.live_preys
+end

@@ -1,0 +1,127 @@
+(** The engine layer: the generic move → index → components → exchange →
+    observe step loop, parameterised by a {!Space.S}.
+
+    {!Make} supplies everything the four concrete simulators used to
+    duplicate: seed mixing and per-agent stream splitting, uniform
+    placement, source selection, the time-0 exchange (§2: [G_0] already
+    floods), the step loop with per-phase {!Obs} timers, history
+    recording, coverage/frontier tracking, the protocol stopping
+    predicates and the report type. A concrete simulator is then a space
+    instance plus a {!spec} — see {!Simulation} (grid),
+    [Continuum.broadcast], [Baselines.Clementi.broadcast] and
+    [Barriers.Barrier_sim.broadcast], all thin wrappers over this
+    functor.
+
+    Determinism contract: for a fixed space, [spec.seed]/[spec.trial]
+    fully determine the run. The draw order is {e observable state} —
+    master stream from {!Prng.mix_seed}, one {!Prng.split} per
+    individual, then the space's placement draws, then source selection —
+    and is pinned by the golden tests; do not reorder. *)
+
+type outcome =
+  | Completed  (** the protocol's stopping predicate became true *)
+  | Timed_out  (** the step cap was reached first *)
+
+(** Per-step series, recorded when [spec.record_history] is set. Index
+    [i] is the state after step [i]; index 0 is the initial state. *)
+type history = {
+  informed : int array;
+  frontier_x : int array;
+  max_island : int array;
+  covered : int array;
+}
+
+type report = {
+  outcome : outcome;
+  steps : int;
+  informed : int;
+  covered : int;
+  history : history option;
+}
+
+(** The space-independent run parameters. *)
+type spec = {
+  agents : int;  (** k *)
+  protocol : Protocol.t;
+  exchange : Exchange.mechanism;
+  seed : int;
+  trial : int;
+  source : int option;  (** explicit source agent (broadcast-like only) *)
+  sources : int;  (** number of initially informed agents *)
+  max_steps : int;  (** resolved step cap (callers apply their defaults) *)
+  record_history : bool;
+  track_islands : bool;
+      (** build components (DSU) even when the exchange mechanism only
+          needs raw pairs, so {!Make.max_island}/{!Make.island_sizes}
+          stay meaningful. Flooding mechanisms always build components;
+          single-hop engines that never read the island metric (the
+          Clementi dense baseline, where the pair set is huge) turn this
+          off to skip the per-pair union work. *)
+}
+
+val default_spec : agents:int -> seed:int -> trial:int -> max_steps:int -> spec
+(** Single-source broadcast with component flooding and no recording —
+    the satellite engines' common case; override fields as needed. *)
+
+module Make (S : Space.S) : sig
+  type t
+
+  val create : ?metrics:Obs.Sink.t -> space:S.t -> spec -> t
+  (** [metrics] (default {!Obs.Sink.ambient}) selects where per-phase
+      timings go; against the null sink instrumentation performs no clock
+      reads and no allocation. Against a recording sink the engine
+      observes one sample per executed step into [sim.phase.move_ns],
+      [sim.phase.index_ns], [sim.phase.components_ns],
+      [sim.phase.exchange_ns] and [sim.phase.record_ns], and increments
+      [sim.steps] ([sim.runs] counts engine instances) — every space
+      shares the same instrument names, so continuum or barrier runs
+      profile exactly like grid runs.
+      @raise Invalid_argument on non-positive [agents], a negative
+      [max_steps], or an out-of-range [source]/[sources]; callers with
+      richer configs validate those first with their own messages. *)
+
+  val step : t -> unit
+  (** Advance one time step; no-op once {!is_done}. *)
+
+  val run : ?on_step:(t -> unit) -> t -> report
+  (** Step until done or [spec.max_steps]. [on_step] fires after every
+      executed step (not for the initial state). *)
+
+  (** {1 Inspection} *)
+
+  val spec : t -> spec
+
+  val space : t -> S.t
+
+  val time : t -> int
+
+  val population : t -> int
+  (** [k], plus preys for predator–prey. *)
+
+  val informed_count : t -> int
+
+  val informed : t -> bool array
+  (** The live informed flags (not a copy; do not mutate). *)
+
+  val rumors : t -> Rumor_set.t array
+  (** Live gossip rumor sets; [[||]] for single-rumor protocols. *)
+
+  val pos : t -> S.pos
+  (** The live bulk position state (not a copy). *)
+
+  val source : t -> int option
+
+  val frontier_x : t -> int
+
+  val max_island : t -> int
+
+  val island_sizes : t -> int array
+  (** Component sizes at the last exchange; empty for predator–prey.
+      O(population); allocates. *)
+
+  val covered_count : t -> int
+
+  val live_preys : t -> int
+
+  val is_done : t -> bool
+end

@@ -1,0 +1,193 @@
+type mechanism =
+  | Flood_component
+  | Single_hop
+
+type t = {
+  population : int;
+  predators : int;
+  informed : bool array;
+  rumors : Rumor_set.t array;
+  mutable informed_count : int;
+  mutable total_known : int;
+  mutable live_preys : int;
+  root_informed : bool array;
+  newly_informed : bool array;
+  (* flood_gossip scratch: one reusable accumulator set per component
+     root, materialised on first use and cleared on reuse *)
+  acc : Rumor_set.t option array;
+  acc_live : bool array;
+  acc_used : Intbuf.t;
+  (* single_hop_gossip scratch: reusable pre-step snapshots plus a
+     flattened (i, j) pair log *)
+  snap : Rumor_set.t option array;
+  snap_live : bool array;
+  snap_used : Intbuf.t;
+  pairs : Intbuf.t;
+}
+
+let create ~population ~predators ~informed ~rumors =
+  if population <= 0 then invalid_arg "Exchange.create: population <= 0";
+  if Array.length informed <> population then
+    invalid_arg "Exchange.create: informed array size mismatch";
+  let gossip = Array.length rumors > 0 in
+  {
+    population;
+    predators;
+    informed;
+    rumors;
+    informed_count = 0;
+    total_known = 0;
+    live_preys = 0;
+    root_informed = Array.make population false;
+    newly_informed = Array.make population false;
+    acc = (if gossip then Array.make population None else [||]);
+    acc_live = (if gossip then Array.make population false else [||]);
+    acc_used = Intbuf.create ~initial_capacity:(if gossip then 64 else 1) ();
+    snap = (if gossip then Array.make population None else [||]);
+    snap_live = (if gossip then Array.make population false else [||]);
+    snap_used = Intbuf.create ~initial_capacity:(if gossip then 64 else 1) ();
+    pairs = Intbuf.create ~initial_capacity:(if gossip then 64 else 1) ();
+  }
+
+(* Fetch slot [i] of a scratch-set array, cleared and ready to
+   accumulate; allocates only the first time a slot is touched. *)
+let scratch_set t slots i =
+  match slots.(i) with
+  | Some s ->
+      Rumor_set.clear s;
+      s
+  | None ->
+      let s = Rumor_set.create ~capacity:(Rumor_set.capacity t.rumors.(i)) in
+      slots.(i) <- Some s;
+      s
+
+(* Single-rumor flood: a component containing an informed agent becomes
+   fully informed. Two passes over agents with a root-flag scratch
+   array. *)
+let flood_single t ~dsu =
+  Array.fill t.root_informed 0 t.population false;
+  for i = 0 to t.population - 1 do
+    if t.informed.(i) then t.root_informed.(Dsu.find dsu i) <- true
+  done;
+  for i = 0 to t.population - 1 do
+    if (not t.informed.(i)) && t.root_informed.(Dsu.find dsu i) then begin
+      t.informed.(i) <- true;
+      t.informed_count <- t.informed_count + 1
+    end
+  done
+
+(* Gossip flood: every agent's rumor set becomes the union over its
+   component. Singleton components are skipped; each non-trivial
+   component accumulates into one reused per-root scratch set, then
+   copies back. (Clearing a scratch set and unioning the first member
+   into it is the allocation-free equivalent of the copy the
+   pre-refactor engine made every step.) *)
+let flood_gossip t ~dsu =
+  for i = 0 to t.population - 1 do
+    if Dsu.set_size dsu i > 1 then begin
+      let root = Dsu.find dsu i in
+      if t.acc_live.(root) then
+        ignore
+          (Rumor_set.union_into ~src:t.rumors.(i)
+             ~dst:(Option.get t.acc.(root)))
+      else begin
+        let s = scratch_set t t.acc root in
+        ignore (Rumor_set.union_into ~src:t.rumors.(i) ~dst:s);
+        t.acc_live.(root) <- true;
+        Intbuf.push t.acc_used root
+      end
+    end
+  done;
+  for i = 0 to t.population - 1 do
+    if Dsu.set_size dsu i > 1 then begin
+      let root = Dsu.find dsu i in
+      let acc = Option.get t.acc.(root) in
+      let added = Rumor_set.union_into ~src:acc ~dst:t.rumors.(i) in
+      t.total_known <- t.total_known + added;
+      if added > 0 && not t.informed.(i) then begin
+        (* "informed" tracks knowledge of rumor 0 so the frontier metric
+           is meaningful for gossip too *)
+        if Rumor_set.mem t.rumors.(i) 0 then begin
+          t.informed.(i) <- true;
+          t.informed_count <- t.informed_count + 1
+        end
+      end
+    end
+  done;
+  for u = 0 to Intbuf.length t.acc_used - 1 do
+    t.acc_live.(Intbuf.get t.acc_used u) <- false
+  done;
+  Intbuf.clear t.acc_used
+
+(* Single-hop exchange (ablation): a rumor crosses at most one
+   visibility edge per step, based on pre-step knowledge. *)
+let single_hop_single t ~iter_pairs =
+  Array.fill t.newly_informed 0 t.population false;
+  iter_pairs (fun i j ->
+      if t.informed.(i) && not t.informed.(j) then t.newly_informed.(j) <- true
+      else if t.informed.(j) && not t.informed.(i) then
+        t.newly_informed.(i) <- true);
+  for i = 0 to t.population - 1 do
+    if t.newly_informed.(i) then begin
+      t.informed.(i) <- true;
+      t.informed_count <- t.informed_count + 1
+    end
+  done
+
+let single_hop_gossip t ~iter_pairs =
+  (* exchanges must all read pre-step sets, so snapshot the set of any
+     agent involved in at least one pair before mutating; snapshots and
+     the pair log are reused storage, not per-step allocations *)
+  let snapshot i =
+    if not t.snap_live.(i) then begin
+      let s = scratch_set t t.snap i in
+      ignore (Rumor_set.union_into ~src:t.rumors.(i) ~dst:s);
+      t.snap_live.(i) <- true;
+      Intbuf.push t.snap_used i
+    end
+  in
+  iter_pairs (fun i j ->
+      snapshot i;
+      snapshot j;
+      Intbuf.push t.pairs i;
+      Intbuf.push t.pairs j);
+  let deliver receiver sender =
+    let sender_pre = Option.get t.snap.(sender) in
+    let added = Rumor_set.union_into ~src:sender_pre ~dst:t.rumors.(receiver) in
+    t.total_known <- t.total_known + added;
+    if
+      added > 0
+      && (not t.informed.(receiver))
+      && Rumor_set.mem t.rumors.(receiver) 0
+    then begin
+      t.informed.(receiver) <- true;
+      t.informed_count <- t.informed_count + 1
+    end
+  in
+  let np = Intbuf.length t.pairs / 2 in
+  for p = 0 to np - 1 do
+    let i = Intbuf.get t.pairs (2 * p) and j = Intbuf.get t.pairs ((2 * p) + 1) in
+    deliver i j;
+    deliver j i
+  done;
+  Intbuf.clear t.pairs;
+  for u = 0 to Intbuf.length t.snap_used - 1 do
+    t.snap_live.(Intbuf.get t.snap_used u) <- false
+  done;
+  Intbuf.clear t.snap_used
+
+(* Predator-prey: direct contact only, no chaining through preys. *)
+let catch_preys t ~iter_pairs =
+  let k = t.predators in
+  iter_pairs (fun i j ->
+      let predator, prey =
+        if i < k && j >= k then (Some i, j)
+        else if j < k && i >= k then (Some j, i)
+        else (None, i)
+      in
+      match predator with
+      | Some _ when not t.informed.(prey) ->
+          t.informed.(prey) <- true;
+          t.informed_count <- t.informed_count + 1;
+          t.live_preys <- t.live_preys - 1
+      | Some _ | None -> ())

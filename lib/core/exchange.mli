@@ -1,0 +1,85 @@
+(** The exchange layer of the simulation engine: what happens on the
+    visibility graph once it is built.
+
+    Each policy implements one information-transfer rule of the paper or
+    its baselines: component flooding (the paper's "radio is faster than
+    motion" rule, §2), the single-hop ablation (one edge per step — the
+    Clementi et al. exchange of §1.1), and predator–prey catching. The
+    gossip variants carry full rumor sets instead of one bit.
+
+    A {!t} value bundles the knowledge state (who is informed, which
+    rumors each agent holds) with {e preallocated scratch}: the flood
+    accumulators, pre-step snapshots and pair logs that the pre-refactor
+    engine allocated afresh every step are materialised at most once here
+    and reused, so a warm exchange step allocates only the small closures
+    passed to [iter_pairs].
+
+    The state is deliberately transparent — it is the engine's working
+    set, mutated in place by the policies; treat it as internal unless
+    you are building an engine. *)
+
+(** How information crosses the visibility graph. Mirrors
+    [Config.exchange] for the core engine; satellite engines pick their
+    model's rule directly. *)
+type mechanism =
+  | Flood_component  (** instantaneous flooding of each component *)
+  | Single_hop  (** one edge per time step *)
+
+type t = {
+  population : int;  (** number of individuals (agents + preys) *)
+  predators : int;  (** predator–prey: ids [0, predators) are predators *)
+  informed : bool array;
+      (** flooding: knows the rumor; predator–prey: predator or caught *)
+  rumors : Rumor_set.t array;  (** gossip only; [[||]] otherwise *)
+  mutable informed_count : int;
+  mutable total_known : int;  (** gossip: sum of rumor-set cardinals *)
+  mutable live_preys : int;
+  root_informed : bool array;  (** scratch for the two-pass flood *)
+  newly_informed : bool array;  (** scratch for the single-hop exchange *)
+  acc : Rumor_set.t option array;  (** flood_gossip per-root accumulators *)
+  acc_live : bool array;
+  acc_used : Intbuf.t;
+  snap : Rumor_set.t option array;  (** single_hop_gossip snapshots *)
+  snap_live : bool array;
+  snap_used : Intbuf.t;
+  pairs : Intbuf.t;  (** single_hop_gossip flattened pair log *)
+}
+
+val create :
+  population:int ->
+  predators:int ->
+  informed:bool array ->
+  rumors:Rumor_set.t array ->
+  t
+(** Fresh exchange state over the given (engine-owned) knowledge arrays.
+    Counters start at zero — the engine sets [informed_count],
+    [total_known] and [live_preys] to match its initial placement.
+    Gossip scratch is only reserved when [rumors] is non-empty.
+    @raise Invalid_argument if [population <= 0] or the array sizes
+    disagree. *)
+
+(** {1 Policies}
+
+    All policies are deterministic, draw nothing from any random stream,
+    and update the counters they affect. [iter_pairs f] must call
+    [f i j] exactly once per current visibility edge; pair order never
+    affects the outcome. *)
+
+val flood_single : t -> dsu:Dsu.t -> unit
+(** Every component containing an informed agent becomes fully informed.
+    [dsu] holds the current components. *)
+
+val flood_gossip : t -> dsu:Dsu.t -> unit
+(** Every agent's rumor set becomes the union over its component;
+    updates [total_known] and rumor-0 based [informed] tracking. *)
+
+val single_hop_single : t -> iter_pairs:((int -> int -> unit) -> unit) -> unit
+(** The rumor crosses each edge once, based on pre-step knowledge. *)
+
+val single_hop_gossip : t -> iter_pairs:((int -> int -> unit) -> unit) -> unit
+(** Rumor sets merge pairwise across each edge, all reads from pre-step
+    snapshots. *)
+
+val catch_preys : t -> iter_pairs:((int -> int -> unit) -> unit) -> unit
+(** Each prey sharing an edge with a predator is caught (marked
+    informed); no chaining through preys. *)

@@ -1,0 +1,55 @@
+type t = {
+  grid : Grid.t;
+  kernel : Walk.kernel;
+  spatial : Spatial.t;
+}
+
+type pos = Grid.node array
+
+let create grid ~kernel ~radius =
+  { grid; kernel; spatial = Spatial.create grid ~radius }
+
+let grid t = t.grid
+
+let kernel t = t.kernel
+
+let init_positions t rng ~n = Array.init n (fun _ -> Grid.random_node t.grid rng)
+
+let move_all t pos rngs mobility =
+  let n = Array.length pos in
+  match mobility with
+  | Space.Mobile_all ->
+      for i = 0 to n - 1 do
+        pos.(i) <- Walk.step t.grid t.kernel rngs.(i) pos.(i)
+      done
+  | Space.Mobile_informed informed ->
+      for i = 0 to n - 1 do
+        if informed.(i) then
+          pos.(i) <- Walk.step t.grid t.kernel rngs.(i) pos.(i)
+      done
+  | Space.Mobile_predators { informed; predators } ->
+      for i = 0 to n - 1 do
+        if i < predators || not informed.(i) then
+          pos.(i) <- Walk.step t.grid t.kernel rngs.(i) pos.(i)
+      done
+
+let rebuild_index t pos = Spatial.rebuild t.spatial ~positions:pos
+
+let iter_close_pairs t ~f = Spatial.iter_close_pairs t.spatial ~f
+
+let cover_cells t = Grid.nodes t.grid
+
+let cover_target t = Grid.nodes t.grid
+
+let observe t pos ~informed ~frontier ~cover ~cover_any =
+  let frontier = ref frontier in
+  for i = 0 to Array.length pos - 1 do
+    if informed.(i) then begin
+      let x = Grid.x_of t.grid pos.(i) in
+      if x > !frontier then frontier := x
+    end;
+    match cover with
+    | Some c when cover_any || informed.(i) -> Space.Cover.mark c pos.(i)
+    | Some _ | None -> ()
+  done;
+  !frontier

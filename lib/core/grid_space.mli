@@ -1,0 +1,17 @@
+(** The paper's space: agents on a bounded or toroidal grid, moving by a
+    {!Walk.kernel} transition per step, with visibility = Manhattan
+    distance [<= radius] found through the bucket-grid {!Spatial} index.
+
+    This is the {!Space.S} instance behind {!Simulation} (with the lazy
+    walk of §2) and behind the Clementi dense baseline of §1.1 (with
+    [Walk.Jump]) — the two models differ only in kernel, radius and
+    exchange mechanism once expressed as spaces. *)
+
+include Space.S with type pos = Grid.node array
+
+val create : Grid.t -> kernel:Walk.kernel -> radius:int -> t
+(** @raise Invalid_argument if [radius < 0] (via {!Spatial.create}). *)
+
+val grid : t -> Grid.t
+
+val kernel : t -> Walk.kernel

@@ -23,4 +23,6 @@ let get t i =
 
 let last t = if t.length = 0 then None else Some t.data.(t.length - 1)
 
+let clear t = t.length <- 0
+
 let to_array t = Array.sub t.data 0 t.length

@@ -17,5 +17,9 @@ val get : t -> int -> int
 val last : t -> int option
 (** Most recently pushed value, if any. *)
 
+val clear : t -> unit
+(** Forget all pushed values, keeping the backing storage — so a buffer
+    reused across simulation steps stops allocating once warm. *)
+
 val to_array : t -> int array
 (** Fresh array of the pushed values in push order. *)

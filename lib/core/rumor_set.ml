@@ -64,6 +64,10 @@ let union_into ~src ~dst =
 let copy t =
   { bits = Bytes.copy t.bits; capacity = t.capacity; cardinal = t.cardinal }
 
+let clear t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.cardinal <- 0
+
 let equal a b = a.capacity = b.capacity && Bytes.equal a.bits b.bits
 
 let iter t ~f =

@@ -38,6 +38,11 @@ val union_into : src:t -> dst:t -> int
 
 val copy : t -> t
 
+val clear : t -> unit
+(** Remove every rumor, keeping the capacity — [clear s] followed by
+    [union_into ~src ~dst:s] is equivalent to [copy src] without the
+    allocation, which is how the exchange scratch sets are reused. *)
+
 val equal : t -> t -> bool
 
 val iter : t -> f:(int -> unit) -> unit

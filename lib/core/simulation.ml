@@ -1,8 +1,17 @@
-type outcome =
+(* The paper's simulator, expressed as the grid instance of the generic
+   engine: Grid_space carries the lazy walk and the bucket-grid
+   visibility index, Engine carries the step loop, phase timers,
+   recording and stopping predicates. This module only adds the
+   Config-level API (validation, default step caps, the config field in
+   reports). *)
+
+module E = Engine.Make (Grid_space)
+
+type outcome = Engine.outcome =
   | Completed
   | Timed_out
 
-type history = {
+type history = Engine.history = {
   informed : int array;
   frontier_x : int array;
   max_island : int array;
@@ -18,455 +27,61 @@ type report = {
   history : history option;
 }
 
-(* Recording buffers, allocated only when history is requested. *)
-type recorder = {
-  rec_informed : Intbuf.t;
-  rec_frontier : Intbuf.t;
-  rec_island : Intbuf.t;
-  rec_covered : Intbuf.t;
-}
-
-(* Pre-resolved phase instruments, allocated only when a recording
-   metrics sink is attached. The step pipeline (move -> index ->
-   components -> exchange -> record) observes one latency sample per
-   phase per step; all simulations sharing a registry (e.g. the trials
-   of a sweep) aggregate into the same histograms. *)
-type phase_timers = {
-  ph_move : Obs.Metric.Histogram.t;
-  ph_index : Obs.Metric.Histogram.t;
-  ph_components : Obs.Metric.Histogram.t;
-  ph_exchange : Obs.Metric.Histogram.t;
-  ph_record : Obs.Metric.Histogram.t;
-  ph_steps : Obs.Metric.Counter.t;
-}
-
 type t = {
   cfg : Config.t;
-  grid : Grid.t;
-  population : int;  (* k, or k + preys *)
-  rngs : Prng.t array;  (* one independent stream per individual *)
-  pos : Grid.node array;
-  informed : bool array;
-      (* flooding: knows the rumor; predator-prey: predator or caught *)
-  rumors : Rumor_set.t array;  (* gossip only; [||] otherwise *)
-  src : int option;
-  spatial : Spatial.t;
-  dsu : Dsu.t;
-  root_informed : bool array;  (* scratch for the two-pass flood *)
-  newly_informed : bool array;  (* scratch for the single-hop exchange *)
-  covered : Bytes.t;  (* per-node visited bit; empty unless tracked *)
-  mutable covered_count : int;
-  mutable informed_count : int;
-  mutable total_known : int;  (* gossip: sum of rumor-set cardinals *)
-  mutable live_preys : int;
-  mutable frontier : int;
-  mutable island : int;
-  mutable time : int;
-  recorder : recorder option;
-  obs : phase_timers option;
+  e : E.t;
 }
 
-(* Timing helpers. With metrics off, [phase_start] returns an immediate
-   0 and [phase_end] is a branch — no clock read, no allocation, so the
-   disabled hot path stays exactly as fast as before the subsystem
-   existed. The [sel] arguments below are closed closures (statically
-   allocated). *)
-let[@inline] phase_start t =
-  match t.obs with None -> 0 | Some _ -> Obs.Clock.now_ns ()
-
-let[@inline] phase_end t sel t0 =
-  match t.obs with
-  | None -> ()
-  | Some p -> Obs.Metric.Histogram.observe (sel p) (Obs.Clock.now_ns () - t0)
-
-let tracks_coverage cfg =
-  match cfg.Config.protocol with
-  | Protocol.Broadcast_cover | Protocol.Cover_walks -> true
-  | Protocol.Broadcast | Protocol.Gossip | Protocol.Frog
-  | Protocol.Predator_prey _ ->
-      false
-
-let k_of t = t.cfg.Config.agents
-
-(* --- coverage & frontier ------------------------------------------------ *)
-
-let mark_covered t node =
-  let byte = node lsr 3 and mask = 1 lsl (node land 7) in
-  let b = Char.code (Bytes.get t.covered byte) in
-  if b land mask = 0 then begin
-    Bytes.set t.covered byte (Char.chr (b lor mask));
-    t.covered_count <- t.covered_count + 1
-  end
-
-(* Coverage counts nodes visited by informed agents (Broadcast_cover) or
-   by any agent (Cover_walks); frontier always tracks informed agents. *)
-let update_coverage_and_frontier t =
-  let coverage = Bytes.length t.covered > 0 in
-  let any_counts =
-    match t.cfg.Config.protocol with
-    | Protocol.Cover_walks -> true
-    | Protocol.Broadcast | Protocol.Gossip | Protocol.Frog
-    | Protocol.Broadcast_cover | Protocol.Predator_prey _ ->
-        false
-  in
-  for i = 0 to t.population - 1 do
-    if t.informed.(i) then begin
-      let x = Grid.x_of t.grid t.pos.(i) in
-      if x > t.frontier then t.frontier <- x
-    end;
-    if coverage && (any_counts || t.informed.(i)) then mark_covered t t.pos.(i)
-  done
-
-(* --- information exchange ----------------------------------------------- *)
-
-let rebuild_components t =
-  let t0 = phase_start t in
-  Spatial.rebuild t.spatial ~positions:t.pos;
-  phase_end t (fun p -> p.ph_index) t0;
-  let t1 = phase_start t in
-  Dsu.reset t.dsu;
-  Spatial.iter_close_pairs t.spatial ~f:(fun i j ->
-      ignore (Dsu.union t.dsu i j));
-  t.island <- Dsu.max_set_size t.dsu;
-  phase_end t (fun p -> p.ph_components) t1
-
-(* Single-rumor flood: a component containing an informed agent becomes
-   fully informed. Two passes over agents with a root-flag scratch
-   array. *)
-let flood_single t =
-  Array.fill t.root_informed 0 t.population false;
-  for i = 0 to t.population - 1 do
-    if t.informed.(i) then t.root_informed.(Dsu.find t.dsu i) <- true
-  done;
-  for i = 0 to t.population - 1 do
-    if (not t.informed.(i)) && t.root_informed.(Dsu.find t.dsu i) then begin
-      t.informed.(i) <- true;
-      t.informed_count <- t.informed_count + 1
-    end
-  done
-
-(* Gossip flood: every agent's rumor set becomes the union over its
-   component. Singleton components are skipped; each non-trivial
-   component accumulates into one shared set, then copies back. *)
-let flood_gossip t =
-  let shared : (int, Rumor_set.t) Hashtbl.t = Hashtbl.create 16 in
-  for i = 0 to t.population - 1 do
-    if Dsu.set_size t.dsu i > 1 then begin
-      let root = Dsu.find t.dsu i in
-      match Hashtbl.find_opt shared root with
-      | None -> Hashtbl.add shared root (Rumor_set.copy t.rumors.(i))
-      | Some acc -> ignore (Rumor_set.union_into ~src:t.rumors.(i) ~dst:acc)
-    end
-  done;
-  for i = 0 to t.population - 1 do
-    if Dsu.set_size t.dsu i > 1 then begin
-      let root = Dsu.find t.dsu i in
-      let acc = Hashtbl.find shared root in
-      let added = Rumor_set.union_into ~src:acc ~dst:t.rumors.(i) in
-      t.total_known <- t.total_known + added;
-      if added > 0 && not t.informed.(i) then begin
-        (* "informed" tracks knowledge of rumor 0 so the frontier metric
-           is meaningful for gossip too *)
-        if Rumor_set.mem t.rumors.(i) 0 then begin
-          t.informed.(i) <- true;
-          t.informed_count <- t.informed_count + 1
-        end
-      end
-    end
-  done
-
-(* Single-hop exchange (Config.Single_hop ablation): a rumor crosses at
-   most one visibility edge per step, based on pre-step knowledge. *)
-let single_hop_single t =
-  Array.fill t.newly_informed 0 t.population false;
-  Spatial.iter_close_pairs t.spatial ~f:(fun i j ->
-      if t.informed.(i) && not t.informed.(j) then t.newly_informed.(j) <- true
-      else if t.informed.(j) && not t.informed.(i) then
-        t.newly_informed.(i) <- true);
-  for i = 0 to t.population - 1 do
-    if t.newly_informed.(i) then begin
-      t.informed.(i) <- true;
-      t.informed_count <- t.informed_count + 1
-    end
-  done
-
-let single_hop_gossip t =
-  (* exchanges must all read pre-step sets, so snapshot the set of any
-     agent involved in at least one pair before mutating *)
-  let pre : (int, Rumor_set.t) Hashtbl.t = Hashtbl.create 16 in
-  let snapshot_of i =
-    match Hashtbl.find_opt pre i with
-    | Some s -> s
-    | None ->
-        let s = Rumor_set.copy t.rumors.(i) in
-        Hashtbl.add pre i s;
-        s
-  in
-  let exchanges = ref [] in
-  Spatial.iter_close_pairs t.spatial ~f:(fun i j ->
-      let si = snapshot_of i and sj = snapshot_of j in
-      exchanges := (i, sj) :: (j, si) :: !exchanges);
-  List.iter
-    (fun (receiver, other_pre) ->
-      let added = Rumor_set.union_into ~src:other_pre ~dst:t.rumors.(receiver) in
-      t.total_known <- t.total_known + added;
-      if
-        added > 0
-        && (not t.informed.(receiver))
-        && Rumor_set.mem t.rumors.(receiver) 0
-      then begin
-        t.informed.(receiver) <- true;
-        t.informed_count <- t.informed_count + 1
-      end)
-    !exchanges
-
-(* Predator-prey: direct contact only, no chaining through preys.
-   Expects the spatial index to be current (rebuilt by [exchange]). *)
-let catch_preys t =
-  let k = k_of t in
-  Spatial.iter_close_pairs t.spatial ~f:(fun i j ->
-      (* i < j; predators occupy ids [0, k) *)
-      let predator, prey =
-        if i < k && j >= k then (Some i, j)
-        else if j < k && i >= k then (Some j, i)
-        else (None, i)
-      in
-      match predator with
-      | Some _ when not t.informed.(prey) ->
-          t.informed.(prey) <- true;
-          t.informed_count <- t.informed_count + 1;
-          t.live_preys <- t.live_preys - 1
-      | Some _ | None -> ())
-
-let timed_exchange t f =
-  let t0 = phase_start t in
-  f t;
-  phase_end t (fun p -> p.ph_exchange) t0
-
-let exchange t =
-  match t.cfg.Config.protocol with
-  | Protocol.Broadcast | Protocol.Frog | Protocol.Broadcast_cover ->
-      rebuild_components t;
-      timed_exchange t
-        (match t.cfg.Config.exchange with
-        | Config.Flood_component -> flood_single
-        | Config.Single_hop -> single_hop_single)
-  | Protocol.Cover_walks ->
-      (* everyone is informed from the start; components only matter for
-         the island metric *)
-      rebuild_components t
-  | Protocol.Gossip ->
-      rebuild_components t;
-      timed_exchange t
-        (match t.cfg.Config.exchange with
-        | Config.Flood_component -> flood_gossip
-        | Config.Single_hop -> single_hop_gossip)
-  | Protocol.Predator_prey _ ->
-      let t0 = phase_start t in
-      Spatial.rebuild t.spatial ~positions:t.pos;
-      phase_end t (fun p -> p.ph_index) t0;
-      timed_exchange t catch_preys
-
-(* --- stopping predicate -------------------------------------------------- *)
-
-let is_done t =
-  match t.cfg.Config.protocol with
-  | Protocol.Broadcast | Protocol.Frog -> t.informed_count = t.population
-  | Protocol.Gossip -> t.total_known = t.population * t.population
-  | Protocol.Broadcast_cover | Protocol.Cover_walks ->
-      t.covered_count = Grid.nodes t.grid
-  | Protocol.Predator_prey _ -> t.live_preys = 0
-
-(* --- recording ----------------------------------------------------------- *)
-
-let record t =
-  match t.recorder with
-  | None -> ()
-  | Some r ->
-      Intbuf.push r.rec_informed t.informed_count;
-      Intbuf.push r.rec_frontier t.frontier;
-      Intbuf.push r.rec_island t.island;
-      Intbuf.push r.rec_covered t.covered_count
-
-(* --- construction -------------------------------------------------------- *)
+let spec_of_config cfg =
+  {
+    Engine.agents = cfg.Config.agents;
+    protocol = cfg.Config.protocol;
+    exchange =
+      (match cfg.Config.exchange with
+      | Config.Flood_component -> Exchange.Flood_component
+      | Config.Single_hop -> Exchange.Single_hop);
+    seed = cfg.Config.seed;
+    trial = cfg.Config.trial;
+    source = cfg.Config.source;
+    sources = cfg.Config.sources;
+    max_steps = Config.effective_max_steps cfg;
+    record_history = cfg.Config.record_history;
+    track_islands = true;
+  }
 
 let create ?metrics cfg =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Simulation.create: " ^ msg));
-  let metrics =
-    match metrics with Some s -> s | None -> Obs.Sink.ambient ()
-  in
-  let obs =
-    match Obs.Sink.registry metrics with
-    | None -> None
-    | Some reg ->
-        Obs.Metric.Counter.incr (Obs.Registry.counter reg "sim.runs");
-        Some
-          {
-            ph_move = Obs.Registry.histogram reg "sim.phase.move_ns";
-            ph_index = Obs.Registry.histogram reg "sim.phase.index_ns";
-            ph_components =
-              Obs.Registry.histogram reg "sim.phase.components_ns";
-            ph_exchange = Obs.Registry.histogram reg "sim.phase.exchange_ns";
-            ph_record = Obs.Registry.histogram reg "sim.phase.record_ns";
-            ph_steps = Obs.Registry.counter reg "sim.steps";
-          }
-  in
   let grid =
     Grid.create
       ~topology:(if cfg.Config.torus then Grid.Torus else Grid.Bounded)
       ~side:cfg.Config.side ()
   in
-  let k = cfg.Config.agents in
-  let population = Protocol.population cfg.Config.protocol ~k in
-  let master = Config.rng_for cfg in
-  let rngs = Array.init population (fun _ -> Prng.split master) in
-  let pos = Array.init population (fun _ -> Grid.random_node grid master) in
-  let informed = Array.make population false in
-  let rumors =
-    match cfg.Config.protocol with
-    | Protocol.Gossip ->
-        Array.init population (fun i -> Rumor_set.singleton ~capacity:k i)
-    | Protocol.Broadcast | Protocol.Frog | Protocol.Broadcast_cover
-    | Protocol.Cover_walks | Protocol.Predator_prey _ ->
-        [||]
+  let space =
+    Grid_space.create grid ~kernel:cfg.Config.kernel ~radius:cfg.Config.radius
   in
-  let src, informed_count, live_preys =
-    match cfg.Config.protocol with
-    | Protocol.Broadcast | Protocol.Frog | Protocol.Broadcast_cover ->
-        if cfg.Config.sources = 1 then begin
-          let s =
-            match cfg.Config.source with
-            | Some s -> s
-            | None -> Prng.int master k
-          in
-          informed.(s) <- true;
-          (Some s, 1, 0)
-        end
-        else begin
-          let chosen =
-            Prng.sample_distinct master ~m:cfg.Config.sources ~bound:k
-          in
-          Array.iter (fun s -> informed.(s) <- true) chosen;
-          (None, cfg.Config.sources, 0)
-        end
-    | Protocol.Gossip ->
-        (* agent 0 holds rumor 0; frontier tracks that rumor *)
-        informed.(0) <- true;
-        (None, 1, 0)
-    | Protocol.Cover_walks ->
-        Array.fill informed 0 population true;
-        (None, population, 0)
-    | Protocol.Predator_prey { preys } ->
-        for i = 0 to k - 1 do
-          informed.(i) <- true
-        done;
-        (None, k, preys)
-  in
-  let covered =
-    if tracks_coverage cfg then
-      Bytes.make ((Grid.nodes grid + 7) / 8) '\000'
-    else Bytes.create 0
-  in
-  let t =
-    {
-      cfg;
-      grid;
-      population;
-      rngs;
-      pos;
-      informed;
-      rumors;
-      src;
-      spatial = Spatial.create grid ~radius:cfg.Config.radius;
-      dsu = Dsu.create population;
-      root_informed = Array.make population false;
-      newly_informed = Array.make population false;
-      covered;
-      covered_count = 0;
-      informed_count;
-      total_known = population;  (* gossip: each knows its own rumor *)
-      live_preys;
-      frontier = -1;
-      island = 0;
-      time = 0;
-      obs;
-      recorder =
-        (if cfg.Config.record_history then
-           Some
-             {
-               rec_informed = Intbuf.create ();
-               rec_frontier = Intbuf.create ();
-               rec_island = Intbuf.create ();
-               rec_covered = Intbuf.create ();
-             }
-         else None);
-    }
-  in
-  (* time-0 exchange on the initial placement (§2: G_0 already floods) *)
-  exchange t;
-  update_coverage_and_frontier t;
-  record t;
-  t
+  { cfg; e = E.create ?metrics ~space (spec_of_config cfg) }
 
-(* --- stepping ------------------------------------------------------------ *)
+(* --- running -------------------------------------------------------------- *)
 
-let agent_is_mobile t i =
-  match t.cfg.Config.protocol with
-  | Protocol.Frog -> t.informed.(i)
-  | Protocol.Predator_prey _ ->
-      (* predators always move; caught preys stop *)
-      i < k_of t || not t.informed.(i)
-  | Protocol.Broadcast | Protocol.Gossip | Protocol.Broadcast_cover
-  | Protocol.Cover_walks ->
-      true
+let step t = E.step t.e
 
-let step t =
-  if not (is_done t) then begin
-    t.time <- t.time + 1;
-    let t0 = phase_start t in
-    for i = 0 to t.population - 1 do
-      if agent_is_mobile t i then
-        t.pos.(i) <- Walk.step t.grid t.cfg.Config.kernel t.rngs.(i) t.pos.(i)
-    done;
-    phase_end t (fun p -> p.ph_move) t0;
-    exchange t;
-    let t1 = phase_start t in
-    update_coverage_and_frontier t;
-    record t;
-    phase_end t (fun p -> p.ph_record) t1;
-    match t.obs with
-    | None -> ()
-    | Some p -> Obs.Metric.Counter.incr p.ph_steps
-  end
+let is_done t = E.is_done t.e
 
-let run ?on_step t =
-  let cap = Config.effective_max_steps t.cfg in
-  let fire () = match on_step with Some f -> f t | None -> () in
-  while (not (is_done t)) && t.time < cap do
-    step t;
-    fire ()
-  done;
-  let history =
-    Option.map
-      (fun r ->
-        {
-          informed = Intbuf.to_array r.rec_informed;
-          frontier_x = Intbuf.to_array r.rec_frontier;
-          max_island = Intbuf.to_array r.rec_island;
-          covered = Intbuf.to_array r.rec_covered;
-        })
-      t.recorder
-  in
+let report_of t (r : Engine.report) =
   {
     config = t.cfg;
-    outcome = (if is_done t then Completed else Timed_out);
-    steps = t.time;
-    informed = t.informed_count;
-    covered = t.covered_count;
-    history;
+    outcome = r.Engine.outcome;
+    steps = r.Engine.steps;
+    informed = r.Engine.informed;
+    covered = r.Engine.covered;
+    history = r.Engine.history;
   }
+
+let run ?on_step t =
+  let on_step = Option.map (fun f _e -> f t) on_step in
+  report_of t (E.run ?on_step t.e)
 
 let run_config ?on_step ?metrics cfg = run ?on_step (create ?metrics cfg)
 
@@ -480,50 +95,43 @@ let completion_time cfg =
 
 let config t = t.cfg
 
-let grid t = t.grid
+let grid t = Grid_space.grid (E.space t.e)
 
-let time t = t.time
+let time t = E.time t.e
 
-let population t = t.population
+let population t = E.population t.e
 
-let informed_count t = t.informed_count
+let informed_count t = E.informed_count t.e
 
 let check_agent t i =
-  if i < 0 || i >= t.population then
+  if i < 0 || i >= E.population t.e then
     invalid_arg "Simulation: agent index out of range"
 
 let is_informed t i =
   check_agent t i;
-  t.informed.(i)
+  (E.informed t.e).(i)
 
 let rumors_known t i =
   check_agent t i;
-  if Array.length t.rumors > 0 then Rumor_set.cardinal t.rumors.(i)
-  else if t.informed.(i) then 1
+  let rumors = E.rumors t.e in
+  if Array.length rumors > 0 then Rumor_set.cardinal rumors.(i)
+  else if (E.informed t.e).(i) then 1
   else 0
 
 let position t i =
   check_agent t i;
-  t.pos.(i)
+  (E.pos t.e).(i)
 
-let positions t = Array.copy t.pos
+let positions t = Array.copy (E.pos t.e)
 
-let source t = t.src
+let source t = E.source t.e
 
-let frontier_x t = t.frontier
+let frontier_x t = E.frontier_x t.e
 
-let max_island t = t.island
+let max_island t = E.max_island t.e
 
-let island_sizes t =
-  match t.cfg.Config.protocol with
-  | Protocol.Predator_prey _ -> [||]
-  | Protocol.Broadcast | Protocol.Gossip | Protocol.Frog
-  | Protocol.Broadcast_cover | Protocol.Cover_walks ->
-      let sizes = ref [] in
-      Dsu.iter_sets t.dsu ~f:(fun ~representative:_ ~members ->
-          sizes := List.length members :: !sizes);
-      Array.of_list !sizes
+let island_sizes t = E.island_sizes t.e
 
-let covered_count t = t.covered_count
+let covered_count t = E.covered_count t.e
 
-let live_preys t = t.live_preys
+let live_preys t = E.live_preys t.e

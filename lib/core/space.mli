@@ -1,0 +1,102 @@
+(** The space layer of the simulation engine.
+
+    The paper's process (§2) and every baseline it is compared against
+    (§1.1) share one pipeline: place agents, repeat (move every active
+    agent, rebuild the visibility graph, exchange information over it,
+    observe metrics). What differs between the models is only {e where
+    the agents live}: the paper's bounded/torus grid with lazy walks, the
+    continuum box with Brownian motion of Peres et al., the dense grid
+    with Clementi-style jumps, or a floor-plan domain with barriers.
+    {!S} captures exactly that varying part; {!Engine.Make} supplies the
+    invariant rest.
+
+    The signature is {e bulk}: one call per phase per step
+    ([move_all], [rebuild_index], [iter_close_pairs], [observe]) rather
+    than one per agent, so a functor instantiation pays a handful of
+    indirect calls per step and the per-agent inner loops stay
+    monomorphic inside each space implementation. *)
+
+(** Which agents move this step. The engine picks the variant once at
+    creation from the protocol (the arrays are the engine's live state,
+    not copies), so the per-step dispatch is a single match. *)
+type mobility =
+  | Mobile_all  (** broadcast, gossip, cover protocols *)
+  | Mobile_informed of bool array
+      (** Frog model: only informed agents move *)
+  | Mobile_predators of {
+      informed : bool array;  (** caught flags, indexed by individual *)
+      predators : int;  (** ids [0, predators) always move *)
+    }
+      (** predator–prey: predators always move, caught preys stop *)
+
+(** Coverage bitmaps over a space's discrete cells. *)
+module Cover : sig
+  type t
+
+  val create : cells:int -> t
+  (** All-clear bitmap over cell ids [0 .. cells-1].
+      @raise Invalid_argument if [cells < 0]. *)
+
+  val count : t -> int
+  (** Number of marked cells. O(1). *)
+
+  val mark : t -> int -> unit
+  (** Mark a cell; idempotent. *)
+
+  val mem : t -> int -> bool
+end
+
+(** What a space must provide. Instances: {!Grid_space} (the paper's
+    model), [Continuum.Space] (Brownian box), [Barriers.Domain_space]
+    (floor plans). *)
+module type S = sig
+  type t
+  (** The space itself plus its reusable spatial-index scratch. One value
+      serves one engine instance; it is mutated by [rebuild_index]. *)
+
+  type pos
+  (** Bulk position state for all agents, e.g. a [Grid.node array] or a
+      pair of float coordinate arrays. Owned by the engine, mutated in
+      place by [move_all]. *)
+
+  val init_positions : t -> Prng.t -> n:int -> pos
+  (** Place [n] agents uniformly, drawing from the given stream. The
+      draw order is part of the deterministic contract: it must match
+      what the pre-refactor engine for this space did. *)
+
+  val move_all : t -> pos -> Prng.t array -> mobility -> unit
+  (** One mobility-kernel transition for every agent selected by the
+      {!mobility} value, in increasing agent order, drawing only from
+      the moving agent's own stream [rngs.(i)]. *)
+
+  val rebuild_index : t -> pos -> unit
+  (** Load current positions into the spatial index (reusing internal
+      storage across steps). *)
+
+  val iter_close_pairs : t -> f:(int -> int -> unit) -> unit
+  (** Visit every visibility edge of the last [rebuild_index] exactly
+      once. Pair order is unconstrained — the engine only unions them
+      into a DSU or applies symmetric exchange, both order-independent. *)
+
+  val cover_cells : t -> int
+  (** Size of the discrete cell-id range coverage bitmaps must span, or
+      [0] when the space does not support coverage (continuum). *)
+
+  val cover_target : t -> int
+  (** Number of cells that counts as full coverage ([cover_cells] for
+      the plain grid; the free-node count for barrier domains). *)
+
+  val observe :
+    t ->
+    pos ->
+    informed:bool array ->
+    frontier:int ->
+    cover:Cover.t option ->
+    cover_any:bool ->
+    int
+  (** Post-exchange metrics sweep: returns the new informed frontier
+      (the largest x-coordinate of an informed agent seen so far, given
+      the previous [frontier]) and, when [cover] is present, marks the
+      cells occupied by informed agents — or by all agents when
+      [cover_any] is set (the Cover_walks protocol). *)
+end

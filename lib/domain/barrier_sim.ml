@@ -1,3 +1,7 @@
+module Engine = Mobile_network.Engine
+
+module E = Engine.Make (Domain_space)
+
 type config = {
   domain : Domain.t;
   agents : int;
@@ -18,57 +22,41 @@ type report = {
   informed : int;
 }
 
-let broadcast cfg =
+let validate cfg =
   if cfg.agents <= 0 then invalid_arg "Barrier_sim.broadcast: agents <= 0";
   if cfg.radius < 0 then invalid_arg "Barrier_sim.broadcast: negative radius";
   if cfg.max_steps < 0 then
     invalid_arg "Barrier_sim.broadcast: negative max_steps";
   if Domain.free_count cfg.domain = 0 then
-    invalid_arg "Barrier_sim.broadcast: domain has no free node";
-  let domain = cfg.domain in
-  let grid = Domain.grid domain in
-  let k = cfg.agents in
-  (* same (seed, trial) mixing discipline as the core engine *)
-  let master = Prng.split (Prng.of_seed ((cfg.seed * 0x9E3779B9) lxor cfg.trial)) in
-  let rngs = Array.init k (fun _ -> Prng.split master) in
-  let pos = Array.init k (fun _ -> Domain.random_free_node domain master) in
-  let informed = Array.make k false in
-  let source = Prng.int master k in
-  informed.(source) <- true;
-  let informed_count = ref 1 in
-  let spatial = Spatial.create grid ~radius:cfg.radius in
-  let dsu = Dsu.create k in
-  let root_informed = Array.make k false in
-  let edge_ok i j =
-    (not cfg.los_blocking) || Domain.line_of_sight domain pos.(i) pos.(j)
-  in
-  let exchange () =
-    Dsu.reset dsu;
-    Spatial.rebuild spatial ~positions:pos;
-    Spatial.iter_close_pairs spatial ~f:(fun i j ->
-        if edge_ok i j then ignore (Dsu.union dsu i j));
-    Array.fill root_informed 0 k false;
-    for i = 0 to k - 1 do
-      if informed.(i) then root_informed.(Dsu.find dsu i) <- true
-    done;
-    for i = 0 to k - 1 do
-      if (not informed.(i)) && root_informed.(Dsu.find dsu i) then begin
-        informed.(i) <- true;
-        incr informed_count
-      end
-    done
-  in
-  exchange ();
-  let time = ref 0 in
-  while !informed_count < k && !time < cfg.max_steps do
-    incr time;
-    for i = 0 to k - 1 do
-      pos.(i) <- Domain.step_lazy domain rngs.(i) pos.(i)
-    done;
-    exchange ()
-  done;
+    invalid_arg "Barrier_sim.broadcast: domain has no free node"
+
+let space_of_config cfg =
+  Domain_space.create cfg.domain ~radius:cfg.radius
+    ~los_blocking:cfg.los_blocking
+
+(* same (seed, trial) mixing discipline as the core engine — supplied by
+   Engine.create via Prng.mix_seed *)
+let spec_of_config cfg =
+  Engine.default_spec ~agents:cfg.agents ~seed:cfg.seed ~trial:cfg.trial
+    ~max_steps:cfg.max_steps
+
+let create ?metrics cfg =
+  validate cfg;
+  E.create ?metrics ~space:(space_of_config cfg) (spec_of_config cfg)
+
+let report_of (r : Engine.report) =
   {
-    outcome = (if !informed_count = k then Completed else Timed_out);
-    steps = !time;
-    informed = !informed_count;
+    outcome =
+      (match r.Engine.outcome with
+      | Engine.Completed -> Completed
+      | Engine.Timed_out -> Timed_out);
+    steps = r.Engine.steps;
+    informed = r.Engine.informed;
   }
+
+let run ?metrics ?(record_history = false) cfg =
+  validate cfg;
+  let spec = { (spec_of_config cfg) with Engine.record_history } in
+  E.run (E.create ?metrics ~space:(space_of_config cfg) spec)
+
+let broadcast ?metrics cfg = report_of (E.run (create ?metrics cfg))

@@ -7,7 +7,12 @@
     communication barriers, the two ingredients of the paper's §4
     future-work scenario.
 
-    Deterministic given [(seed, trial)], like the core engine. *)
+    Deterministic given [(seed, trial)], like the core engine.
+
+    Since the Space/Exchange/Engine refactor this simulator is the
+    {!Domain_space} instance of {!Mobile_network.Engine} — it inherits
+    phase metrics, history recording and the island/frontier statistics.
+    Reports are byte-identical to the standalone loop it replaced. *)
 
 type config = {
   domain : Domain.t;
@@ -31,7 +36,18 @@ type report = {
   informed : int;  (** final informed count *)
 }
 
-val broadcast : config -> report
+val broadcast : ?metrics:Obs.Sink.t -> config -> report
 (** Run a single-rumor broadcast from a uniformly chosen source agent.
+    [metrics] (default the ambient sink) receives the engine's
+    per-phase timings.
     @raise Invalid_argument if [agents <= 0], [radius < 0],
     [max_steps < 0], or the domain has no free node. *)
+
+val run :
+  ?metrics:Obs.Sink.t ->
+  ?record_history:bool ->
+  config ->
+  Mobile_network.Engine.report
+(** Same run, exposing the full engine report (per-step history when
+    [record_history] is set). Consumes the same streams as
+    {!broadcast}. *)

@@ -1,0 +1,21 @@
+(** The barrier-domain instance of the engine's space layer: agents walk
+    the lazy kernel over the free nodes of a {!Domain.t}, and
+    (optionally) the visibility graph drops every edge whose line of
+    sight crosses a blocked cell — mobility barriers and communication
+    barriers, the two ingredients of the paper's §4 future-work
+    scenario.
+
+    Close pairs come from the same bucket-grid {!Spatial} index as the
+    plain grid; when [los_blocking] is set, the line-of-sight filter is
+    applied inside [iter_close_pairs], so the engine's component build
+    sees only radio-reachable edges. Coverage targets the free nodes
+    (blocked cells can never be visited). *)
+
+include Mobile_network.Space.S with type pos = Grid.node array
+
+val create : Domain.t -> radius:int -> los_blocking:bool -> t
+(** @raise Invalid_argument if [radius < 0] (via {!Spatial.create}). *)
+
+val domain : t -> Domain.t
+
+val los_blocking : t -> bool

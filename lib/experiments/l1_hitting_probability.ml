@@ -7,7 +7,7 @@ let run ?(quick = false) ~seed () =
      trials must be identified by their index alone so that the pooled
      and the sequential sweep draw identical randomness *)
   let rng ~d ~trial =
-    Prng.of_seed (((seed + 0x11) * 0x9E3779B9) lxor ((d lsl 20) lxor trial))
+    Prng.of_seed_trial ~seed:(seed + 0x11) ~trial:((d lsl 20) lxor trial)
   in
   let table =
     Table.create ~header:[ "d"; "T=d^2"; "trials"; "P(hit)"; "P * ln d" ]

@@ -36,35 +36,39 @@ let trial_obs () =
           obs_timeouts = Obs.Registry.counter reg "sweep.timeouts";
         }
 
-let completion_times ~trials ~cfg =
-  if trials <= 0 then invalid_arg "Sweep.completion_times: trials <= 0";
+let samples_named name ~trials ~run =
+  if trials <= 0 then invalid_arg (name ^ ": trials <= 0");
   let obs = trial_obs () in
-  let samples =
+  let out =
     Runtime.Pool.init (Runtime.Pool.ambient ()) ~n:trials ~f:(fun trial ->
         let t0 = match obs with None -> 0 | Some _ -> Obs.Clock.now_ns () in
-        let report = Mobile_network.Simulation.run_config (cfg ~trial) in
-        let timed_out =
-          match report.Mobile_network.Simulation.outcome with
-          | Mobile_network.Simulation.Completed -> false
-          | Mobile_network.Simulation.Timed_out -> true
-        in
+        let steps, timed_out = run ~trial in
         (match obs with
         | None -> ()
         | Some o ->
             Obs.Metric.Histogram.observe o.obs_trial_ns
               (Obs.Clock.now_ns () - t0);
-            Obs.Metric.Histogram.observe o.obs_steps
-              report.Mobile_network.Simulation.steps;
+            Obs.Metric.Histogram.observe o.obs_steps steps;
             Obs.Metric.Counter.incr o.obs_trials;
             if timed_out then Obs.Metric.Counter.incr o.obs_timeouts);
-        (float_of_int report.Mobile_network.Simulation.steps, timed_out))
+        (float_of_int steps, timed_out))
   in
   {
-    times = Array.map fst samples;
+    times = Array.map fst out;
     timeouts =
       Array.fold_left (fun n (_, timed_out) -> if timed_out then n + 1 else n)
-        0 samples;
+        0 out;
   }
+
+let samples ~trials ~run = samples_named "Sweep.samples" ~trials ~run
+
+let completion_times ~trials ~cfg =
+  samples_named "Sweep.completion_times" ~trials ~run:(fun ~trial ->
+      let report = Mobile_network.Simulation.run_config (cfg ~trial) in
+      ( report.Mobile_network.Simulation.steps,
+        match report.Mobile_network.Simulation.outcome with
+        | Mobile_network.Simulation.Completed -> false
+        | Mobile_network.Simulation.Timed_out -> true ))
 
 let probability ~trials ~f =
   if trials <= 0 then invalid_arg "Sweep.probability: trials <= 0";

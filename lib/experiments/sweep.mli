@@ -23,6 +23,15 @@ type measured = {
   timeouts : int;  (** how many of them hit the step cap *)
 }
 
+val samples : trials:int -> run:(trial:int -> int * bool) -> measured
+(** Generic trial replication over any engine: [run ~trial] performs one
+    run keyed by its trial index and returns [(steps, timed_out)]. All
+    the satellite simulators (continuum, Clementi baseline, barrier
+    domains) replicate through this, so their trials fan out over the
+    same pool and report into the same [sweep.*] metrics as the grid
+    model's {!completion_times}.
+    @raise Invalid_argument if [trials <= 0]. *)
+
 val completion_times :
   trials:int -> cfg:(trial:int -> Mobile_network.Config.t) -> measured
 (** Run [trials] independent simulations of the given configuration

@@ -2,16 +2,15 @@ module B = Barriers.Barrier_sim
 
 let median_broadcast ~domain ~agents ~radius ~los_blocking ~seed ~trials
     ~max_steps =
-  let times =
-    Array.init trials (fun trial ->
+  let measured =
+    Sweep.samples ~trials ~run:(fun ~trial ->
         let report =
           B.broadcast
             { B.domain; agents; radius; los_blocking; seed; trial; max_steps }
         in
-        float_of_int report.B.steps)
+        (report.B.steps, report.B.outcome = B.Timed_out))
   in
-  Array.sort compare times;
-  times.(trials / 2)
+  Sweep.median measured.Sweep.times
 
 let run ?(quick = false) ~seed () =
   let side = if quick then 24 else 40 in

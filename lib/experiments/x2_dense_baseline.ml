@@ -15,17 +15,16 @@ let run ?(quick = false) ~seed () =
   let dense_points =
     List.map
       (fun big_r ->
-        let times =
-          Array.init trials (fun trial ->
+        let measured =
+          Sweep.samples ~trials ~run:(fun ~trial ->
               let report =
                 C.broadcast
                   { C.side; agents = dense_k; big_r; rho = big_r; seed; trial;
                     max_steps = 100 * side }
               in
-              float_of_int report.C.steps)
+              (report.C.steps, report.C.outcome = C.Timed_out))
         in
-        Array.sort compare times;
-        let med = times.(trials / 2) in
+        let med = Sweep.median measured.Sweep.times in
         Table.add_row table
           [ "dense baseline (Clementi et al.)"; Table.cell_int big_r;
             Table.cell_float med;

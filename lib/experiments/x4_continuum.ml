@@ -16,17 +16,16 @@ let run ?(quick = false) ~seed () =
     let giant =
       Continuum.giant_fraction rng ~box_side ~agents:k ~radius ~trials:10
     in
-    let times =
-      Array.init trials (fun trial ->
+    let measured =
+      Sweep.samples ~trials ~run:(fun ~trial ->
           let report =
             Continuum.broadcast
               { Continuum.box_side; agents = k; radius;
                 sigma = radius /. 4.; seed; trial; max_steps = 500_000 }
           in
-          float_of_int report.Continuum.steps)
+          (report.Continuum.steps, report.Continuum.outcome = Continuum.Timed_out))
     in
-    Array.sort compare times;
-    let med = times.(trials / 2) in
+    let med = Sweep.median measured.Sweep.times in
     Table.add_row table
       [ Table.cell_int k; Table.cell_float box_side;
         (if mult > 1. then "above r_c" else "below r_c");

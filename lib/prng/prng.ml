@@ -32,6 +32,15 @@ let state_of_seed64 seed64 =
 
 let of_seed seed = state_of_seed64 (Int64.of_int seed)
 
+(* The repo-wide (seed, trial) folding discipline. The golden-ratio
+   multiplier spreads adjacent seeds across the integer range so that
+   xor-ing in a small trial index cannot collide with a neighbouring
+   seed; every engine and experiment derives its root stream from this
+   one formula. *)
+let mix_seed ~seed ~trial = (seed * 0x9E3779B9) lxor trial
+
+let of_seed_trial ~seed ~trial = of_seed (mix_seed ~seed ~trial)
+
 (* --- Core generator --- *)
 
 let rotl x k =

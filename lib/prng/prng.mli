@@ -22,6 +22,16 @@ val of_seed : int -> t
     including [0] and negative values; SplitMix64 expansion guarantees a
     non-degenerate internal state. *)
 
+val mix_seed : seed:int -> trial:int -> int
+(** [mix_seed ~seed ~trial] folds an experiment seed and a trial
+    (replicate) index into a single well-mixed integer seed,
+    [(seed * 0x9E3779B9) lxor trial] — the one seed-derivation formula
+    shared by every simulator and experiment in the repo. Deterministic;
+    distinct [(seed, trial)] pairs map to distinct streams in practice. *)
+
+val of_seed_trial : seed:int -> trial:int -> t
+(** [of_seed_trial ~seed ~trial] is [of_seed (mix_seed ~seed ~trial)]. *)
+
 val split : t -> t
 (** [split parent] advances [parent] and returns a child stream whose
     future output is statistically independent of the parent's. Splitting

@@ -2,11 +2,13 @@ type kernel =
   | Lazy_one_fifth
   | Simple
   | Lazy_half
+  | Jump of int
 
 let kernel_to_string = function
   | Lazy_one_fifth -> "lazy-1/5"
   | Simple -> "simple"
   | Lazy_half -> "lazy-1/2"
+  | Jump rho -> Printf.sprintf "jump:%d" rho
 
 (* Candidate neighbour in one of the four axis directions; on a bounded
    grid a move off the edge stays put (that probability mass becomes
@@ -40,6 +42,39 @@ let uniform_neighbour grid rng v =
   in
   chosen
 
+(* Uniform over the Manhattan ball of radius rho around v, intersected
+   with the grid, by rejection from the bounding square. The acceptance
+   rate is >= 1/2 in the interior and bounded below by ~1/8 at corners.
+   On a torus only the Manhattan rejection applies; coordinates wrap. *)
+let jump grid rng rho v =
+  if rho = 0 then v
+  else begin
+    let side = Grid.side grid in
+    let x = Grid.x_of grid v and y = Grid.y_of grid v in
+    if Grid.is_torus grid then
+      let rec draw () =
+        let dx = Prng.int_incl rng (-rho) rho in
+        let dy = Prng.int_incl rng (-rho) rho in
+        if abs dx + abs dy > rho then draw ()
+        else
+          let nx = ((x + dx) mod side + side) mod side in
+          let ny = ((y + dy) mod side + side) mod side in
+          (ny * side) + nx
+      in
+      draw ()
+    else
+      let rec draw () =
+        let dx = Prng.int_incl rng (-rho) rho in
+        let dy = Prng.int_incl rng (-rho) rho in
+        if abs dx + abs dy > rho then draw ()
+        else
+          let nx = x + dx and ny = y + dy in
+          if nx < 0 || nx >= side || ny < 0 || ny >= side then draw ()
+          else (ny * side) + nx
+      in
+      draw ()
+  end
+
 let step grid kernel rng v =
   match kernel with
   | Lazy_one_fifth ->
@@ -49,6 +84,7 @@ let step grid kernel rng v =
       if d = 4 then v else directed_neighbour grid v d
   | Simple -> uniform_neighbour grid rng v
   | Lazy_half -> if Prng.bool rng then v else uniform_neighbour grid rng v
+  | Jump rho -> jump grid rng rho v
 
 let advance grid kernel rng v ~steps =
   if steps < 0 then invalid_arg "Walk.advance: negative steps";

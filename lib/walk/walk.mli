@@ -18,6 +18,12 @@ type kernel =
   | Lazy_half
       (** Stay w.p. 1/2, else uniform over existing neighbours. Standard
           in the multiple-walks cover-time literature (§4, [2, 12]). *)
+  | Jump of int
+      (** The Clementi et al. geometric-random-walk kernel (§1.1 [7, 8]):
+          jump to a node uniform over the Manhattan ball of the given
+          radius [rho] intersected with the grid. [Jump 0] holds still and
+          draws nothing from the stream. Not uniform-stationary on the
+          bounded grid (corner nodes have smaller balls). *)
 
 val kernel_to_string : kernel -> string
 

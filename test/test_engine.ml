@@ -1,0 +1,298 @@
+(* Tests for the generic engine layers introduced by the Space/Exchange/
+   Engine refactor: cross-engine equivalence (the satellites are now
+   instances of one engine, so engines that model the same process must
+   produce identical runs), degenerate parameter values at the space
+   level, and unit tests of each exchange policy on hand-built
+   visibility graphs. *)
+
+module Config = Mobile_network.Config
+module Simulation = Mobile_network.Simulation
+module Exchange = Mobile_network.Exchange
+module Rumor_set = Mobile_network.Rumor_set
+module Space = Mobile_network.Space
+module Clementi = Baselines.Clementi
+module Barrier_sim = Barriers.Barrier_sim
+
+(* --- cross-engine equivalence --------------------------------------------- *)
+
+(* The Clementi baseline is by construction the grid engine with the
+   jump kernel and single-hop exchange; running the same parameters
+   through the core Simulation front end must give the identical run
+   (same streams, same draw order, same exchange rule). *)
+let test_clementi_equals_grid_engine () =
+  let side = 24 and agents = 40 and big_r = 3 and rho = 2 in
+  let seed = 5 and trial = 2 and max_steps = 5_000 in
+  let c =
+    Clementi.broadcast
+      { Clementi.side; agents; big_r; rho; seed; trial; max_steps }
+  in
+  let s =
+    Simulation.run_config
+      (Config.make ~side ~agents ~radius:big_r ~kernel:(Walk.Jump rho)
+         ~exchange:Config.Single_hop ~seed ~trial ~max_steps ())
+  in
+  Alcotest.(check int) "same steps" c.Clementi.steps s.Simulation.steps;
+  Alcotest.(check int) "same informed" c.Clementi.informed
+    s.Simulation.informed;
+  Alcotest.(check bool) "same outcome" true
+    (match (c.Clementi.outcome, s.Simulation.outcome) with
+    | Clementi.Completed, Simulation.Completed
+    | Clementi.Timed_out, Simulation.Timed_out ->
+        true
+    | _ -> false)
+
+(* run (full engine report) and broadcast (condensed report) consume the
+   same streams in every satellite. *)
+let test_run_agrees_with_broadcast () =
+  let module E = Mobile_network.Engine in
+  let ccfg =
+    { Clementi.side = 16; agents = 24; big_r = 2; rho = 2; seed = 3;
+      trial = 1; max_steps = 2_000 }
+  in
+  let cb = Clementi.broadcast ccfg and cr = Clementi.run ccfg in
+  Alcotest.(check int) "clementi steps" cb.Clementi.steps cr.E.steps;
+  Alcotest.(check int) "clementi informed" cb.Clementi.informed cr.E.informed;
+  let ucfg =
+    { Continuum.box_side = 8.; agents = 32; radius = 1.; sigma = 0.25;
+      seed = 3; trial = 1; max_steps = 50_000 }
+  in
+  let ub = Continuum.broadcast ucfg and ur = Continuum.run ucfg in
+  Alcotest.(check int) "continuum steps" ub.Continuum.steps ur.E.steps;
+  Alcotest.(check int) "continuum informed" ub.Continuum.informed
+    ur.E.informed;
+  let domain = Barriers.Domain.central_wall (Grid.create ~side:16 ()) ~gap:2 in
+  let bcfg =
+    { Barrier_sim.domain; agents = 12; radius = 0; los_blocking = false;
+      seed = 3; trial = 1; max_steps = 20_000 }
+  in
+  let bb = Barrier_sim.broadcast bcfg and br = Barrier_sim.run bcfg in
+  Alcotest.(check int) "barrier steps" bb.Barrier_sim.steps br.E.steps;
+  Alcotest.(check int) "barrier informed" bb.Barrier_sim.informed
+    br.E.informed
+
+(* Recorded histories are per-step series consistent with the report:
+   steps + 1 entries (index 0 is the initial state), final entry equal
+   to the final count — across all engine instances. *)
+let test_history_consistent () =
+  let module E = Mobile_network.Engine in
+  let check_history label (r : E.report) =
+    match r.E.history with
+    | None -> Alcotest.failf "%s: no history" label
+    | Some h ->
+        Alcotest.(check int)
+          (label ^ ": history length")
+          (r.E.steps + 1)
+          (Array.length h.E.informed);
+        Alcotest.(check int)
+          (label ^ ": final informed")
+          r.E.informed
+          h.E.informed.(Array.length h.E.informed - 1)
+  in
+  check_history "clementi"
+    (Clementi.run ~record_history:true
+       { Clementi.side = 16; agents = 24; big_r = 2; rho = 2; seed = 1;
+         trial = 0; max_steps = 2_000 });
+  check_history "continuum"
+    (Continuum.run ~record_history:true
+       { Continuum.box_side = 8.; agents = 32; radius = 1.; sigma = 0.25;
+         seed = 1; trial = 0; max_steps = 50_000 });
+  check_history "barrier"
+    (Barrier_sim.run ~record_history:true
+       { Barrier_sim.domain =
+           Barriers.Domain.unobstructed (Grid.create ~side:16 ());
+         agents = 12; radius = 0; los_blocking = false; seed = 1; trial = 0;
+         max_steps = 20_000 })
+
+(* --- degenerate parameters ------------------------------------------------ *)
+
+let test_jump_zero_is_identity () =
+  let grid = Grid.create ~side:8 () in
+  let rng = Prng.of_seed 9 and witness = Prng.of_seed 9 in
+  let v = Grid.index grid ~x:3 ~y:4 in
+  Alcotest.(check int) "stays put" v (Walk.step grid (Walk.Jump 0) rng v);
+  (* rho = 0 must also consume no randomness *)
+  Alcotest.(check int) "no draws" (Prng.int witness 1_000_000)
+    (Prng.int rng 1_000_000)
+
+let test_static_disconnected_times_out () =
+  (* rho = 0 and R = 0: nobody moves, nobody meets — the run must time
+     out with only the source informed *)
+  let r =
+    Clementi.broadcast
+      { Clementi.side = 8; agents = 6; big_r = 0; rho = 0; seed = 2;
+        trial = 0; max_steps = 50 }
+  in
+  Alcotest.(check bool) "timed out" true
+    (match r.Clementi.outcome with
+    | Clementi.Timed_out -> true
+    | Clementi.Completed -> false);
+  Alcotest.(check int) "only the source" 1 r.Clementi.informed
+
+let test_full_radius_instant () =
+  (* R covering the whole grid: the time-0 exchange already floods *)
+  let r =
+    Clementi.broadcast
+      { Clementi.side = 8; agents = 6; big_r = 16; rho = 0; seed = 2;
+        trial = 0; max_steps = 50 }
+  in
+  Alcotest.(check int) "instant" 0 r.Clementi.steps;
+  Alcotest.(check int) "everyone informed" 6 r.Clementi.informed
+
+let test_continuum_zero_radius_no_pairs () =
+  let module S = Continuum.Space in
+  let s = S.create ~box_side:4. ~radius:0. ~sigma:0.25 ~agents:8 in
+  let pos = S.init_positions s (Prng.of_seed 1) ~n:8 in
+  S.rebuild_index s pos;
+  let pairs = ref 0 in
+  S.iter_close_pairs s ~f:(fun _ _ -> incr pairs);
+  Alcotest.(check int) "no visibility edges at radius 0" 0 !pairs
+
+let test_continuum_zero_sigma_is_static () =
+  let module S = Continuum.Space in
+  let s = S.create ~box_side:4. ~radius:1. ~sigma:0. ~agents:8 in
+  let pos = S.init_positions s (Prng.of_seed 1) ~n:8 in
+  let xs0 = Array.copy pos.S.xs and ys0 = Array.copy pos.S.ys in
+  let rngs = Array.init 8 (fun i -> Prng.of_seed i) in
+  S.move_all s pos rngs Space.Mobile_all;
+  Alcotest.(check bool) "positions unchanged" true
+    (pos.S.xs = xs0 && pos.S.ys = ys0)
+
+(* --- exchange policies on hand-built graphs ------------------------------- *)
+
+let test_flood_single () =
+  let informed = [| true; false; false; false; false |] in
+  let x = Exchange.create ~population:5 ~predators:0 ~informed ~rumors:[||] in
+  x.Exchange.informed_count <- 1;
+  (* components {0, 1, 2} and {3, 4}; only the first holds the rumor *)
+  let dsu = Dsu.create 5 in
+  ignore (Dsu.union dsu 0 1);
+  ignore (Dsu.union dsu 1 2);
+  ignore (Dsu.union dsu 3 4);
+  Exchange.flood_single x ~dsu;
+  Alcotest.(check (array bool)) "informed component floods"
+    [| true; true; true; false; false |]
+    informed;
+  Alcotest.(check int) "count tracked" 3 x.Exchange.informed_count
+
+let test_flood_gossip () =
+  let population = 4 in
+  let rumors =
+    Array.init population (fun i -> Rumor_set.singleton ~capacity:population i)
+  in
+  let informed = Array.init population (fun i -> i = 0) in
+  let x = Exchange.create ~population ~predators:0 ~informed ~rumors in
+  x.Exchange.informed_count <- 1;
+  x.Exchange.total_known <- population;
+  (* component {0, 1, 2}; agent 3 is isolated *)
+  let dsu = Dsu.create population in
+  ignore (Dsu.union dsu 0 1);
+  ignore (Dsu.union dsu 1 2);
+  Exchange.flood_gossip x ~dsu;
+  Array.iteri
+    (fun i s ->
+      let expected = if i < 3 then 3 else 1 in
+      Alcotest.(check int)
+        (Printf.sprintf "agent %d cardinal" i)
+        expected (Rumor_set.cardinal s))
+    rumors;
+  Alcotest.(check int) "total known" 10 x.Exchange.total_known;
+  (* rumor-0 tracking: agents 1 and 2 learned rumor 0 *)
+  Alcotest.(check int) "informed count" 3 x.Exchange.informed_count
+
+let test_single_hop_no_chaining () =
+  (* path 0 - 1 - 2 with only agent 0 informed: the rumor crosses one
+     edge per step, so agent 2 must NOT learn it this step *)
+  let informed = [| true; false; false |] in
+  let x = Exchange.create ~population:3 ~predators:0 ~informed ~rumors:[||] in
+  x.Exchange.informed_count <- 1;
+  let iter_pairs f =
+    f 0 1;
+    f 1 2
+  in
+  Exchange.single_hop_single x ~iter_pairs;
+  Alcotest.(check (array bool)) "one hop only" [| true; true; false |] informed;
+  Alcotest.(check int) "count" 2 x.Exchange.informed_count;
+  (* the next step carries it the rest of the way *)
+  Exchange.single_hop_single x ~iter_pairs;
+  Alcotest.(check (array bool)) "second hop" [| true; true; true |] informed
+
+let test_single_hop_gossip_pre_step_snapshots () =
+  let population = 3 in
+  let rumors =
+    Array.init population (fun i -> Rumor_set.singleton ~capacity:population i)
+  in
+  let informed = Array.init population (fun i -> i = 0) in
+  let x = Exchange.create ~population ~predators:0 ~informed ~rumors in
+  x.Exchange.informed_count <- 1;
+  x.Exchange.total_known <- population;
+  let iter_pairs f =
+    f 0 1;
+    f 1 2
+  in
+  Exchange.single_hop_gossip x ~iter_pairs;
+  (* all deliveries read pre-step sets: 1 hears from both neighbours,
+     but 0 and 2 only hear 1's original singleton *)
+  Alcotest.(check int) "agent 0" 2 (Rumor_set.cardinal rumors.(0));
+  Alcotest.(check int) "agent 1" 3 (Rumor_set.cardinal rumors.(1));
+  Alcotest.(check int) "agent 2" 2 (Rumor_set.cardinal rumors.(2));
+  Alcotest.(check bool) "2 did not get rumor 0 through 1" false
+    (Rumor_set.mem rumors.(2) 0);
+  Alcotest.(check int) "total known" 7 x.Exchange.total_known;
+  Alcotest.(check int) "rumor-0 informed" 2 x.Exchange.informed_count
+
+let test_catch_preys_no_chaining () =
+  (* predator 0; preys 1, 2. Edges 0-1 and 1-2: prey 1 is caught by
+     direct contact, prey 2 survives (catching never chains) *)
+  let informed = [| true; false; false |] in
+  let x = Exchange.create ~population:3 ~predators:1 ~informed ~rumors:[||] in
+  x.Exchange.informed_count <- 1;
+  x.Exchange.live_preys <- 2;
+  let iter_pairs f =
+    f 0 1;
+    f 1 2
+  in
+  Exchange.catch_preys x ~iter_pairs;
+  Alcotest.(check (array bool)) "direct catch only" [| true; true; false |]
+    informed;
+  Alcotest.(check int) "one prey left" 1 x.Exchange.live_preys;
+  (* idempotent on an already-caught prey *)
+  Exchange.catch_preys x ~iter_pairs;
+  Alcotest.(check int) "no double catch" 1 x.Exchange.live_preys
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "cross-engine",
+        [
+          Alcotest.test_case "clementi = grid engine with jump kernel" `Quick
+            test_clementi_equals_grid_engine;
+          Alcotest.test_case "run agrees with broadcast" `Quick
+            test_run_agrees_with_broadcast;
+          Alcotest.test_case "histories consistent" `Quick
+            test_history_consistent;
+        ] );
+      ( "degenerate",
+        [
+          Alcotest.test_case "jump rho=0 is identity" `Quick
+            test_jump_zero_is_identity;
+          Alcotest.test_case "static disconnected times out" `Quick
+            test_static_disconnected_times_out;
+          Alcotest.test_case "full radius instant" `Quick
+            test_full_radius_instant;
+          Alcotest.test_case "continuum radius=0 has no pairs" `Quick
+            test_continuum_zero_radius_no_pairs;
+          Alcotest.test_case "continuum sigma=0 is static" `Quick
+            test_continuum_zero_sigma_is_static;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "flood_single" `Quick test_flood_single;
+          Alcotest.test_case "flood_gossip" `Quick test_flood_gossip;
+          Alcotest.test_case "single_hop no chaining" `Quick
+            test_single_hop_no_chaining;
+          Alcotest.test_case "single_hop_gossip snapshots" `Quick
+            test_single_hop_gossip_pre_step_snapshots;
+          Alcotest.test_case "catch_preys no chaining" `Quick
+            test_catch_preys_no_chaining;
+        ] );
+    ]
