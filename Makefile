@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the real build system.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-json clean
 
 all: build
 
@@ -14,8 +14,10 @@ test:
 # registry fanned out over a 2-worker domain pool must still pass every
 # shape check (results are identical to --jobs 1 by construction), a
 # metrics smoke test (an instrumented run must emit a snapshot that the
-# obs parser accepts), and a non-grid engine smoke: the continuum space
-# instance of the shared engine must run end to end from the CLI.
+# obs parser accepts), a trace smoke test (a traced run must emit a
+# Chrome trace-event file that the tracer validator accepts), and a
+# non-grid engine smoke: the continuum space instance of the shared
+# engine must run end to end from the CLI.
 # `dune build @all` also builds examples/.
 check:
 	dune build @all
@@ -23,10 +25,18 @@ check:
 	dune exec bin/mobisim.exe -- exp --quick --jobs 2
 	dune exec bin/mobisim.exe -- exp E1 --quick --metrics /tmp/mobisim-metrics.json
 	dune exec bin/mobisim.exe -- validate-metrics /tmp/mobisim-metrics.json
+	dune exec bin/mobisim.exe -- simulate --side 32 -k 64 --trace-events /tmp/mobisim-trace.json
+	dune exec bin/mobisim.exe -- validate-metrics /tmp/mobisim-trace.json
 	dune exec bin/mobisim.exe -- simulate --space continuum --side 8 -k 16 -r 2
 
 bench:
 	dune exec bench/main.exe
+
+# Machine-readable perf trajectory: one {probe -> ns/step, words/step}
+# JSON per PR, pinned at the repo root (BENCH_PR4.json for this PR).
+# Compare two with `mobisim bench-check OLD NEW`.
+bench-json:
+	dune exec bench/perf_probe.exe -- --json BENCH_PR4.json
 
 clean:
 	dune clean

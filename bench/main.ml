@@ -64,6 +64,28 @@ let finish_metrics =
         Obs.Sink.set_ambient Obs.Sink.null;
         Runtime.Pool.set_ambient_metrics Obs.Sink.null
 
+(* `--trace-events FILE`: record the regeneration on a Chrome trace-event
+   timeline (engine phases, pool task lifecycle, GC instants) and write
+   it before the micro-benchmarks start. *)
+let trace_events_file = scan_flag "trace-events"
+
+let finish_trace =
+  match trace_events_file with
+  | None -> fun () -> ()
+  | Some path ->
+      let tr = Obs.Tracer.create () in
+      Obs.Tracer.set_ambient tr;
+      Runtime.Pool.set_ambient_tracer tr;
+      fun () ->
+        let oc = open_out path in
+        output_string oc (Obs.Tracer.export_string tr);
+        close_out oc;
+        Format.printf "trace: wrote %s (%d events, %d dropped)@." path
+          (Obs.Tracer.events tr) (Obs.Tracer.dropped tr);
+        (* micro-benchmarks below should run untraced *)
+        Obs.Tracer.set_ambient Obs.Tracer.null;
+        Runtime.Pool.set_ambient_tracer Obs.Tracer.null
+
 let regenerate_tables () =
   Format.printf "==============================================================@.";
   Format.printf " Reproduction tables (full mode) — one per theorem/lemma@.";
@@ -238,6 +260,7 @@ let run_benchmarks tests =
 
 let () =
   regenerate_tables ();
+  finish_trace ();
   finish_metrics ();
   Format.printf "==============================================================@.";
   Format.printf " Engine micro-benchmarks (Bechamel)@.";

@@ -3,11 +3,28 @@
    Bechamel harness this runs in seconds and reports per-step minor-heap
    allocation, which is the quantity the exchange-scratch and
    continuum-index work is meant to drive down. Used to record the
-   before/after numbers in EXPERIMENTS.md. *)
+   before/after numbers in EXPERIMENTS.md.
+
+   `--json FILE` additionally writes the numbers as a machine-readable
+   perf trajectory: {"schema", "probes": {label -> {ns_per_step,
+   minor_words_per_step, steps}}}. `make bench-json` pins that file as
+   BENCH_PR<N>.json at the repo root, and `mobisim bench-check OLD NEW`
+   diffs two of them. *)
 
 module Config = Mobile_network.Config
 module Protocol = Mobile_network.Protocol
 module Simulation = Mobile_network.Simulation
+
+let json_file =
+  let rec scan = function
+    | "--json" :: v :: _ -> Some v
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+(* (label, steps, ns/step, minor words/step), in run order *)
+let results : (string * int * float * float) list ref = ref []
 
 let time_alloc ~label ~reps f =
   (* warmup run: fill caches, trigger lazy allocations *)
@@ -20,10 +37,37 @@ let time_alloc ~label ~reps f =
   done;
   let dt = Obs.Clock.now_ns () - t0 in
   let minor = Gc.minor_words () -. minor0 in
+  let ns_per_step = float_of_int dt /. float_of_int (max 1 !steps) in
+  let words_per_step = minor /. float_of_int (max 1 !steps) in
+  results := (label, !steps, ns_per_step, words_per_step) :: !results;
   Printf.printf "%-34s %8d steps  %8.0f ns/step  %10.1f words/step\n%!" label
-    !steps
-    (float_of_int dt /. float_of_int (max 1 !steps))
-    (minor /. float_of_int (max 1 !steps))
+    !steps ns_per_step words_per_step
+
+let write_json path =
+  let probes =
+    List.rev_map
+      (fun (label, steps, ns, words) ->
+        ( label,
+          Obs.Json.Assoc
+            [
+              ("ns_per_step", Obs.Json.Float ns);
+              ("minor_words_per_step", Obs.Json.Float words);
+              ("steps", Obs.Json.Int steps);
+            ] ))
+      !results
+  in
+  let doc =
+    Obs.Json.Assoc
+      [
+        ("schema", Obs.Json.String "mobisim-bench/1");
+        ("probes", Obs.Json.Assoc probes);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d probes)\n%!" path (List.length probes)
 
 let () =
   Printf.printf "%-34s %14s %15s %20s\n" "probe" "total" "time" "minor alloc";
@@ -32,6 +76,20 @@ let () =
       (Simulation.run_config
          (Config.make ~side:64 ~agents:64 ~radius:0 ~seed:7 ~max_steps:2000 ()))
         .Simulation.steps);
+  (* same run with a recording tracer attached: the timeline's overhead
+     budget (the EXPERIMENTS.md off/on pair). One shared tracer, sized so
+     all reps fit without overflow (a full ring stops paying the store
+     path, which would flatter the number); its ring is one large array,
+     allocated directly on the major heap, so words/step stays
+     comparable. *)
+  let traced = Obs.Tracer.create ~capacity:(1 lsl 19) () in
+  Obs.Tracer.set_ambient traced;
+  time_alloc ~label:"core broadcast side=64 k=64 traced" ~reps:20 (fun () ->
+      (Simulation.run_config
+         (Config.make ~side:64 ~agents:64 ~radius:0 ~seed:7 ~max_steps:2000 ()))
+        .Simulation.steps);
+  Obs.Tracer.set_ambient Obs.Tracer.null;
+  assert (Obs.Tracer.dropped traced = 0);
   time_alloc ~label:"core broadcast side=64 k=64 r=8" ~reps:20 (fun () ->
       (Simulation.run_config
          (Config.make ~side:64 ~agents:64 ~radius:8 ~seed:7 ~max_steps:2000 ()))
@@ -69,4 +127,5 @@ let () =
       (Barriers.Barrier_sim.broadcast
          { Barriers.Barrier_sim.domain; agents = 24; radius = 4;
            los_blocking = true; seed = 7; trial = 0; max_steps = 20_000 })
-        .Barriers.Barrier_sim.steps)
+        .Barriers.Barrier_sim.steps);
+  Option.iter write_json json_file

@@ -122,6 +122,47 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let trace_events_arg =
+  let doc =
+    "Write a Chrome trace-event timeline (engine phase spans, pool task \
+     lifecycle events, GC stop-the-world instants, per-domain) to $(docv) \
+     after the run; open it in Perfetto (ui.perfetto.dev) or \
+     chrome://tracing. Tracing is bounded-memory (a fixed ring per domain; \
+     overflow is counted, never fatal) and diagnostics only: it never \
+     changes results."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-events" ] ~docv:"FILE" ~doc)
+
+(* Install a recording ambient tracer (and hand it to the ambient pool)
+   and return the finalizer that writes the merged timeline to FILE.
+   With [None] everything stays on the null tracer. *)
+let install_trace path =
+  match path with
+  | None -> fun () -> ()
+  | Some path ->
+      let tr = Obs.Tracer.create () in
+      Obs.Tracer.set_ambient tr;
+      Runtime.Pool.set_ambient_tracer tr;
+      fun () ->
+        let oc = open_out path in
+        output_string oc (Obs.Tracer.export_string tr);
+        close_out oc;
+        Printf.eprintf "trace: wrote %s (%d events, %d dropped)\n" path
+          (Obs.Tracer.events tr) (Obs.Tracer.dropped tr)
+
+(* Run one simulation thunk as a single ambient-pool job. At the default
+   ambient size (jobs = 1) the pool executes it inline, on this domain,
+   in order — results and output are identical to calling [f] directly —
+   but the run shows up as a [pool.submit]/[pool.dequeue]/[pool.task]
+   lifecycle on the trace timeline, so one-shot `simulate` traces carry
+   the same three layers (pool, engine phases, GC) as experiment runs. *)
+let as_pool_job f =
+  match
+    Runtime.Pool.map (Runtime.Pool.ambient ()) ~f:(fun _ () -> f ()) [ () ]
+  with
+  | [ r ] -> r
+  | _ -> assert false
+
 (* Install a recording ambient sink and return the finalizer that
    publishes derived gauges, writes FILE and prints the table. With
    [None] everything stays on the null sink (the no-op default). *)
@@ -178,12 +219,40 @@ let space_arg =
      full protocol/kernel support), continuum (Brownian agents in a \
      side x side box, r and sigma = r/4 in continuous units) or domain \
      (an unobstructed barrier domain). Non-grid spaces run a plain \
-     broadcast and ignore --protocol/--kernel/--torus/--trace/--render."
+     broadcast; the grid-only flags \
+     --protocol/--kernel/--torus/--trace/--render/--trace-out are ignored \
+     there (with a warning on stderr if one was set)."
   in
   Arg.(value & opt space_conv `Grid & info [ "space" ] ~docv:"SPACE" ~doc)
 
-let run_simulate_continuum side agents radius seed trial max_steps metrics =
+(* The non-grid spaces run a fixed plain broadcast: flag values that only
+   the grid engine interprets would be dropped silently. Detection is by
+   comparison with the flag's default, so re-stating a default (e.g. an
+   explicit `--trace 0`) goes unnoticed — fine for a warning. *)
+let warn_ignored_flags ~space ~protocol ~kernel ~torus ~trace ~render
+    ~trace_out =
+  let ignored =
+    List.filter_map
+      (fun (set, flag) -> if set then Some flag else None)
+      [
+        (protocol <> Protocol.Broadcast, "--protocol");
+        (kernel <> Walk.Lazy_one_fifth, "--kernel");
+        (torus, "--torus");
+        (trace > 0, "--trace");
+        (render > 0, "--render");
+        (trace_out <> None, "--trace-out");
+      ]
+  in
+  if ignored <> [] then
+    Printf.eprintf
+      "warning: --space %s runs a plain broadcast; ignoring grid-only %s\n"
+      space
+      (String.concat ", " ignored)
+
+let run_simulate_continuum side agents radius seed trial max_steps metrics
+    trace_events =
   let finish_metrics = install_metrics metrics in
+  let finish_trace = install_trace trace_events in
   let box_side = float_of_int side in
   let radius = float_of_int radius in
   let rc = Continuum.critical_radius ~box_side ~agents in
@@ -196,25 +265,29 @@ let run_simulate_continuum side agents radius seed trial max_steps metrics =
     box_side agents radius
     (if rc > 0. then radius /. rc else 0.)
     cfg.Continuum.sigma;
-  let report = Continuum.broadcast cfg in
+  let report = as_pool_job (fun () -> Continuum.broadcast cfg) in
   (match report.Continuum.outcome with
   | Continuum.Completed ->
       Printf.printf "completed in %d steps\n" report.Continuum.steps
   | Continuum.Timed_out ->
       Printf.printf "TIMED OUT after %d steps (informed %d/%d)\n"
         report.Continuum.steps report.Continuum.informed agents);
+  finish_trace ();
   finish_metrics ()
 
-let run_simulate_domain side agents radius seed trial max_steps metrics =
+let run_simulate_domain side agents radius seed trial max_steps metrics
+    trace_events =
   let finish_metrics = install_metrics metrics in
+  let finish_trace = install_trace trace_events in
   let domain = Barriers.Domain.unobstructed (Grid.create ~side ()) in
   Printf.printf "domain: open %dx%d, k=%d r=%d\n" side side agents radius;
   let report =
-    Barriers.Barrier_sim.broadcast
-      { Barriers.Barrier_sim.domain; agents; radius; los_blocking = false;
-        seed; trial;
-        max_steps =
-          (match max_steps with Some m -> m | None -> 100 * side * side) }
+    as_pool_job (fun () ->
+        Barriers.Barrier_sim.broadcast
+          { Barriers.Barrier_sim.domain; agents; radius; los_blocking = false;
+            seed; trial;
+            max_steps =
+              (match max_steps with Some m -> m | None -> 100 * side * side) })
   in
   (match report.Barriers.Barrier_sim.outcome with
   | Barriers.Barrier_sim.Completed ->
@@ -223,10 +296,11 @@ let run_simulate_domain side agents radius seed trial max_steps metrics =
       Printf.printf "TIMED OUT after %d steps (informed %d/%d)\n"
         report.Barriers.Barrier_sim.steps
         report.Barriers.Barrier_sim.informed agents);
+  finish_trace ();
   finish_metrics ()
 
 let run_simulate_grid side agents radius protocol kernel seed trial max_steps
-    trace render torus trace_out metrics =
+    trace render torus trace_out metrics trace_events =
   let cfg =
     Config.make ~torus ~side ~agents ~radius ~protocol ~kernel ~seed ~trial
       ?max_steps ()
@@ -237,6 +311,7 @@ let run_simulate_grid side agents radius protocol kernel seed trial max_steps
       exit 2
   | Ok () ->
       let finish_metrics = install_metrics metrics in
+      let finish_trace = install_trace trace_events in
       Printf.printf "config: %s\n" (Config.to_string cfg);
       Printf.printf "n = %d nodes, r_c = %.2f, subcritical: %b\n"
         (Config.n cfg)
@@ -254,7 +329,7 @@ let run_simulate_grid side agents radius protocol kernel seed trial max_steps
         if render > 0 && Simulation.time sim mod render = 0 then
           print_string (Render.frame sim)
       in
-      let report = Simulation.run_config ~on_step cfg in
+      let report = as_pool_job (fun () -> Simulation.run_config ~on_step cfg) in
       (match report.Simulation.outcome with
       | Simulation.Completed ->
           Printf.printf "completed in %d steps\n" report.Simulation.steps
@@ -273,18 +348,26 @@ let run_simulate_grid side agents radius protocol kernel seed trial max_steps
             (Array.length t.Trace.entries)
             path)
         trace_out;
+      finish_trace ();
       finish_metrics ()
 
 let run_simulate space side agents radius protocol kernel seed trial max_steps
-    trace render torus trace_out metrics =
+    trace render torus trace_out metrics trace_events =
+  let warn space =
+    warn_ignored_flags ~space ~protocol ~kernel ~torus ~trace ~render ~trace_out
+  in
   match space with
   | `Grid ->
       run_simulate_grid side agents radius protocol kernel seed trial max_steps
-        trace render torus trace_out metrics
+        trace render torus trace_out metrics trace_events
   | `Continuum ->
+      warn "continuum";
       run_simulate_continuum side agents radius seed trial max_steps metrics
+        trace_events
   | `Domain ->
+      warn "domain";
       run_simulate_domain side agents radius seed trial max_steps metrics
+        trace_events
 
 let simulate_cmd =
   let trace =
@@ -303,7 +386,8 @@ let simulate_cmd =
     Term.(
       const run_simulate $ space_arg $ side_arg $ agents_arg $ radius_arg
       $ protocol_arg $ kernel_arg $ seed_arg $ trial_arg $ max_steps_arg
-      $ trace $ render $ torus_arg $ trace_out $ metrics_arg)
+      $ trace $ render $ torus_arg $ trace_out $ metrics_arg
+      $ trace_events_arg)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a single simulation and report its outcome.")
@@ -319,13 +403,14 @@ let write_csv dir (result : Experiments.Exp_result.t) =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
-let run_experiments ids quick seed jobs csv_dir metrics =
+let run_experiments ids quick seed jobs csv_dir metrics trace_events =
   if jobs < 1 then begin
     Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
     exit 2
   end;
   Runtime.Pool.set_ambient_jobs jobs;
   let finish_metrics = install_metrics ~pool:true metrics in
+  let finish_trace = install_trace trace_events in
   let entries =
     match ids with
     | [] -> Experiments.Registry.all
@@ -352,6 +437,7 @@ let run_experiments ids quick seed jobs csv_dir metrics =
     List.filter (fun r -> not (Experiments.Exp_result.all_passed r)) results
   in
   Format.pp_print_flush fmt ();
+  finish_trace ();
   finish_metrics ();
   if failed <> [] then begin
     Printf.printf "shape checks FAILED in: %s\n"
@@ -369,7 +455,7 @@ let exp_cmd =
   let term =
     Term.(
       const run_experiments $ ids $ quick_arg $ seed_arg $ jobs_arg
-      $ csv_dir_arg $ metrics_arg)
+      $ csv_dir_arg $ metrics_arg $ trace_events_arg)
   in
   Cmd.v
     (Cmd.info "exp"
@@ -595,31 +681,152 @@ let run_validate_metrics path =
       Printf.eprintf "cannot read metrics snapshot: %s\n" e;
       exit 1
   in
-  match Obs.Snapshot.parse text with
-  | Error e ->
-      Printf.eprintf "INVALID metrics snapshot: %s\n" e;
-      exit 1
-  | Ok json ->
-      let size section =
-        match Obs.Json.member section json with
-        | Some (Obs.Json.Assoc members) -> List.length members
-        | Some _ | None -> 0
-      in
-      Printf.printf
-        "metrics snapshot OK: %d counters, %d gauges, %d histograms\n"
-        (size "counters") (size "gauges") (size "histograms")
+  (* A trace-event file is a JSON array, a metrics snapshot an object:
+     the first non-whitespace byte picks the validator. *)
+  let rec first_byte i =
+    if i >= String.length text then '\x00'
+    else
+      match text.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> first_byte (i + 1)
+      | c -> c
+  in
+  if first_byte 0 = '[' then
+    match Obs.Tracer.parse text with
+    | Error e ->
+        Printf.eprintf "INVALID trace-event file: %s\n" e;
+        exit 1
+    | Ok json ->
+        let n =
+          match json with Obs.Json.List events -> List.length events | _ -> 0
+        in
+        Printf.printf "trace-event file OK: %d events\n" n
+  else
+    match Obs.Snapshot.parse text with
+    | Error e ->
+        Printf.eprintf "INVALID metrics snapshot: %s\n" e;
+        exit 1
+    | Ok json ->
+        let size section =
+          match Obs.Json.member section json with
+          | Some (Obs.Json.Assoc members) -> List.length members
+          | Some _ | None -> 0
+        in
+        Printf.printf
+          "metrics snapshot OK: %d counters, %d gauges, %d histograms\n"
+          (size "counters") (size "gauges") (size "histograms")
 
 let validate_metrics_cmd =
   let path =
-    let doc = "Snapshot file written by '--metrics FILE'." in
+    let doc =
+      "Snapshot file written by '--metrics FILE', or a Chrome trace-event \
+       file written by '--trace-events FILE' (auto-detected)."
+    in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
   Cmd.v
     (Cmd.info "validate-metrics"
        ~doc:
-         "Parse a metrics snapshot written by --metrics and check its \
-          structure.")
+         "Parse a metrics snapshot written by --metrics (or a trace-event \
+          file written by --trace-events) and check its structure.")
     Term.(const run_validate_metrics $ path)
+
+(* --- bench-check ----------------------------------------------------------- *)
+
+(* Compare two perf-trajectory files (written by `make bench-json` /
+   `bench/perf_probe.exe --json`): per-probe ns/step deltas, non-zero
+   exit on any regression beyond the threshold. Probes present in only
+   one file are listed but never fail the check, so adding or renaming
+   probes does not break CI against an older baseline. *)
+
+let read_bench_file path =
+  let text =
+    try
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error e ->
+      Printf.eprintf "cannot read bench file: %s\n" e;
+      exit 1
+  in
+  match Obs.Json.parse text with
+  | Error e ->
+      Printf.eprintf "INVALID bench file %s: %s\n" path e;
+      exit 1
+  | Ok json -> (
+      match Obs.Json.member "probes" json with
+      | Some (Obs.Json.Assoc probes) -> probes
+      | Some _ | None ->
+          Printf.eprintf "INVALID bench file %s: no \"probes\" object\n" path;
+          exit 1)
+
+let bench_number field probe json =
+  match Obs.Json.member field json with
+  | Some (Obs.Json.Float f) -> f
+  | Some (Obs.Json.Int i) -> float_of_int i
+  | Some _ | None ->
+      Printf.eprintf "INVALID bench probe %S: missing numeric %S\n" probe field;
+      exit 1
+
+let run_bench_check old_path new_path threshold report_only =
+  let old_probes = read_bench_file old_path
+  and new_probes = read_bench_file new_path in
+  let regressions = ref [] in
+  Printf.printf "%-40s %12s %12s %9s\n" "probe" "old ns/step" "new ns/step"
+    "delta";
+  List.iter
+    (fun (probe, nv) ->
+      let ns_new = bench_number "ns_per_step" probe nv in
+      match List.assoc_opt probe old_probes with
+      | None -> Printf.printf "%-40s %12s %12.1f %9s\n" probe "-" ns_new "new"
+      | Some ov ->
+          let ns_old = bench_number "ns_per_step" probe ov in
+          let delta =
+            if ns_old > 0. then (ns_new -. ns_old) /. ns_old *. 100. else 0.
+          in
+          if delta > threshold then regressions := probe :: !regressions;
+          Printf.printf "%-40s %12.1f %12.1f %+8.1f%%%s\n" probe ns_old ns_new
+            delta
+            (if delta > threshold then "  REGRESSION" else ""))
+    new_probes;
+  List.iter
+    (fun (probe, _) ->
+      if not (List.mem_assoc probe new_probes) then
+        Printf.printf "%-40s %12s %12s %9s\n" probe "-" "-" "gone")
+    old_probes;
+  match List.rev !regressions with
+  | [] -> Printf.printf "bench-check OK (threshold %.0f%%)\n" threshold
+  | rs ->
+      Printf.printf "bench-check: %d probe(s) regressed beyond %.0f%%: %s\n"
+        (List.length rs) threshold
+        (String.concat ", " rs);
+      if not report_only then exit 1
+
+let bench_check_cmd =
+  let old_path =
+    let doc = "Baseline bench JSON (e.g. the committed BENCH_PR4.json)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD" ~doc)
+  in
+  let new_path =
+    let doc = "Candidate bench JSON (e.g. a fresh 'make bench-json')." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW" ~doc)
+  in
+  let threshold =
+    let doc = "Fail when a probe's ns/step grows by more than $(docv)%." in
+    Arg.(value & opt float 25.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
+  in
+  let report_only =
+    let doc = "Print the comparison but always exit 0 (CI advisory mode)." in
+    Arg.(value & flag & info [ "report-only" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "bench-check"
+       ~doc:
+         "Compare two perf-trajectory files from 'make bench-json' and fail \
+          on ns/step regressions.")
+    Term.(
+      const run_bench_check $ old_path $ new_path $ threshold $ report_only)
 
 (* --- theory ----------------------------------------------------------------- *)
 
@@ -668,5 +875,6 @@ let () =
          (Pettarin, Pietracaprina, Pucci, Upfal; PODC 2011)."
   in
   let group = Cmd.group info [ simulate_cmd; exp_cmd; list_cmd; percolation_cmd; theory_cmd;
-       barrier_cmd; continuum_cmd; validate_trace_cmd; validate_metrics_cmd ] in
+       barrier_cmd; continuum_cmd; validate_trace_cmd; validate_metrics_cmd;
+       bench_check_cmd ] in
   exit (Cmd.eval group)

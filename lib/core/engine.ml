@@ -66,6 +66,23 @@ type phase_timers = {
   ph_steps : Obs.Metric.Counter.t;
 }
 
+(* Pre-resolved tracer names, allocated only when a recording tracer is
+   attached. The same phase boundaries that feed the histograms also
+   emit one duration event per phase per step into the executing
+   domain's ring, plus a per-step informed-count counter sample and
+   STW GC cycle instants — the timeline view of the same pipeline. *)
+type trace_ctx = {
+  tc : Obs.Tracer.t;
+  tn_move : Obs.Tracer.name;
+  tn_index : Obs.Tracer.name;
+  tn_components : Obs.Tracer.name;
+  tn_exchange : Obs.Tracer.name;
+  tn_record : Obs.Tracer.name;
+  tn_run : Obs.Tracer.name;
+  tn_informed : Obs.Tracer.name;
+  tgc : Obs.Tracer.gc_track;
+}
+
 let tracks_coverage = function
   | Protocol.Broadcast_cover | Protocol.Cover_walks -> true
   | Protocol.Broadcast | Protocol.Gossip | Protocol.Frog
@@ -92,44 +109,51 @@ module Make (S : Space.S) = struct
     mutable time : int;
     recorder : recorder option;
     obs : phase_timers option;
+    trc : trace_ctx option;
+    timed : bool;  (* obs or trc present: phases read the clock *)
   }
 
-  (* Timing helpers. With metrics off, [phase_start] returns an immediate
-     0 and [phase_end] is a branch — no clock read, no allocation, so the
-     disabled hot path stays exactly as fast as before the subsystem
-     existed. The [sel] arguments below are closed closures (statically
-     allocated). *)
-  let[@inline] phase_start t =
-    match t.obs with None -> 0 | Some _ -> Obs.Clock.now_ns ()
+  (* Timing helpers. With metrics and tracing both off, [phase_start]
+     returns an immediate 0 and [phase_end] is a branch — no clock read,
+     no allocation, so the disabled hot path stays exactly as fast as
+     before the subsystem existed. The [sel]/[tsel] arguments below are
+     closed closures (statically allocated). *)
+  let[@inline] phase_start t = if t.timed then Obs.Clock.now_ns () else 0
 
-  let[@inline] phase_end t sel t0 =
-    match t.obs with
-    | None -> ()
-    | Some p -> Obs.Metric.Histogram.observe (sel p) (Obs.Clock.now_ns () - t0)
+  let[@inline] phase_end t sel tsel t0 =
+    if t.timed then begin
+      let now = Obs.Clock.now_ns () in
+      (match t.obs with
+      | None -> ()
+      | Some p -> Obs.Metric.Histogram.observe (sel p) (now - t0));
+      match t.trc with
+      | None -> ()
+      | Some c -> Obs.Tracer.duration c.tc (tsel c) ~ts:t0 ~dur:(now - t0)
+    end
 
   (* --- information exchange --------------------------------------------- *)
 
   let rebuild_components t =
     let t0 = phase_start t in
     S.rebuild_index t.space t.pos;
-    phase_end t (fun p -> p.ph_index) t0;
+    phase_end t (fun p -> p.ph_index) (fun c -> c.tn_index) t0;
     let t1 = phase_start t in
     Dsu.reset t.dsu;
     S.iter_close_pairs t.space ~f:t.union_edge;
     t.island <- Dsu.max_set_size t.dsu;
-    phase_end t (fun p -> p.ph_components) t1
+    phase_end t (fun p -> p.ph_components) (fun c -> c.tn_components) t1
 
   (* Index rebuild without the component (DSU) pass — for exchanges that
      only consume raw pairs when the island metric is off. *)
   let rebuild_index_only t =
     let t0 = phase_start t in
     S.rebuild_index t.space t.pos;
-    phase_end t (fun p -> p.ph_index) t0
+    phase_end t (fun p -> p.ph_index) (fun c -> c.tn_index) t0
 
   let timed_exchange t f =
     let t0 = phase_start t in
     f t;
-    phase_end t (fun p -> p.ph_exchange) t0
+    phase_end t (fun p -> p.ph_exchange) (fun c -> c.tn_exchange) t0
 
   (* Single-hop exchanges read pairs directly, so the DSU build is pure
      island-metric bookkeeping there; flooding always needs it. *)
@@ -203,7 +227,7 @@ module Make (S : Space.S) = struct
 
   (* --- construction ------------------------------------------------------ *)
 
-  let create ?metrics ~space spec =
+  let create ?metrics ?tracer ~space spec =
     if spec.agents <= 0 then invalid_arg "Engine.create: agents <= 0";
     if spec.max_steps < 0 then invalid_arg "Engine.create: negative max_steps";
     if spec.sources < 1 || spec.sources > spec.agents then
@@ -230,6 +254,25 @@ module Make (S : Space.S) = struct
               ph_record = Obs.Registry.histogram reg "sim.phase.record_ns";
               ph_steps = Obs.Registry.counter reg "sim.steps";
             }
+    in
+    let tracer =
+      match tracer with Some tr -> tr | None -> Obs.Tracer.ambient ()
+    in
+    let trc =
+      if not (Obs.Tracer.enabled tracer) then None
+      else
+        Some
+          {
+            tc = tracer;
+            tn_move = Obs.Tracer.name tracer "sim.phase.move";
+            tn_index = Obs.Tracer.name tracer "sim.phase.index";
+            tn_components = Obs.Tracer.name tracer "sim.phase.components";
+            tn_exchange = Obs.Tracer.name tracer "sim.phase.exchange";
+            tn_record = Obs.Tracer.name tracer "sim.phase.record";
+            tn_run = Obs.Tracer.name tracer "sim.run";
+            tn_informed = Obs.Tracer.name tracer "sim.informed";
+            tgc = Obs.Tracer.gc_track tracer;
+          }
     in
     let k = spec.agents in
     let population = Protocol.population spec.protocol ~k in
@@ -318,6 +361,8 @@ module Make (S : Space.S) = struct
         island = 0;
         time = 0;
         obs;
+        trc;
+        timed = (obs <> None || trc <> None);
         recorder =
           (if spec.record_history then
              Some
@@ -342,23 +387,37 @@ module Make (S : Space.S) = struct
       t.time <- t.time + 1;
       let t0 = phase_start t in
       S.move_all t.space t.pos t.rngs t.mobility;
-      phase_end t (fun p -> p.ph_move) t0;
+      phase_end t (fun p -> p.ph_move) (fun c -> c.tn_move) t0;
       exchange t;
       let t1 = phase_start t in
       observe_and_record t;
-      phase_end t (fun p -> p.ph_record) t1;
-      match t.obs with
+      phase_end t (fun p -> p.ph_record) (fun c -> c.tn_record) t1;
+      (match t.obs with
       | None -> ()
-      | Some p -> Obs.Metric.Counter.incr p.ph_steps
+      | Some p -> Obs.Metric.Counter.incr p.ph_steps);
+      match t.trc with
+      | None -> ()
+      | Some c ->
+          Obs.Tracer.counter c.tc c.tn_informed ~ts:(Obs.Clock.now_ns ())
+            ~v:t.ex.Exchange.informed_count;
+          Obs.Tracer.gc_sample c.tc c.tgc
     end
 
   let run ?on_step t =
+    let run_t0 = match t.trc with None -> 0 | Some _ -> Obs.Clock.now_ns () in
     let cap = t.spec.max_steps in
     let fire () = match on_step with Some f -> f t | None -> () in
     while (not (is_done t)) && t.time < cap do
       step t;
       fire ()
     done;
+    (match t.trc with
+    | None -> ()
+    | Some c ->
+        (* one trial-tagged span over the whole stepped run *)
+        Obs.Tracer.duration_v c.tc c.tn_run ~ts:run_t0
+          ~dur:(Obs.Clock.now_ns () - run_t0)
+          ~v:t.spec.trial);
     let history =
       Option.map
         (fun r ->

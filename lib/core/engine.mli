@@ -66,7 +66,7 @@ val default_spec : agents:int -> seed:int -> trial:int -> max_steps:int -> spec
 module Make (S : Space.S) : sig
   type t
 
-  val create : ?metrics:Obs.Sink.t -> space:S.t -> spec -> t
+  val create : ?metrics:Obs.Sink.t -> ?tracer:Obs.Tracer.t -> space:S.t -> spec -> t
   (** [metrics] (default {!Obs.Sink.ambient}) selects where per-phase
       timings go; against the null sink instrumentation performs no clock
       reads and no allocation. Against a recording sink the engine
@@ -76,6 +76,14 @@ module Make (S : Space.S) : sig
       [sim.steps] ([sim.runs] counts engine instances) — every space
       shares the same instrument names, so continuum or barrier runs
       profile exactly like grid runs.
+
+      [tracer] (default {!Obs.Tracer.ambient}) additionally records the
+      timeline: per step one duration event per phase ([sim.phase.move],
+      [.index], [.components], [.exchange], [.record]) plus a
+      [sim.informed] counter sample and [gc.minor]/[gc.major] STW cycle
+      instants, and per {!run} one trial-tagged [sim.run] span — all on
+      the executing domain's ring. Disabled tracing, like the null sink,
+      costs nothing and allocates nothing.
       @raise Invalid_argument on non-positive [agents], a negative
       [max_steps], or an out-of-range [source]/[sources]; callers with
       richer configs validate those first with their own messages. *)

@@ -31,6 +31,19 @@ type metrics = {
   m_attached_ns : int;  (* busy-fraction denominator origin *)
 }
 
+(* Pre-resolved tracer names for the task lifecycle events: a
+   [pool.submit] instant when a job enters the queue (on the submitting
+   domain's ring), a [pool.dequeue] instant when some domain picks it
+   up, and a [pool.task] duration over the job body on the domain that
+   ran it — all tagged with the job's global submission index, so a
+   timeline shows exactly which domain ran which job, and when. *)
+type tr_ctx = {
+  tr_t : Obs.Tracer.t;
+  n_submit : Obs.Tracer.name;
+  n_dequeue : Obs.Tracer.name;
+  n_task : Obs.Tracer.name;
+}
+
 type t = {
   jobs : int;
   mutex : Mutex.t;  (* guards [queue] and [stopping] *)
@@ -42,6 +55,8 @@ type t = {
       (* write-once-ish (set by [set_metrics] between fan-outs); jobs
          capture the value at submission, so a mid-fan-out swap is
          harmless *)
+  mutable trace : tr_ctx option;  (* same discipline as [metrics] *)
+  job_seq : int Atomic.t;  (* global submission index for trace tags *)
 }
 
 type stats = {
@@ -105,6 +120,18 @@ let set_metrics t sink =
     | None -> None
     | Some reg -> Some (make_metrics t reg))
 
+let set_tracer t tracer =
+  t.trace <-
+    (if not (Obs.Tracer.enabled tracer) then None
+     else
+       Some
+         {
+           tr_t = tracer;
+           n_submit = Obs.Tracer.name tracer "pool.submit";
+           n_dequeue = Obs.Tracer.name tracer "pool.dequeue";
+           n_task = Obs.Tracer.name tracer "pool.task";
+         })
+
 let create ~jobs =
   if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
   let t =
@@ -116,6 +143,8 @@ let create ~jobs =
       stopping = false;
       workers = [];
       metrics = None;
+      trace = None;
+      job_seq = Atomic.make 0;
     }
   in
   if jobs > 1 then
@@ -137,9 +166,10 @@ let shutdown t =
   List.iter Domain.join t.workers;
   t.workers <- []
 
-let with_pool ?(metrics = Obs.Sink.null) ~jobs fn =
+let with_pool ?(metrics = Obs.Sink.null) ?(tracer = Obs.Tracer.null) ~jobs fn =
   let t = create ~jobs in
   set_metrics t metrics;
+  set_tracer t tracer;
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> fn t)
 
 (* --- job accounting --- *)
@@ -157,41 +187,72 @@ let row_for m =
    The flag below makes accounting apply to outermost jobs only. *)
 let in_accounted : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-(* Timing + GC accounting around one job body, attributed to the
-   executing domain's row. Pure observation — it wraps the thunk without
-   reordering anything, so scheduling and results are untouched. *)
-let accounted m job () =
+(* Timing + GC accounting and the [pool.task] trace span around one job
+   body, attributed to the executing domain. Pure observation — it wraps
+   the thunk without reordering anything, so scheduling and results are
+   untouched. [m]/[tr] carry whichever of metrics and tracing is on
+   ([tr] pairs the trace context with the job's submission index). *)
+let accounted m tr job () =
   if Domain.DLS.get in_accounted then job ()
   else begin
     Domain.DLS.set in_accounted true;
     let start = Obs.Clock.now_ns () in
-    let row = row_for m in
-    let gc0 = Obs.Gcstats.snapshot () in
+    let gc0 =
+      match m with None -> None | Some _ -> Some (Obs.Gcstats.snapshot ())
+    in
     Fun.protect
       ~finally:(fun () ->
         let stop = Obs.Clock.now_ns () in
-        let gc1 = Obs.Gcstats.snapshot () in
+        (match (m, gc0) with
+        | Some m, Some gc0 ->
+            let row = row_for m in
+            let gc1 = Obs.Gcstats.snapshot () in
+            Obs.Metric.Histogram.observe m.m_task (stop - start);
+            Obs.Metric.Counter.add row.wr_busy_ns (stop - start);
+            Obs.Metric.Counter.incr row.wr_jobs;
+            Obs.Gcstats.accumulate row.wr_gc
+              (Obs.Gcstats.delta ~before:gc0 ~after:gc1)
+        | _ -> ());
         Domain.DLS.set in_accounted false;
-        Obs.Metric.Histogram.observe m.m_task (stop - start);
-        Obs.Metric.Counter.add row.wr_busy_ns (stop - start);
-        Obs.Metric.Counter.incr row.wr_jobs;
-        Obs.Gcstats.accumulate row.wr_gc
-          (Obs.Gcstats.delta ~before:gc0 ~after:gc1))
+        match tr with
+        | None -> ()
+        | Some (c, seq) ->
+            Obs.Tracer.duration_v c.tr_t c.n_task ~ts:start
+              ~dur:(stop - start) ~v:seq)
       job
   end
 
-(* Wrap a queued job at submission time: measures queue wait
-   (submission to execution start), then runs the accounted body. With
-   metrics off this is the identity — no wrapper closure exists. *)
+(* Wrap a queued job at submission time: emits the submit instant,
+   measures queue wait (submission to execution start), emits the
+   dequeue instant on the executing domain, then runs the accounted
+   body. With metrics and tracing both off this is the identity — no
+   wrapper closure exists. *)
 let instrument t job =
-  match t.metrics with
-  | None -> job
-  | Some m ->
+  match (t.metrics, t.trace) with
+  | None, None -> job
+  | m, trc ->
+      let tr =
+        match trc with
+        | None -> None
+        | Some c ->
+            let seq = Atomic.fetch_and_add t.job_seq 1 in
+            Obs.Tracer.instant_v c.tr_t c.n_submit ~ts:(Obs.Clock.now_ns ())
+              ~v:seq;
+            Some (c, seq)
+      in
       let enqueued = Obs.Clock.now_ns () in
       fun () ->
-        Obs.Metric.Histogram.observe m.m_queue_wait
-          (Obs.Clock.now_ns () - enqueued);
-        accounted m job ()
+        (match tr with
+        | None -> ()
+        | Some (c, seq) ->
+            Obs.Tracer.instant_v c.tr_t c.n_dequeue ~ts:(Obs.Clock.now_ns ())
+              ~v:seq);
+        (match m with
+        | None -> ()
+        | Some m ->
+            Obs.Metric.Histogram.observe m.m_queue_wait
+              (Obs.Clock.now_ns () - enqueued));
+        accounted m tr job ()
 
 let try_pop t =
   Mutex.lock t.mutex;
@@ -331,12 +392,20 @@ let run_seq ?on_progress ?on_result ~f items total =
       r)
     items
 
-(* jobs = 1: no queue, so no queue-wait — but task latency, coordinator
-   busy time and coordinator GC deltas are still worth having. *)
+(* jobs = 1: no queue, so no queue-wait and no submit/dequeue instants —
+   but task latency, coordinator busy time, coordinator GC deltas and
+   the [pool.task] trace spans are still worth having. *)
 let seq_accounted t f =
-  match t.metrics with
-  | None -> f
-  | Some m -> fun i x -> accounted m (fun () -> f i x) ()
+  match (t.metrics, t.trace) with
+  | None, None -> f
+  | m, trc ->
+      fun i x ->
+        let tr =
+          match trc with
+          | None -> None
+          | Some c -> Some (c, Atomic.fetch_and_add t.job_seq 1)
+        in
+        accounted m tr (fun () -> f i x) ()
 
 let map ?on_progress ?on_result t ~f items =
   let total = List.length items in
@@ -363,10 +432,11 @@ let map ?on_progress ?on_result t ~f items =
 
 let init t ~n ~f =
   if n < 0 then invalid_arg "Pool.init: n < 0";
-  if (t.jobs = 1 && t.metrics = None) || n <= 1 then Array.init n f
+  if (t.jobs = 1 && t.metrics = None && t.trace = None) || n <= 1 then
+    Array.init n f
   else if t.jobs = 1 then
-    (* metrics on: run the same in-order loop through [map] so trial
-       batches are task-accounted; values are identical either way *)
+    (* metrics/tracing on: run the same in-order loop through [map] so
+       trial batches are task-accounted; values are identical either way *)
     Array.init n (fun i -> i)
     |> Array.to_list
     |> map t ~f:(fun _ i -> f i)
@@ -441,6 +511,7 @@ let publish_stats t =
 let ambient_lock = Mutex.create ()
 let ambient_size = ref 1
 let ambient_sink = ref Obs.Sink.null
+let ambient_trace = ref Obs.Tracer.null
 let ambient_pool : t option ref = ref None
 
 let set_ambient_jobs n =
@@ -466,6 +537,12 @@ let set_ambient_metrics sink =
   (match !ambient_pool with Some p -> set_metrics p sink | None -> ());
   Mutex.unlock ambient_lock
 
+let set_ambient_tracer tracer =
+  Mutex.lock ambient_lock;
+  ambient_trace := tracer;
+  (match !ambient_pool with Some p -> set_tracer p tracer | None -> ());
+  Mutex.unlock ambient_lock
+
 let ambient () =
   Mutex.lock ambient_lock;
   let p =
@@ -474,6 +551,7 @@ let ambient () =
     | None ->
         let p = create ~jobs:!ambient_size in
         set_metrics p !ambient_sink;
+        set_tracer p !ambient_trace;
         ambient_pool := Some p;
         p
   in

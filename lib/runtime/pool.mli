@@ -46,7 +46,8 @@ val shutdown : t -> unit
 (** Join all workers. Idempotent. Outstanding jobs are completed first;
     calling [map] after shutdown raises [Invalid_argument]. *)
 
-val with_pool : ?metrics:Obs.Sink.t -> jobs:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?metrics:Obs.Sink.t -> ?tracer:Obs.Tracer.t -> jobs:int -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] (also on exception). *)
 
 val map :
@@ -115,6 +116,19 @@ val set_metrics : t -> Obs.Sink.t -> unit
 (** Attach (or, with {!Obs.Sink.null}, detach) a metrics sink. Takes
     effect for subsequently submitted jobs; safe between fan-outs. *)
 
+val set_tracer : t -> Obs.Tracer.t -> unit
+(** Attach (or, with {!Obs.Tracer.null}, detach) an execution tracer.
+    With a recording tracer every job's lifecycle lands on the timeline:
+    a [pool.submit] instant when it enters the queue (on the submitting
+    domain's ring), a [pool.dequeue] instant when a domain picks it up,
+    and a [pool.task] duration span over the body on the domain that ran
+    it — all tagged ([args.v]) with the job's global submission index.
+    Task spans are outermost-job-only, like metric accounting: jobs a
+    domain executes while helping a nested fan-out are covered by the
+    outer span (their dequeue instants still appear). Same determinism
+    contract as {!set_metrics}: pure observation, byte-identical
+    results. *)
+
 (** Point-in-time view of a pool mid-run (all fields since the sink was
     attached). *)
 type stats = {
@@ -156,6 +170,11 @@ val set_ambient_metrics : Obs.Sink.t -> unit
     one is live, and remembered for lazy (re)creation. Front ends set
     this together with {!Obs.Sink.set_ambient} when [--metrics] is
     given. *)
+
+val set_ambient_tracer : Obs.Tracer.t -> unit
+(** Tracer for the ambient pool, with the same apply-now-and-remember
+    semantics as {!set_ambient_metrics}. Front ends set this together
+    with {!Obs.Tracer.set_ambient} when [--trace-events] is given. *)
 
 val ambient_jobs : unit -> int
 (** Current ambient pool size (without forcing pool creation). *)
