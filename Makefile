@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the real build system.
 
-.PHONY: all build test check bench bench-json clean
+.PHONY: all build test check lint bench bench-json clean
 
 all: build
 
@@ -17,11 +17,13 @@ test:
 # obs parser accepts), a trace smoke test (a traced run must emit a
 # Chrome trace-event file that the tracer validator accepts), and a
 # non-grid engine smoke: the continuum space instance of the shared
-# engine must run end to end from the CLI.
+# engine must run end to end from the CLI. The lint gate keeps the
+# determinism/concurrency/poly-compare/layering invariants machine-checked.
 # `dune build @all` also builds examples/.
 check:
 	dune build @all
 	dune runtest
+	$(MAKE) lint
 	dune exec bin/mobisim.exe -- exp --quick --jobs 2
 	dune exec bin/mobisim.exe -- exp E1 --quick --metrics /tmp/mobisim-metrics.json
 	dune exec bin/mobisim.exe -- validate-metrics /tmp/mobisim-metrics.json
@@ -32,11 +34,24 @@ check:
 bench:
 	dune exec bench/main.exe
 
+# Static analysis over the typed ASTs: forbidden-identifier scan
+# (determinism + concurrency allowlists), polymorphic-compare detection,
+# and the lib/ layering DAG. `@lib/check @bin/check` emit the .cmt files
+# mobilint reads (a plain `dune build` skips executables' cmts, and the
+# repo-wide `@check` alias is unusable: bechamel ships no bytecode
+# artifacts, so bench/ fails to typecheck under it). The JSON round-trip
+# exercises the report writer and the structural validator on every run.
+lint:
+	dune build @lib/check @bin/check bin/mobilint.exe
+	dune exec bin/mobilint.exe --
+	dune exec bin/mobilint.exe -- --json /tmp/mobilint.json
+	dune exec bin/mobilint.exe -- --validate /tmp/mobilint.json
+
 # Machine-readable perf trajectory: one {probe -> ns/step, words/step}
-# JSON per PR, pinned at the repo root (BENCH_PR4.json for this PR).
+# JSON per PR, pinned at the repo root (BENCH_PR5.json for this PR).
 # Compare two with `mobisim bench-check OLD NEW`.
 bench-json:
-	dune exec bench/perf_probe.exe -- --json BENCH_PR4.json
+	dune exec bench/perf_probe.exe -- --json BENCH_PR5.json
 
 clean:
 	dune clean

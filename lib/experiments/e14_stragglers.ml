@@ -45,7 +45,7 @@ let run ?(quick = false) ~seed () =
         let values =
           Array.of_list (List.map (fun t -> t.(idx)) quantile_times)
         in
-        Array.sort compare values;
+        Array.sort Float.compare values;
         values.(trials / 2)
       in
       let t10 = median 0 and t50 = median 1 and t90 = median 2 in

@@ -48,20 +48,16 @@ let run ?(quick = false) ~seed () =
   let agents = if quick then 32 else 64 in
   let cell_side = 8 in
   let trials = if quick then 2 else 5 in
-  (* accumulate median reach time per cell distance across trials *)
-  let by_dist : (int, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  (* accumulate median reach time per cell distance across trials; the
+     Manhattan cell distance is bounded by twice the cells-per-row, so
+     an array indexed by distance replaces a hash table — reach times
+     come out grouped and ordered with no hash-order iteration *)
+  let max_dist = 2 * ((side + cell_side - 1) / cell_side) in
+  let by_dist = Array.make (max_dist + 1) [] in
   for trial = 0 to trials - 1 do
     List.iter
       (fun (dist, t) ->
-        let cell =
-          match Hashtbl.find_opt by_dist dist with
-          | Some l -> l
-          | None ->
-              let l = ref [] in
-              Hashtbl.add by_dist dist l;
-              l
-        in
-        cell := float_of_int t :: !cell)
+        by_dist.(dist) <- float_of_int t :: by_dist.(dist))
       (cell_reach_times ~side ~agents ~cell_side ~seed ~trial)
   done;
   let table =
@@ -69,14 +65,13 @@ let run ?(quick = false) ~seed () =
       ~header:[ "cell distance"; "cells"; "median reach time"; "per-layer delay" ]
   in
   let dists =
-    List.sort compare
-      (Hashtbl.fold (fun d _ acc -> d :: acc) by_dist [])
+    List.filter (fun d -> by_dist.(d) <> []) (List.init (max_dist + 1) Fun.id)
   in
   let points = ref [] in
   let prev = ref None in
   List.iter
     (fun d ->
-      let samples = Array.of_list !(Hashtbl.find by_dist d) in
+      let samples = Array.of_list by_dist.(d) in
       let med = Stats.Summary.quantile samples ~q:0.5 in
       let delay =
         match !prev with

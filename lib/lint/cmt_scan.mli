@@ -1,0 +1,22 @@
+(** Typed-AST scan of dune-emitted [.cmt] files via compiler-libs.
+
+    Judgements are structural on the saved typedtree (resolved paths +
+    instantiated types); no compile environment is reconstructed, so a
+    cmt can be scanned in isolation. Known limitation: type aliases
+    (e.g. [type pos = int * int]) are not expanded, and comparison
+    through functor instances (e.g. [Hashtbl.Make(K).iter]) resolves to
+    a local path the ident rules do not match. *)
+
+val scan_file : string -> Finding.t list
+(** Scan one [.cmt]. Findings carry the source path recorded in the
+    cmt, relative to the build root (e.g. [lib/stats/stats.ml]).
+    Interfaces and generated module aliases yield []. Raises on
+    unreadable files. *)
+
+val find_cmts : string -> string list
+(** All [*.cmt] under a directory, depth-first, sorted within each
+    directory — deterministic discovery order. *)
+
+val scan_tree : root:string -> subdirs:string list -> Finding.t list
+(** [scan_tree ~root ~subdirs] scans every cmt under each existing
+    [root/subdir]. *)

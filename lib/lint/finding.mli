@@ -1,0 +1,33 @@
+(** A single diagnostic: where, which rule, and what to do about it. *)
+
+type rule =
+  | Determinism  (** ambient randomness, wall clocks, hash-order iteration *)
+  | Concurrency  (** domains, atomics and locks outside the runtime/obs layers *)
+  | Poly_compare  (** polymorphic compare/equality at a concrete unsafe type *)
+  | Layering  (** a [lib/*/dune] dependency edge outside the declared DAG *)
+
+val all_rules : rule list
+
+val rule_tag : rule -> string
+(** Stable machine-readable tag: ["determinism"], ["concurrency"],
+    ["poly-compare"], ["layering"]. *)
+
+val rule_of_tag : string -> rule option
+
+type t = {
+  file : string;  (** path relative to the repo root *)
+  line : int;  (** 1-based; 0 when the finding has no position (layering) *)
+  col : int;  (** 0-based, as the compiler prints them *)
+  rule : rule;
+  message : string;
+}
+
+val make : file:string -> line:int -> col:int -> rule:rule -> string -> t
+
+val compare : t -> t -> int
+(** Total order on (file, line, col, rule, message); report order. *)
+
+val to_string : t -> string
+(** [file:line:col: [rule] message] — the grep/editor-friendly form. *)
+
+val to_json : t -> Obs.Json.t

@@ -1,0 +1,143 @@
+(* Enforce the declared library DAG over [lib/*/dune] files.
+
+   A dune file is an s-expression, but the subset used here is so
+   small that a line-tracking tokenizer plus two pattern matches
+   ([(name X)] and [(libraries ...)]) is enough; no external sexp
+   parser, per the zero-dependency rule. *)
+
+type token = { text : string; line : int }
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let buf = Buffer.create 16 in
+  let flush_atom () =
+    if Buffer.length buf > 0 then begin
+      toks := { text = Buffer.contents buf; line = !line } :: !toks;
+      Buffer.clear buf
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match src.[!i] with
+    | '\n' ->
+        flush_atom ();
+        incr line
+    | ' ' | '\t' | '\r' -> flush_atom ()
+    | ';' ->
+        (* comment to end of line *)
+        flush_atom ();
+        while !i < n && src.[!i] <> '\n' do incr i done;
+        decr i
+    | '(' | ')' ->
+        flush_atom ();
+        toks := { text = String.make 1 src.[!i]; line = !line } :: !toks
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  flush_atom ();
+  List.rev !toks
+
+(* First [(name X)] and first [(libraries a b c)] in the file. *)
+let parse_stanza src =
+  let toks = tokenize src in
+  let name = ref None in
+  let libraries = ref None in
+  let rec walk = function
+    | { text = "("; _ } :: { text = "name"; _ } :: v :: rest ->
+        if !name = None && v.text <> "(" && v.text <> ")" then
+          name := Some v.text;
+        walk rest
+    | { text = "("; _ } :: { text = "libraries"; line } :: rest ->
+        if !libraries = None then begin
+          let deps = ref [] in
+          let rec collect depth = function
+            | { text = "("; _ } :: rest -> collect (depth + 1) rest
+            | { text = ")"; _ } :: rest ->
+                if depth = 0 then rest else collect (depth - 1) rest
+            | t :: rest ->
+                if depth = 0 then deps := t.text :: !deps;
+                collect depth rest
+            | [] -> []
+          in
+          let rest = collect 0 rest in
+          libraries := Some (List.rev !deps, line);
+          walk rest
+        end
+        else walk rest
+    | _ :: rest -> walk rest
+    | [] -> ()
+  in
+  walk toks;
+  (!name, !libraries)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check ~dune_root =
+  let findings = ref [] in
+  let add ~file ~line message =
+    findings :=
+      Finding.make ~file ~line ~col:0 ~rule:Finding.Layering message
+      :: !findings
+  in
+  let lib_dir = Filename.concat dune_root "lib" in
+  let subdirs =
+    if Sys.file_exists lib_dir && Sys.is_directory lib_dir then begin
+      let entries = Sys.readdir lib_dir in
+      Array.sort String.compare entries;
+      Array.to_list entries
+    end
+    else []
+  in
+  List.iter
+    (fun sub ->
+      let dune_file = Filename.concat (Filename.concat lib_dir sub) "dune" in
+      if Sys.file_exists dune_file then begin
+        let rel = Printf.sprintf "lib/%s/dune" sub in
+        let dir = "lib/" ^ sub in
+        let name, libraries = parse_stanza (read_file dune_file) in
+        match List.assoc_opt dir Rules.dag with
+        | None ->
+            add ~file:rel ~line:1
+              (Printf.sprintf
+                 "library directory %s is not in the declared DAG; add it \
+                  to Lint.Rules.dag and to the table in ROADMAP.md"
+                 dir)
+        | Some (expected_name, allowed) ->
+            (match name with
+            | Some n when n <> expected_name ->
+                add ~file:rel ~line:1
+                  (Printf.sprintf
+                     "library in %s is named %s but the declared DAG \
+                      expects %s"
+                     dir n expected_name)
+            | None ->
+                add ~file:rel ~line:1
+                  (Printf.sprintf "no (name ...) found in %s" rel)
+            | Some _ -> ());
+            (match libraries with
+            | None -> ()
+            | Some (deps, line) ->
+                List.iter
+                  (fun dep ->
+                    if
+                      List.mem dep Rules.internal_libs
+                      && not (List.mem dep allowed)
+                    then
+                      add ~file:rel ~line
+                        (Printf.sprintf
+                           "%s must not depend on %s: the declared DAG \
+                            allows only {%s}"
+                           (match name with Some n -> n | None -> dir)
+                           dep
+                           (String.concat ", " allowed)))
+                  deps)
+      end)
+    subdirs;
+  List.rev !findings

@@ -1,0 +1,7 @@
+(** Declared-DAG enforcement over [lib/*/dune] dependency fields. *)
+
+val check : dune_root:string -> Finding.t list
+(** Parse every [lib/*/dune] under [dune_root] and report edges between
+    in-repo libraries that the DAG in {!Rules.dag} does not allow,
+    directories missing from the DAG, and name mismatches. External
+    libraries (alcotest, cmdliner, ...) are ignored. *)

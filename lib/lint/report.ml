@@ -1,0 +1,195 @@
+(* Rendering, machine-readable output, structural validation of that
+   output (mirroring the obs metrics/trace validators), and baseline
+   filtering. *)
+
+let schema = "mobilint/1"
+let baseline_schema = "mobilint-baseline/1"
+
+let sort findings = List.sort_uniq Finding.compare findings
+
+let to_text findings =
+  String.concat "" (List.map (fun f -> Finding.to_string f ^ "\n") findings)
+
+let count_by_rule findings =
+  List.map
+    (fun rule ->
+      ( Finding.rule_tag rule,
+        List.length (List.filter (fun f -> f.Finding.rule = rule) findings) ))
+    Finding.all_rules
+
+let to_json ~root findings =
+  Obs.Json.Assoc
+    [
+      ("schema", Obs.Json.String schema);
+      ("root", Obs.Json.String root);
+      ("count", Obs.Json.Int (List.length findings));
+      ( "by_rule",
+        Obs.Json.Assoc
+          (List.map
+             (fun (tag, n) -> (tag, Obs.Json.Int n))
+             (count_by_rule findings)) );
+      ("findings", Obs.Json.List (List.map Finding.to_json findings));
+    ]
+
+(* ---- structural validation ------------------------------------------- *)
+
+let validate json =
+  let ( let* ) r f = Result.bind r f in
+  let str_field obj name =
+    match Obs.Json.member name obj with
+    | Some (Obs.Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing or non-string field %S" name)
+  in
+  let int_field obj name =
+    match Obs.Json.member name obj with
+    | Some (Obs.Json.Int n) -> Ok n
+    | _ -> Error (Printf.sprintf "missing or non-int field %S" name)
+  in
+  let* s = str_field json "schema" in
+  let* () =
+    if String.equal s schema then Ok ()
+    else Error (Printf.sprintf "schema is %S, expected %S" s schema)
+  in
+  let* _root = str_field json "root" in
+  let* count = int_field json "count" in
+  let* findings =
+    match Obs.Json.member "findings" json with
+    | Some (Obs.Json.List l) -> Ok l
+    | _ -> Error "missing or non-array field \"findings\""
+  in
+  let* () =
+    if List.length findings = count then Ok ()
+    else Error "count does not match the length of findings"
+  in
+  let* by_rule =
+    match Obs.Json.member "by_rule" json with
+    | Some (Obs.Json.Assoc kv) -> Ok kv
+    | _ -> Error "missing or non-object field \"by_rule\""
+  in
+  let* () =
+    List.fold_left
+      (fun acc (tag, v) ->
+        let* () = acc in
+        let* () =
+          match Finding.rule_of_tag tag with
+          | Some _ -> Ok ()
+          | None -> Error (Printf.sprintf "unknown rule tag %S in by_rule" tag)
+        in
+        match v with
+        | Obs.Json.Int _ -> Ok ()
+        | _ -> Error (Printf.sprintf "by_rule.%s is not an int" tag))
+      (Ok ()) by_rule
+  in
+  let* total =
+    List.fold_left
+      (fun acc (_, v) ->
+        let* n = acc in
+        match v with Obs.Json.Int m -> Ok (n + m) | _ -> Ok n)
+      (Ok 0) by_rule
+  in
+  let* () =
+    if total = count then Ok ()
+    else Error "by_rule totals do not match count"
+  in
+  List.fold_left
+    (fun acc f ->
+      let* () = acc in
+      let* file = str_field f "file" in
+      let* line = int_field f "line" in
+      let* _col = int_field f "col" in
+      let* tag = str_field f "rule" in
+      let* _msg = str_field f "message" in
+      let* () =
+        match Finding.rule_of_tag tag with
+        | Some _ -> Ok ()
+        | None ->
+            Error (Printf.sprintf "unknown rule tag %S in a finding" tag)
+      in
+      if line < 0 then Error (Printf.sprintf "%s: negative line" file)
+      else Ok ())
+    (Ok ()) findings
+
+(* ---- baselines -------------------------------------------------------- *)
+
+(* A baseline entry accepts one known finding: same file, same rule,
+   and, when given, same line. Line-less entries survive unrelated
+   edits to the file. *)
+type baseline_entry = {
+  b_file : string;
+  b_rule : Finding.rule;
+  b_line : int option;
+}
+
+type baseline = baseline_entry list
+
+let parse_baseline json =
+  let ( let* ) r f = Result.bind r f in
+  let* s =
+    match Obs.Json.member "schema" json with
+    | Some (Obs.Json.String s) -> Ok s
+    | _ -> Error "baseline: missing or non-string field \"schema\""
+  in
+  let* () =
+    if String.equal s baseline_schema then Ok ()
+    else
+      Error
+        (Printf.sprintf "baseline: schema is %S, expected %S" s
+           baseline_schema)
+  in
+  let* entries =
+    match Obs.Json.member "ignore" json with
+    | Some (Obs.Json.List l) -> Ok l
+    | _ -> Error "baseline: missing or non-array field \"ignore\""
+  in
+  List.fold_left
+    (fun acc e ->
+      let* entries = acc in
+      let* file =
+        match Obs.Json.member "file" e with
+        | Some (Obs.Json.String s) -> Ok s
+        | _ -> Error "baseline: entry without a string \"file\""
+      in
+      let* rule =
+        match Obs.Json.member "rule" e with
+        | Some (Obs.Json.String tag) -> (
+            match Finding.rule_of_tag tag with
+            | Some r -> Ok r
+            | None ->
+                Error (Printf.sprintf "baseline: unknown rule tag %S" tag))
+        | _ -> Error "baseline: entry without a string \"rule\""
+      in
+      let line =
+        match Obs.Json.member "line" e with
+        | Some (Obs.Json.Int n) -> Some n
+        | _ -> None
+      in
+      Ok ({ b_file = file; b_rule = rule; b_line = line } :: entries))
+    (Ok []) entries
+  |> Result.map List.rev
+
+let load_baseline path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "baseline file %s does not exist" path)
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Obs.Json.parse s with
+    | Error e -> Error (Printf.sprintf "baseline %s: %s" path e)
+    | Ok json -> parse_baseline json
+  end
+
+let apply_baseline baseline findings =
+  List.filter
+    (fun f ->
+      not
+        (List.exists
+           (fun b ->
+             String.equal b.b_file f.Finding.file
+             && b.b_rule = f.Finding.rule
+             && match b.b_line with
+                | None -> true
+                | Some l -> l = f.Finding.line)
+           baseline))
+    findings

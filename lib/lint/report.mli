@@ -1,0 +1,29 @@
+(** Report rendering, JSON export + structural validation, baselines. *)
+
+val schema : string
+(** ["mobilint/1"] — the [--json] document schema tag. *)
+
+val baseline_schema : string
+(** ["mobilint-baseline/1"]. *)
+
+val sort : Finding.t list -> Finding.t list
+(** Deterministic report order (also dedups identical findings). *)
+
+val to_text : Finding.t list -> string
+(** One [file:line:col: [rule] message] line per finding. *)
+
+val to_json : root:string -> Finding.t list -> Obs.Json.t
+
+val validate : Obs.Json.t -> (unit, string) result
+(** Structural check of a [--json] document: schema tag, count/by_rule
+    consistency, per-finding field types, known rule tags. *)
+
+type baseline
+
+val load_baseline : string -> (baseline, string) result
+(** Read a [mobilint-baseline/1] JSON file: [{"schema": ...,
+    "ignore": [{"file": ..., "rule": ..., "line"?: ...}]}]. *)
+
+val apply_baseline : baseline -> Finding.t list -> Finding.t list
+(** Drop findings matched by a baseline entry (file + rule, and line
+    when the entry pins one). *)

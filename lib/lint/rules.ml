@@ -1,0 +1,155 @@
+(* The repo-wide policy: which identifiers are hazards, which layers are
+   allowed to use them, and the declared library dependency DAG.
+
+   A "layer" is the first directory component(s) of a source path:
+   ["lib/prng"], ["lib/obs"], ["bin"], ["bench"], ["test"], ... Layers
+   not named in an allowlist get the strict default, so fixture code
+   under [test/] trips every rule. *)
+
+let layer_of_source path =
+  match String.split_on_char '/' path with
+  | "lib" :: sub :: _ :: _ -> Some ("lib/" ^ sub)
+  | ("bin" | "bench" | "test" | "examples") :: _ ->
+      Some (List.hd (String.split_on_char '/' path))
+  | _ -> None
+
+(* ---- determinism / concurrency ident groups ------------------------- *)
+
+type group =
+  | Rand  (* ambient PRNG: only lib/prng may own randomness *)
+  | Clock  (* wall clocks: only lib/obs may read time *)
+  | Hash_order  (* hash values and hash-order iteration *)
+  | Conc  (* domains, atomics, locks: runtime + obs only *)
+
+let group_rule = function
+  | Rand | Clock | Hash_order -> Finding.Determinism
+  | Conc -> Finding.Concurrency
+
+let group_allowed_layers = function
+  | Rand -> [ "lib/prng" ]
+  | Clock -> [ "lib/obs" ]
+  | Hash_order -> [ "lib/obs" ]
+  | Conc -> [ "lib/runtime"; "lib/obs" ]
+
+let group_message group ident =
+  match group with
+  | Rand ->
+      Printf.sprintf
+        "%s is ambient randomness; draw from a Prng stream seeded per \
+         (d, trial) instead (only lib/prng may own randomness)"
+        ident
+  | Clock ->
+      Printf.sprintf
+        "%s reads the wall clock; results must not depend on time (only \
+         lib/obs may read clocks, via its monotonic stub)"
+        ident
+  | Hash_order ->
+      Printf.sprintf
+        "%s depends on hash/bucket order; iterate a sorted projection or \
+         an array indexed by the key instead (allowed only in lib/obs)"
+        ident
+  | Conc ->
+      Printf.sprintf
+        "%s is a concurrency primitive; domains, atomics and locks live in \
+         lib/runtime and lib/obs only — simulation layers stay sequential"
+        ident
+
+let starts_with prefix s = String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Read-only domain introspection that cannot race or fork control flow. *)
+let benign_conc =
+  [
+    "Stdlib.Domain.recommended_domain_count";
+    "Stdlib.Domain.self";
+    "Stdlib.Domain.cpu_relax";
+    "Stdlib.Domain.is_main_domain";
+  ]
+
+let classify_ident name =
+  if starts_with "Stdlib.Random." name then Some Rand
+  else if
+    List.mem name
+      [ "Stdlib.Sys.time"; "Unix.gettimeofday"; "Unix.time"; "Unix.times" ]
+  then Some Clock
+  else if
+    List.mem name
+      [
+        "Stdlib.Hashtbl.hash";
+        "Stdlib.Hashtbl.seeded_hash";
+        "Stdlib.Hashtbl.hash_param";
+        "Stdlib.Hashtbl.iter";
+        "Stdlib.Hashtbl.fold";
+      ]
+  then Some Hash_order
+  else if
+    List.exists
+      (fun p -> starts_with p name)
+      [
+        "Stdlib.Domain.";
+        "Stdlib.Atomic.";
+        "Stdlib.Mutex.";
+        "Stdlib.Condition.";
+        "Stdlib.Semaphore.";
+      ]
+    && not (List.mem name benign_conc)
+  then Some Conc
+  else None
+
+let group_allowed group layer =
+  List.mem layer (group_allowed_layers group)
+
+(* ---- polymorphic compare --------------------------------------------- *)
+
+let poly_compare_prims =
+  [
+    "Stdlib.compare";
+    "Stdlib.=";
+    "Stdlib.<>";
+    "Stdlib.<";
+    "Stdlib.>";
+    "Stdlib.<=";
+    "Stdlib.>=";
+  ]
+
+let is_poly_compare name = List.mem name poly_compare_prims
+
+(* ---- layering --------------------------------------------------------- *)
+
+(* dir under the repo root -> (dune library name, allowed in-repo deps).
+   ROADMAP.md mirrors this table; extend both together when adding a
+   library. [bin], [bench], [test] and [examples] may depend on
+   anything, so they are not listed. *)
+let dag =
+  [
+    ("lib/prng", ("prng", []));
+    ("lib/dsu", ("dsu", []));
+    ("lib/obs", ("obs", []));
+    ("lib/grid", ("grid", [ "prng" ]));
+    ("lib/stats", ("stats", [ "prng" ]));
+    ("lib/spatial", ("spatial", [ "grid" ]));
+    ("lib/walk", ("walk", [ "prng"; "grid" ]));
+    ("lib/runtime", ("runtime", [ "obs" ]));
+    ("lib/lint", ("lint", [ "obs" ]));
+    ("lib/graph", ("visibility", [ "prng"; "grid"; "dsu"; "spatial"; "stats" ]));
+    ( "lib/core",
+      ( "mobile_network",
+        [ "obs"; "prng"; "grid"; "dsu"; "spatial"; "walk"; "visibility";
+          "stats" ] ) );
+    ( "lib/domain",
+      ( "barriers",
+        [ "obs"; "prng"; "grid"; "dsu"; "spatial"; "walk"; "mobile_network" ]
+      ) );
+    ("lib/continuum", ("continuum", [ "obs"; "prng"; "dsu"; "mobile_network" ]));
+    ( "lib/baselines",
+      ("baselines", [ "obs"; "prng"; "grid"; "walk"; "mobile_network" ]) );
+    ("lib/trace", ("trace", [ "mobile_network" ]));
+    ("lib/render", ("render", [ "grid"; "mobile_network"; "barriers" ]));
+    ( "lib/experiments",
+      ( "experiments",
+        [ "obs"; "runtime"; "prng"; "grid"; "dsu"; "spatial"; "walk";
+          "visibility"; "stats"; "mobile_network"; "barriers"; "baselines";
+          "continuum" ] ) );
+  ]
+
+let internal_libs = List.map (fun (_, (name, _)) -> name) dag

@@ -228,14 +228,18 @@ let export t : Json.t =
   | Active a ->
       Mutex.lock a.mutex;
       let rings =
-        List.sort (fun r1 r2 -> compare r1.r_tid r2.r_tid) !(a.rings)
+        List.sort (fun r1 r2 -> Int.compare r1.r_tid r2.r_tid) !(a.rings)
       in
       let strings = Array.sub a.strings 0 a.n_names in
       Mutex.unlock a.mutex;
       let flat =
         List.sort
           (fun e1 e2 ->
-            compare (e1.f_ts, e1.f_tid, e1.f_seq) (e2.f_ts, e2.f_tid, e2.f_seq))
+            let c = Int.compare e1.f_ts e2.f_ts in
+            if c <> 0 then c
+            else
+              let c = Int.compare e1.f_tid e2.f_tid in
+              if c <> 0 then c else Int.compare e1.f_seq e2.f_seq)
           (flatten rings)
       in
       let ts0 = match flat with [] -> 0 | e :: _ -> e.f_ts in

@@ -76,7 +76,7 @@ module Summary = struct
     if not (q >= 0. && q <= 1.) then
       invalid_arg "Stats.quantile: q must lie in [0, 1]";
     let sorted = Array.copy sample in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     quantile_sorted sorted ~q
 
   let of_array sample =
@@ -85,7 +85,7 @@ module Summary = struct
     let acc = Online.create () in
     Array.iter (Online.add acc) sample;
     let sorted = Array.copy sample in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     {
       count = n;
       mean = Online.mean acc;

@@ -184,10 +184,19 @@ let validate t =
         "completed flag inconsistent with final coverage"
   | _ -> Ok ()
 
+let entry_equal a b =
+  a.time = b.time && a.informed = b.informed
+  && a.frontier_x = b.frontier_x
+  && a.max_island = b.max_island
+  && a.covered = b.covered
+
 let equal a b =
-  a.config = b.config && a.population = b.population && a.nodes = b.nodes
-  && a.side = b.side && a.protocol = b.protocol && a.completed = b.completed
-  && a.entries = b.entries
+  String.equal a.config b.config
+  && a.population = b.population && a.nodes = b.nodes && a.side = b.side
+  && String.equal a.protocol b.protocol
+  && a.completed = b.completed
+  && Array.length a.entries = Array.length b.entries
+  && Array.for_all2 entry_equal a.entries b.entries
 
 let pp_summary fmt t =
   let last = t.entries.(Array.length t.entries - 1) in

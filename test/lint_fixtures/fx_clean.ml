@@ -1,0 +1,11 @@
+(* expect: no findings — the monomorphic, deterministic idioms the other
+   fixtures should have used *)
+let sort_ints (l : int list) = List.sort Int.compare l
+let sort_floats (a : float array) = Array.sort Float.compare a
+let cmp_pairs (a1, a2) (b1, b2) =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c else Int.compare a2 b2
+let lookup (tbl : (string, int) Hashtbl.t) k = Hashtbl.find_opt tbl k
+let record (tbl : (string, int) Hashtbl.t) k v = Hashtbl.replace tbl k v
+let same_name (a : string) (b : string) = a = b
+let bigger (a : float) (b : float) = a > b

@@ -1,0 +1,3 @@
+(* expect: exactly one [poly-compare] finding — unspecialised comparator
+   closure, even at an immediate type *)
+let sort (l : int list) = List.sort compare l

@@ -1,0 +1,2 @@
+(* expect: exactly one [poly-compare] finding — float comparator *)
+let sort (a : float array) = Array.sort compare a

@@ -1,0 +1,2 @@
+(* expect: exactly one [poly-compare] finding — compare applied at a tuple *)
+let cmp (a : int * int) (b : int * int) = compare a b

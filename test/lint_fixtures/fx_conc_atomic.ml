@@ -1,0 +1,2 @@
+(* expect: exactly one [concurrency] finding — atomic cell *)
+let cell () = Atomic.make 0

@@ -1,0 +1,2 @@
+(* expect: exactly one [concurrency] finding — domain-local storage *)
+let key () = Domain.DLS.new_key (fun () -> 0)

@@ -1,0 +1,2 @@
+(* expect: exactly one [concurrency] finding — lock creation *)
+let lock () = Mutex.create ()

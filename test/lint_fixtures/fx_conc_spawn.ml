@@ -1,0 +1,2 @@
+(* expect: exactly one [concurrency] finding — domain spawn *)
+let go f = Domain.spawn f

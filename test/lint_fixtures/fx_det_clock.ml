@@ -1,0 +1,2 @@
+(* expect: exactly one [determinism] finding — wall clock *)
+let now () = Sys.time ()

@@ -1,0 +1,2 @@
+(* expect: exactly one [determinism] finding — structural hash value *)
+let h (x : string) = Hashtbl.hash x

@@ -1,0 +1,2 @@
+(* expect: exactly one [determinism] finding — hash-order fold *)
+let sum (tbl : (int, int) Hashtbl.t) = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0

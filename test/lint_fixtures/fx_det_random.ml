@@ -1,0 +1,2 @@
+(* expect: exactly one [determinism] finding — ambient PRNG *)
+let roll () = Random.int 6

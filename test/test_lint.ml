@@ -1,0 +1,404 @@
+(* Golden-diagnostics suite for mobilint.
+
+   Each fixture module under lint_fixtures/ must trigger exactly one
+   rule (fx_clean none); the real codebase must come out clean; the
+   CLI must exit 1 on findings and 0 on a clean scan; the --json
+   report must satisfy its own structural validator; baselines and
+   the layering DAG are exercised on synthetic inputs.
+
+   Runs from _build/default/test, so fixture cmts live under
+   lint_fixtures/.lint_fixtures.objs/byte and the source tree (for
+   layering dune files) is the prefix of cwd before /_build/. *)
+
+let fixture_cmt name =
+  Filename.concat "lint_fixtures/.lint_fixtures.objs/byte" (name ^ ".cmt")
+
+(* Source root: strip the /_build/... suffix from cwd (tests run in the
+   build tree); fall back to cwd when run from the repo root. *)
+let repo_root () =
+  let cwd = Sys.getcwd () in
+  let marker = Filename.dir_sep ^ "_build" ^ Filename.dir_sep in
+  let rec find i =
+    if i + String.length marker > String.length cwd then None
+    else if String.sub cwd i (String.length marker) = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with Some i -> String.sub cwd 0 i | None -> cwd
+
+let rule_tag_of_findings = function
+  | [ f ] -> Lint.Finding.rule_tag f.Lint.Finding.rule
+  | l -> Printf.sprintf "<%d findings>" (List.length l)
+
+(* fixture module -> the one rule tag it must trigger *)
+let fixtures =
+  [
+    ("fx_det_random", "determinism");
+    ("fx_det_clock", "determinism");
+    ("fx_det_hash", "determinism");
+    ("fx_det_hash_iter", "determinism");
+    ("fx_conc_spawn", "concurrency");
+    ("fx_conc_dls", "concurrency");
+    ("fx_conc_atomic", "concurrency");
+    ("fx_conc_mutex", "concurrency");
+    ("fx_cmp_float_sort", "poly-compare");
+    ("fx_cmp_tuple", "poly-compare");
+    ("fx_cmp_closure", "poly-compare");
+  ]
+
+let test_fixture_diagnostics () =
+  List.iter
+    (fun (name, expected) ->
+      let findings = Lint.Cmt_scan.scan_file (fixture_cmt name) in
+      Alcotest.(check string)
+        (name ^ " triggers exactly " ^ expected)
+        expected
+        (rule_tag_of_findings findings);
+      let f = List.hd findings in
+      Alcotest.(check string)
+        (name ^ " finding names the fixture source")
+        ("test/lint_fixtures/" ^ name ^ ".ml")
+        f.Lint.Finding.file;
+      Alcotest.(check bool)
+        (name ^ " has a positive line") true
+        (f.Lint.Finding.line > 0))
+    fixtures
+
+let test_clean_fixture () =
+  Alcotest.(check int)
+    "fx_clean has no findings" 0
+    (List.length (Lint.Cmt_scan.scan_file (fixture_cmt "fx_clean")))
+
+let test_clean_tree () =
+  (* the real codebase after this PR's fixes: no typed-AST findings
+     over lib/ and bin/, and no layering violations *)
+  let cmt =
+    Lint.Cmt_scan.scan_tree ~root:Filename.parent_dir_name
+      ~subdirs:[ "lib"; "bin" ]
+  in
+  let layering = Lint.Layering.check ~dune_root:(repo_root ()) in
+  let all = Lint.Report.sort (cmt @ layering) in
+  Alcotest.(check (list string))
+    "clean codebase" []
+    (List.map Lint.Finding.to_string all)
+
+(* ---- CLI exit codes --------------------------------------------------- *)
+
+let mobilint = Filename.concat ".." "bin/mobilint.exe"
+
+let run_cli args =
+  let out = Filename.temp_file "mobilint_out" ".txt" in
+  let code = Sys.command (Printf.sprintf "%s %s > %s 2>&1" mobilint args out) in
+  let ic = open_in_bin out in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, s)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let test_cli_exit_codes () =
+  List.iter
+    (fun (name, expected) ->
+      let code, out = run_cli (fixture_cmt name) in
+      Alcotest.(check int) (name ^ " exits 1") 1 code;
+      Alcotest.(check bool)
+        (name ^ " output carries [" ^ expected ^ "]")
+        true
+        (contains ~needle:("[" ^ expected ^ "]") out))
+    fixtures;
+  let code, _ = run_cli (fixture_cmt "fx_clean") in
+  Alcotest.(check int) "clean fixture exits 0" 0 code
+
+let test_cli_rules_filter () =
+  let code, out =
+    run_cli ("--rules concurrency " ^ fixture_cmt "fx_det_random")
+  in
+  Alcotest.(check int) "filtered rule exits 0" 0 code;
+  Alcotest.(check bool)
+    "no determinism finding under --rules concurrency" false
+    (contains ~needle:"[determinism]" out)
+
+let test_cli_baseline () =
+  let bl = Filename.temp_file "mobilint_baseline" ".json" in
+  let oc = open_out bl in
+  output_string oc
+    {|{"schema": "mobilint-baseline/1",
+       "ignore": [{"file": "test/lint_fixtures/fx_det_random.ml",
+                   "rule": "determinism"}]}|};
+  close_out oc;
+  let code, _ =
+    run_cli (Printf.sprintf "--baseline %s %s" bl (fixture_cmt "fx_det_random"))
+  in
+  Sys.remove bl;
+  Alcotest.(check int) "baselined finding suppressed, exits 0" 0 code
+
+(* ---- JSON report ------------------------------------------------------ *)
+
+let test_json_report_validates () =
+  let json = Filename.temp_file "mobilint_report" ".json" in
+  let code, _ =
+    run_cli (Printf.sprintf "--json %s %s" json (fixture_cmt "fx_cmp_tuple"))
+  in
+  Alcotest.(check int) "findings still exit 1 with --json" 1 code;
+  let ic = open_in_bin json in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let doc =
+    match Obs.Json.parse s with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "report does not parse: %s" e
+  in
+  (match Lint.Report.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "report does not validate: %s" e);
+  let code, out = run_cli ("--validate " ^ json) in
+  Sys.remove json;
+  Alcotest.(check int) "--validate accepts its own output" 0 code;
+  Alcotest.(check bool)
+    "--validate names the schema" true
+    (contains ~needle:Lint.Report.schema out)
+
+let test_json_validator_rejects () =
+  let valid = Lint.Report.to_json ~root:"r" [] in
+  (match Lint.Report.validate valid with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "empty report should validate: %s" e);
+  let reject label doc =
+    match Lint.Report.validate doc with
+    | Ok () -> Alcotest.failf "%s should have been rejected" label
+    | Error _ -> ()
+  in
+  reject "wrong schema"
+    (Obs.Json.Assoc
+       [
+         ("schema", Obs.Json.String "metrics/1");
+         ("root", Obs.Json.String "r");
+         ("count", Obs.Json.Int 0);
+         ("by_rule", Obs.Json.Assoc []);
+         ("findings", Obs.Json.List []);
+       ]);
+  reject "count mismatch"
+    (Obs.Json.Assoc
+       [
+         ("schema", Obs.Json.String Lint.Report.schema);
+         ("root", Obs.Json.String "r");
+         ("count", Obs.Json.Int 3);
+         ("by_rule", Obs.Json.Assoc []);
+         ("findings", Obs.Json.List []);
+       ]);
+  reject "unknown rule tag"
+    (Obs.Json.Assoc
+       [
+         ("schema", Obs.Json.String Lint.Report.schema);
+         ("root", Obs.Json.String "r");
+         ("count", Obs.Json.Int 1);
+         ("by_rule", Obs.Json.Assoc [ ("no-such-rule", Obs.Json.Int 1) ]);
+         ( "findings",
+           Obs.Json.List
+             [
+               Obs.Json.Assoc
+                 [
+                   ("file", Obs.Json.String "f.ml");
+                   ("line", Obs.Json.Int 1);
+                   ("col", Obs.Json.Int 0);
+                   ("rule", Obs.Json.String "no-such-rule");
+                   ("message", Obs.Json.String "m");
+                 ];
+             ] );
+       ]);
+  reject "non-int line"
+    (Obs.Json.Assoc
+       [
+         ("schema", Obs.Json.String Lint.Report.schema);
+         ("root", Obs.Json.String "r");
+         ("count", Obs.Json.Int 1);
+         ("by_rule", Obs.Json.Assoc [ ("determinism", Obs.Json.Int 1) ]);
+         ( "findings",
+           Obs.Json.List
+             [
+               Obs.Json.Assoc
+                 [
+                   ("file", Obs.Json.String "f.ml");
+                   ("line", Obs.Json.String "one");
+                   ("col", Obs.Json.Int 0);
+                   ("rule", Obs.Json.String "determinism");
+                   ("message", Obs.Json.String "m");
+                 ];
+             ] );
+       ]);
+  reject "not an object" (Obs.Json.List [])
+
+(* ---- baselines -------------------------------------------------------- *)
+
+let test_baseline_matching () =
+  let f ~file ~line ~rule =
+    Lint.Finding.make ~file ~line ~col:0 ~rule "msg"
+  in
+  let findings =
+    [
+      f ~file:"lib/a.ml" ~line:3 ~rule:Lint.Finding.Determinism;
+      f ~file:"lib/a.ml" ~line:9 ~rule:Lint.Finding.Determinism;
+      f ~file:"lib/b.ml" ~line:3 ~rule:Lint.Finding.Poly_compare;
+    ]
+  in
+  let write_baseline body =
+    let path = Filename.temp_file "baseline" ".json" in
+    let oc = open_out path in
+    output_string oc body;
+    close_out oc;
+    let r = Lint.Report.load_baseline path in
+    Sys.remove path;
+    r
+  in
+  let b =
+    match
+      write_baseline
+        {|{"schema": "mobilint-baseline/1",
+           "ignore": [{"file": "lib/a.ml", "rule": "determinism", "line": 3},
+                      {"file": "lib/b.ml", "rule": "poly-compare"}]}|}
+    with
+    | Ok b -> b
+    | Error e -> Alcotest.failf "baseline should load: %s" e
+  in
+  let kept = Lint.Report.apply_baseline b findings in
+  Alcotest.(check (list string))
+    "line-pinned and line-less entries suppress, others survive"
+    [ "lib/a.ml:9:0: [determinism] msg" ]
+    (List.map Lint.Finding.to_string kept);
+  (match
+     write_baseline {|{"schema": "nope/1", "ignore": []}|}
+   with
+  | Ok _ -> Alcotest.fail "wrong baseline schema should be rejected"
+  | Error _ -> ());
+  match Lint.Report.load_baseline "/nonexistent/baseline.json" with
+  | Ok _ -> Alcotest.fail "missing baseline file should be an error"
+  | Error _ -> ()
+
+(* ---- layering --------------------------------------------------------- *)
+
+let with_fake_tree stanzas fn =
+  let root = Filename.temp_file "mobilint_tree" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  Sys.mkdir (Filename.concat root "lib") 0o755;
+  List.iter
+    (fun (dir, contents) ->
+      let d = Filename.concat (Filename.concat root "lib") dir in
+      Sys.mkdir d 0o755;
+      let oc = open_out (Filename.concat d "dune") in
+      output_string oc contents;
+      close_out oc)
+    stanzas;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote root)))
+    (fun () -> fn root)
+
+let test_layering_violations () =
+  with_fake_tree
+    [
+      (* a forbidden edge: core must never depend on the runtime *)
+      ("core", "(library\n (name mobile_network)\n (libraries runtime))\n");
+      (* a directory the DAG does not know *)
+      ("mystery", "(library\n (name mystery)\n (libraries prng))\n");
+      (* a name mismatch *)
+      ("prng", "(library\n (name not_prng))\n")
+    ]
+    (fun root ->
+      let findings = Lint.Report.sort (Lint.Layering.check ~dune_root:root) in
+      Alcotest.(check int) "three layering findings" 3 (List.length findings);
+      List.iter
+        (fun f ->
+          Alcotest.(check string)
+            "rule is layering" "layering"
+            (Lint.Finding.rule_tag f.Lint.Finding.rule))
+        findings;
+      let msgs = String.concat "\n" (List.map Lint.Finding.to_string findings) in
+      Alcotest.(check bool)
+        "forbidden edge reported" true
+        (contains ~needle:"must not depend on runtime" msgs);
+      Alcotest.(check bool)
+        "unknown directory reported" true
+        (contains ~needle:"not in the declared DAG" msgs);
+      Alcotest.(check bool)
+        "name mismatch reported" true
+        (contains ~needle:"named not_prng" msgs))
+
+let test_layering_accepts_declared_edges () =
+  with_fake_tree
+    [
+      ("core",
+       "(library\n (name mobile_network)\n (libraries obs prng grid dsu \
+        spatial walk visibility stats))\n");
+      (* external deps are ignored even on strict layers *)
+      ("prng", "(library\n (name prng)\n (libraries alcotest))\n")
+    ]
+    (fun root ->
+      Alcotest.(check (list string))
+        "declared edges and external libraries pass" []
+        (List.map Lint.Finding.to_string (Lint.Layering.check ~dune_root:root)))
+
+(* ---- report order ----------------------------------------------------- *)
+
+let test_report_order_deterministic () =
+  let f file line rule =
+    Lint.Finding.make ~file ~line ~col:0 ~rule "m"
+  in
+  let a = f "lib/a.ml" 9 Lint.Finding.Determinism in
+  let b = f "lib/a.ml" 3 Lint.Finding.Poly_compare in
+  let c = f "bin/z.ml" 1 Lint.Finding.Concurrency in
+  let sorted l = List.map Lint.Finding.to_string (Lint.Report.sort l) in
+  Alcotest.(check (list string))
+    "order independent of input order"
+    (sorted [ a; b; c ])
+    (sorted [ c; a; b ]);
+  Alcotest.(check (list string))
+    "duplicates collapse"
+    (sorted [ a; b ])
+    (sorted [ a; b; a ])
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "golden diagnostics" `Quick
+            test_fixture_diagnostics;
+          Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
+        ] );
+      ( "clean-tree",
+        [ Alcotest.test_case "real codebase is clean" `Quick test_clean_tree ]
+      );
+      ( "cli",
+        [
+          Alcotest.test_case "exit codes per fixture" `Quick
+            test_cli_exit_codes;
+          Alcotest.test_case "--rules filter" `Quick test_cli_rules_filter;
+          Alcotest.test_case "--baseline suppression" `Quick test_cli_baseline;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "--json validates" `Quick
+            test_json_report_validates;
+          Alcotest.test_case "validator rejection matrix" `Quick
+            test_json_validator_rejects;
+        ] );
+      ( "baseline",
+        [ Alcotest.test_case "matching semantics" `Quick test_baseline_matching ]
+      );
+      ( "layering",
+        [
+          Alcotest.test_case "violations" `Quick test_layering_violations;
+          Alcotest.test_case "declared edges pass" `Quick
+            test_layering_accepts_declared_edges;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "deterministic order" `Quick
+            test_report_order_deterministic;
+        ] );
+    ]
