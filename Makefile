@@ -17,9 +17,13 @@ test:
 # obs parser accepts), a trace smoke test (a traced run must emit a
 # Chrome trace-event file that the tracer validator accepts), and a
 # non-grid engine smoke: the continuum space instance of the shared
-# engine must run end to end from the CLI. The lint gate keeps the
-# determinism/concurrency/poly-compare/layering invariants machine-checked.
-# `dune build @all` also builds examples/.
+# engine must run end to end from the CLI. The fault smoke runs one
+# loss + churn plan through --faults end to end, then asserts the
+# fault sweep F1 is byte-identical at --jobs 1 and --jobs 2 (fault
+# draws live in their own streams, so worker count can never leak into
+# results). The lint gate keeps the determinism/concurrency/
+# poly-compare/layering invariants machine-checked. `dune build @all`
+# also builds examples/.
 check:
 	dune build @all
 	dune runtest
@@ -30,6 +34,11 @@ check:
 	dune exec bin/mobisim.exe -- simulate --side 32 -k 64 --trace-events /tmp/mobisim-trace.json
 	dune exec bin/mobisim.exe -- validate-metrics /tmp/mobisim-trace.json
 	dune exec bin/mobisim.exe -- simulate --space continuum --side 8 -k 16 -r 2
+	printf '{ "loss_p": 0.3, "churn": { "leave_p": 0.05, "return_p": 0.5 } }' > /tmp/mobisim-faults.json
+	dune exec bin/mobisim.exe -- simulate --side 24 --agents 12 --radius 1 --faults /tmp/mobisim-faults.json
+	dune exec bin/mobisim.exe -- exp F1 --quick --jobs 1 > /tmp/mobisim-faults-j1.out
+	dune exec bin/mobisim.exe -- exp F1 --quick --jobs 2 > /tmp/mobisim-faults-j2.out
+	cmp /tmp/mobisim-faults-j1.out /tmp/mobisim-faults-j2.out
 
 bench:
 	dune exec bench/main.exe
@@ -48,10 +57,10 @@ lint:
 	dune exec bin/mobilint.exe -- --validate /tmp/mobilint.json
 
 # Machine-readable perf trajectory: one {probe -> ns/step, words/step}
-# JSON per PR, pinned at the repo root (BENCH_PR5.json for this PR).
+# JSON per PR, pinned at the repo root (BENCH_PR6.json for this PR).
 # Compare two with `mobisim bench-check OLD NEW`.
 bench-json:
-	dune exec bench/perf_probe.exe -- --json BENCH_PR5.json
+	dune exec bench/perf_probe.exe -- --json BENCH_PR6.json
 
 clean:
 	dune clean

@@ -192,6 +192,107 @@ let install_metrics ?(pool = false) path =
         prerr_string (Obs.Snapshot.to_table reg);
         Printf.eprintf "metrics: wrote %s\n" path
 
+(* --- fault plans ----------------------------------------------------------- *)
+
+let faults_file_arg =
+  let doc =
+    "Read a declarative fault plan from the JSON file $(docv): optional \
+     fields loss_p (per-contact loss probability), outage (object with off \
+     and period — a periodic global radio blackout), windows (list of \
+     {from, until, agent?} outage intervals), churn ({leave_p, return_p?} \
+     departure/arrival probabilities), silent and deaf (agent-index lists; \
+     byzantine roles). The plan is validated; unknown fields are an error. \
+     Fault randomness draws from its own seeded streams, so runs replay \
+     exactly from (seed, trial, plan) at any --jobs. Grid space only."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"FILE" ~doc)
+
+let loss_p_arg =
+  let doc =
+    "Shorthand: per-contact message-loss probability in [0,1] (overrides \
+     the plan file's loss_p). Grid space only."
+  in
+  Arg.(value & opt (some float) None & info [ "loss-p" ] ~docv:"P" ~doc)
+
+let outage_arg =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ off; period ] -> (
+        match (int_of_string_opt off, int_of_string_opt period) with
+        | Some off, Some period -> Ok (off, period)
+        | _ -> Error (`Msg "expected OFF:PERIOD (two integers)"))
+    | _ -> Error (`Msg "expected OFF:PERIOD")
+  in
+  let print fmt (off, period) = Format.fprintf fmt "%d:%d" off period in
+  let outage_conv = Arg.conv (parse, print) in
+  let doc =
+    "Shorthand: periodic global radio outage $(docv) = OFF:PERIOD — the \
+     radio is down for the first OFF steps of every PERIOD steps \
+     (overrides the plan file's outage). Grid space only."
+  in
+  Arg.(value & opt (some outage_conv) None & info [ "outage" ] ~docv:"OFF:PERIOD" ~doc)
+
+let churn_arg =
+  let parse s =
+    let bad = `Msg "expected LEAVE[:RETURN] (floats in [0,1])" in
+    match String.split_on_char ':' s with
+    | [ l ] -> (
+        match float_of_string_opt l with
+        | Some leave -> Ok (leave, 1.0)
+        | None -> Error bad)
+    | [ l; r ] -> (
+        match (float_of_string_opt l, float_of_string_opt r) with
+        | Some leave, Some return -> Ok (leave, return)
+        | _ -> Error bad)
+    | _ -> Error bad
+  in
+  let print fmt (l, r) = Format.fprintf fmt "%g:%g" l r in
+  let churn_conv = Arg.conv (parse, print) in
+  let doc =
+    "Shorthand: agent churn — each present agent departs with per-step \
+     probability LEAVE, each absent one returns with probability RETURN \
+     (default 1.0). Overrides the plan file's churn. Grid space only."
+  in
+  Arg.(value & opt (some churn_conv) None & info [ "churn" ] ~docv:"LEAVE[:RETURN]" ~doc)
+
+(* Merge the declarative plan file (if any) with the shorthand overrides
+   into one validated plan. Exits with the parser/validator message on a
+   bad file, matching the Config.validate path below. *)
+let load_fault_plan faults_file loss_p outage churn =
+  let base =
+    match faults_file with
+    | None -> Faults.Plan.empty
+    | Some path -> (
+        let text =
+          try
+            let ic = open_in path in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            s
+          with Sys_error e ->
+            Printf.eprintf "cannot read fault plan: %s\n" e;
+            exit 2
+        in
+        match Faults.Plan.of_string text with
+        | Ok p -> p
+        | Error msg ->
+            Printf.eprintf "invalid fault plan %s: %s\n" path msg;
+            exit 2)
+  in
+  let p =
+    match loss_p with
+    | Some l -> { base with Faults.Plan.loss_p = l }
+    | None -> base
+  in
+  let p =
+    match outage with Some d -> { p with Faults.Plan.duty = Some d } | None -> p
+  in
+  match churn with
+  | Some (leave_p, return_p) ->
+      { p with Faults.Plan.churn = Some { Faults.Plan.leave_p; return_p } }
+  | None -> p
+
 (* --- simulate ------------------------------------------------------------- *)
 
 let space_arg =
@@ -220,8 +321,9 @@ let space_arg =
      side x side box, r and sigma = r/4 in continuous units) or domain \
      (an unobstructed barrier domain). Non-grid spaces run a plain \
      broadcast; the grid-only flags \
-     --protocol/--kernel/--torus/--trace/--render/--trace-out are ignored \
-     there (with a warning on stderr if one was set)."
+     --protocol/--kernel/--torus/--trace/--render/--trace-out and the \
+     fault flags --faults/--loss-p/--outage/--churn are ignored there \
+     (with a warning on stderr if one was set)."
   in
   Arg.(value & opt space_conv `Grid & info [ "space" ] ~docv:"SPACE" ~doc)
 
@@ -230,7 +332,7 @@ let space_arg =
    comparison with the flag's default, so re-stating a default (e.g. an
    explicit `--trace 0`) goes unnoticed — fine for a warning. *)
 let warn_ignored_flags ~space ~protocol ~kernel ~torus ~trace ~render
-    ~trace_out =
+    ~trace_out ~faults_file ~loss_p ~outage ~churn =
   let ignored =
     List.filter_map
       (fun (set, flag) -> if set then Some flag else None)
@@ -241,6 +343,10 @@ let warn_ignored_flags ~space ~protocol ~kernel ~torus ~trace ~render
         (trace > 0, "--trace");
         (render > 0, "--render");
         (trace_out <> None, "--trace-out");
+        (faults_file <> None, "--faults");
+        (loss_p <> None, "--loss-p");
+        (outage <> None, "--outage");
+        (churn <> None, "--churn");
       ]
   in
   if ignored <> [] then
@@ -300,10 +406,10 @@ let run_simulate_domain side agents radius seed trial max_steps metrics
   finish_metrics ()
 
 let run_simulate_grid side agents radius protocol kernel seed trial max_steps
-    trace render torus trace_out metrics trace_events =
+    trace render torus trace_out metrics trace_events faults =
   let cfg =
     Config.make ~torus ~side ~agents ~radius ~protocol ~kernel ~seed ~trial
-      ?max_steps ()
+      ?max_steps ~faults ()
   in
   match Config.validate cfg with
   | Error msg ->
@@ -352,14 +458,17 @@ let run_simulate_grid side agents radius protocol kernel seed trial max_steps
       finish_metrics ()
 
 let run_simulate space side agents radius protocol kernel seed trial max_steps
-    trace render torus trace_out metrics trace_events =
+    trace render torus trace_out metrics trace_events faults_file loss_p outage
+    churn =
   let warn space =
     warn_ignored_flags ~space ~protocol ~kernel ~torus ~trace ~render ~trace_out
+      ~faults_file ~loss_p ~outage ~churn
   in
   match space with
   | `Grid ->
+      let faults = load_fault_plan faults_file loss_p outage churn in
       run_simulate_grid side agents radius protocol kernel seed trial max_steps
-        trace render torus trace_out metrics trace_events
+        trace render torus trace_out metrics trace_events faults
   | `Continuum ->
       warn "continuum";
       run_simulate_continuum side agents radius seed trial max_steps metrics
@@ -387,7 +496,8 @@ let simulate_cmd =
       const run_simulate $ space_arg $ side_arg $ agents_arg $ radius_arg
       $ protocol_arg $ kernel_arg $ seed_arg $ trial_arg $ max_steps_arg
       $ trace $ render $ torus_arg $ trace_out $ metrics_arg
-      $ trace_events_arg)
+      $ trace_events_arg $ faults_file_arg $ loss_p_arg $ outage_arg
+      $ churn_arg)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a single simulation and report its outcome.")

@@ -91,20 +91,25 @@ let move_one t p rngs i =
     reflect t.box_side
       (p.ys.(i) +. Prng.gaussian rngs.(i) ~mean:0. ~stddev:t.sigma)
 
-let move_all t p rngs mobility =
+(* Churn mask: absent agents freeze in place and draw nothing. *)
+let[@inline] is_present present i =
+  match present with None -> true | Some pr -> pr.(i)
+
+let move_all ?present t p rngs mobility =
   let n = Array.length p.xs in
   match mobility with
   | Space.Mobile_all ->
       for i = 0 to n - 1 do
-        move_one t p rngs i
+        if is_present present i then move_one t p rngs i
       done
   | Space.Mobile_informed informed ->
       for i = 0 to n - 1 do
-        if informed.(i) then move_one t p rngs i
+        if informed.(i) && is_present present i then move_one t p rngs i
       done
   | Space.Mobile_predators { informed; predators } ->
       for i = 0 to n - 1 do
-        if i < predators || not informed.(i) then move_one t p rngs i
+        if (i < predators || not informed.(i)) && is_present present i then
+          move_one t p rngs i
       done
 
 let[@inline] bucket_coord t c =
@@ -117,7 +122,7 @@ let ensure_capacity t n =
     t.bucket_of <- Array.make n 0
   end
 
-let rebuild_index t p =
+let rebuild_index ?present t p =
   if t.radius > 0. then begin
     let n = Array.length p.xs in
     ensure_capacity t n;
@@ -128,13 +133,17 @@ let rebuild_index t p =
     done;
     t.touched_len <- 0;
     for i = 0 to n - 1 do
-      let b = (bucket_coord t p.ys.(i) * t.per_row) + bucket_coord t p.xs.(i) in
-      t.bucket_of.(i) <- b;
-      if t.count.(b) = 0 then begin
-        t.touched.(t.touched_len) <- b;
-        t.touched_len <- t.touched_len + 1
-      end;
-      t.count.(b) <- t.count.(b) + 1
+      if is_present present i then begin
+        let b =
+          (bucket_coord t p.ys.(i) * t.per_row) + bucket_coord t p.xs.(i)
+        in
+        t.bucket_of.(i) <- b;
+        if t.count.(b) = 0 then begin
+          t.touched.(t.touched_len) <- b;
+          t.touched_len <- t.touched_len + 1
+        end;
+        t.count.(b) <- t.count.(b) + 1
+      end
     done;
     let off = ref 0 in
     for u = 0 to t.touched_len - 1 do
@@ -143,9 +152,11 @@ let rebuild_index t p =
       off := !off + t.count.(b)
     done;
     for i = 0 to n - 1 do
-      let b = t.bucket_of.(i) in
-      t.items.(t.start.(b) + t.fill.(b)) <- i;
-      t.fill.(b) <- t.fill.(b) + 1
+      if is_present present i then begin
+        let b = t.bucket_of.(i) in
+        t.items.(t.start.(b) + t.fill.(b)) <- i;
+        t.fill.(b) <- t.fill.(b) + 1
+      end
     done;
     t.n <- n;
     t.cur <- p

@@ -20,12 +20,13 @@ type t = {
   sources : int;
   max_steps : int option;
   record_history : bool;
+  faults : Faults.Plan.t;
 }
 
 let make ?(torus = false) ?(radius = 0) ?(kernel = Walk.Lazy_one_fifth)
     ?(protocol = Protocol.Broadcast) ?(exchange = Flood_component)
     ?(seed = 0) ?(trial = 0) ?source ?(sources = 1) ?max_steps
-    ?(record_history = false) ~side ~agents () =
+    ?(record_history = false) ?(faults = Faults.Plan.empty) ~side ~agents () =
   {
     side;
     torus;
@@ -40,6 +41,7 @@ let make ?(torus = false) ?(radius = 0) ?(kernel = Walk.Lazy_one_fifth)
     sources;
     max_steps;
     record_history;
+    faults;
   }
 
 let n t = t.side * t.side
@@ -104,11 +106,26 @@ let validate t =
       (t.sources = 1 || t.source = None)
       "an explicit source requires sources = 1"
   in
+  let* () = Faults.Plan.validate t.faults in
+  let* () =
+    check
+      (Faults.Plan.max_agent_id t.faults < t.agents)
+      "fault plan references an agent index out of range"
+  in
+  let* () =
+    check
+      ((not (Faults.Plan.has_roles t.faults))
+      ||
+      match t.protocol with
+      | Protocol.Broadcast | Protocol.Frog | Protocol.Broadcast_cover -> true
+      | Protocol.Gossip | Protocol.Cover_walks | Protocol.Predator_prey _ ->
+          false)
+      "silent/deaf agents are only meaningful for single-rumor broadcast \
+       protocols"
+  in
   Ok ()
 
-let rng_for t =
-  (* the split discards any residual structure left by the seed folding *)
-  Prng.split (Prng.of_seed_trial ~seed:t.seed ~trial:t.trial)
+let rng_for t = Prng.split_stream ~seed:t.seed ~trial:t.trial ~subsystem:0
 
 let to_string t =
   Printf.sprintf
@@ -125,6 +142,9 @@ let to_string t =
     (match t.max_steps with
     | Some m -> Printf.sprintf " cap=%d" m
     | None -> "")
+    ^
+    if Faults.Plan.is_empty t.faults then ""
+    else " faults=" ^ Faults.Plan.summary t.faults
 
 let percolation_radius t =
   Visibility.Percolation.rc_theory ~n:(n t) ~k:t.agents

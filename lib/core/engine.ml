@@ -28,6 +28,7 @@ type spec = {
   max_steps : int;
   record_history : bool;
   track_islands : bool;
+  faults : Faults.Plan.t;
 }
 
 let default_spec ~agents ~seed ~trial ~max_steps =
@@ -42,6 +43,7 @@ let default_spec ~agents ~seed ~trial ~max_steps =
     max_steps;
     record_history = false;
     track_islands = true;
+    faults = Faults.Plan.empty;
   }
 
 (* Recording buffers, allocated only when history is requested. *)
@@ -103,6 +105,12 @@ module Make (S : Space.S) = struct
     mobility : Space.mobility;
     cover : Space.Cover.t option;
     cover_any : bool;
+    (* Fault adversary, [None] for an empty plan: the pristine path
+       below never touches any of these four fields. *)
+    faults : Faults.t option;
+    live_pairs : Intbuf.t;  (* flattened (i, j) live-edge log, per step *)
+    iter_live : (int -> int -> unit) -> unit;  (* preallocated replay *)
+    collect_live : int -> int -> unit;  (* preallocated filter+push *)
     src : int option;
     mutable frontier : int;
     mutable island : int;
@@ -164,7 +172,7 @@ module Make (S : Space.S) = struct
         if t.spec.track_islands then rebuild_components t
         else rebuild_index_only t
 
-  let exchange t =
+  let exchange_pristine t =
     match t.spec.protocol with
     | Protocol.Broadcast | Protocol.Frog | Protocol.Broadcast_cover ->
         prepare_graph t;
@@ -190,6 +198,75 @@ module Make (S : Space.S) = struct
         rebuild_index_only t;
         timed_exchange t (fun t ->
             Exchange.catch_preys t.ex ~iter_pairs:t.iter_pairs)
+
+  (* Fault path. The (presence-masked) index is rebuilt, then the live
+     edges are collected {e once} into [live_pairs] — every candidate
+     edge gets exactly one loss draw, in index order, shared by the
+     component build and the exchange, so the effective graph is one
+     consistent object per step. [components] selects whether the DSU
+     over the live graph is built (island metric + component flooding). *)
+  let prepare_graph_faulted t f ~components =
+    let t0 = phase_start t in
+    S.rebuild_index ?present:(Faults.present_mask f) t.space t.pos;
+    phase_end t (fun p -> p.ph_index) (fun c -> c.tn_index) t0;
+    let t1 = phase_start t in
+    Intbuf.clear t.live_pairs;
+    if not (Faults.blackout f) then
+      S.iter_close_pairs t.space ~f:t.collect_live;
+    if components then begin
+      Dsu.reset t.dsu;
+      t.iter_live t.union_edge;
+      t.island <- Dsu.max_set_size t.dsu
+    end;
+    phase_end t (fun p -> p.ph_components) (fun c -> c.tn_components) t1
+
+  let exchange_faulted t f =
+    match t.spec.protocol with
+    | Protocol.Broadcast | Protocol.Frog | Protocol.Broadcast_cover -> (
+        match t.spec.exchange with
+        | Exchange.Flood_component ->
+            prepare_graph_faulted t f ~components:true;
+            timed_exchange t (fun t ->
+                (* with roles, flooding is the reachability closure
+                   through transmitting agents rather than plain
+                   components; without them the component flood over the
+                   live-pair DSU is the same result, cheaper *)
+                if Faults.has_roles f then
+                  Exchange.flood_single_masked t.ex ~iter_pairs:t.iter_live
+                    ~transmits:(Faults.transmits f) ~accepts:(Faults.accepts f)
+                else Exchange.flood_single t.ex ~dsu:t.dsu)
+        | Exchange.Single_hop ->
+            prepare_graph_faulted t f ~components:t.spec.track_islands;
+            timed_exchange t (fun t ->
+                if Faults.has_roles f then
+                  Exchange.single_hop_single_masked t.ex
+                    ~iter_pairs:t.iter_live
+                    ~transmits:(Faults.transmits f) ~accepts:(Faults.accepts f)
+                else Exchange.single_hop_single t.ex ~iter_pairs:t.iter_live))
+    | Protocol.Cover_walks ->
+        (* no exchange; the masked index/DSU keep the island metric
+           consistent with the live graph *)
+        prepare_graph_faulted t f ~components:true
+    | Protocol.Gossip -> (
+        (* silent/deaf roles are rejected at [create] for gossip; loss,
+           outages and churn act purely through the live graph *)
+        match t.spec.exchange with
+        | Exchange.Flood_component ->
+            prepare_graph_faulted t f ~components:true;
+            timed_exchange t (fun t -> Exchange.flood_gossip t.ex ~dsu:t.dsu)
+        | Exchange.Single_hop ->
+            prepare_graph_faulted t f ~components:t.spec.track_islands;
+            timed_exchange t (fun t ->
+                Exchange.single_hop_gossip t.ex ~iter_pairs:t.iter_live))
+    | Protocol.Predator_prey _ ->
+        prepare_graph_faulted t f ~components:false;
+        timed_exchange t (fun t ->
+            Exchange.catch_preys t.ex ~iter_pairs:t.iter_live)
+
+  let exchange t =
+    match t.faults with
+    | None -> exchange_pristine t
+    | Some f -> exchange_faulted t f
 
   (* --- stopping predicate ------------------------------------------------ *)
 
@@ -276,7 +353,30 @@ module Make (S : Space.S) = struct
     in
     let k = spec.agents in
     let population = Protocol.population spec.protocol ~k in
-    let master = Prng.split (Prng.of_seed_trial ~seed:spec.seed ~trial:spec.trial) in
+    let faults =
+      if Faults.Plan.is_empty spec.faults then None
+      else begin
+        (if Faults.Plan.has_roles spec.faults then
+           match spec.protocol with
+           | Protocol.Broadcast | Protocol.Frog | Protocol.Broadcast_cover ->
+               ()
+           | Protocol.Gossip | Protocol.Cover_walks | Protocol.Predator_prey _
+             ->
+               invalid_arg
+                 "Engine.create: silent/deaf agents require a single-rumor \
+                  broadcast protocol");
+        Some
+          (Faults.create spec.faults ~population ~seed:spec.seed
+             ~trial:spec.trial)
+      end
+    in
+    (* Subsystem 0 of the (seed, trial) pair: walks, placement and
+       source selection. Fault randomness lives in its own subsystems
+       (see {!Faults}), so enabling an adversary never shifts these
+       draws. *)
+    let master =
+      Prng.split_stream ~seed:spec.seed ~trial:spec.trial ~subsystem:0
+    in
     let rngs = Array.init population (fun _ -> Prng.split master) in
     let pos = S.init_positions space master ~n:population in
     let informed = Array.make population false in
@@ -337,6 +437,7 @@ module Make (S : Space.S) = struct
           Space.Mobile_all
     in
     let dsu = Dsu.create population in
+    let live_pairs = Intbuf.create () in
     let t =
       {
         spec;
@@ -348,6 +449,23 @@ module Make (S : Space.S) = struct
         dsu;
         union_edge = (fun i j -> ignore (Dsu.union dsu i j));
         iter_pairs = (fun f -> S.iter_close_pairs space ~f);
+        faults;
+        live_pairs;
+        iter_live =
+          (fun f ->
+            let np = Intbuf.length live_pairs / 2 in
+            for p = 0 to np - 1 do
+              f (Intbuf.get live_pairs (2 * p)) (Intbuf.get live_pairs ((2 * p) + 1))
+            done);
+        collect_live =
+          (match faults with
+          | None -> fun _ _ -> ()
+          | Some fl ->
+              fun i j ->
+                if Faults.edge_live fl i j then begin
+                  Intbuf.push live_pairs i;
+                  Intbuf.push live_pairs j
+                end);
         mobility;
         cover;
         cover_any =
@@ -376,6 +494,9 @@ module Make (S : Space.S) = struct
       }
     in
     (* time-0 exchange on the initial placement (§2: G_0 already floods) *)
+    (match t.faults with
+    | None -> ()
+    | Some f -> Faults.begin_step f ~time:0);
     exchange t;
     observe_and_record t;
     t
@@ -385,8 +506,16 @@ module Make (S : Space.S) = struct
   let step t =
     if not (is_done t) then begin
       t.time <- t.time + 1;
+      (match t.faults with
+      | None -> ()
+      | Some f -> Faults.begin_step f ~time:t.time);
       let t0 = phase_start t in
-      S.move_all t.space t.pos t.rngs t.mobility;
+      (match t.faults with
+      | None -> S.move_all t.space t.pos t.rngs t.mobility
+      | Some f ->
+          S.move_all
+            ?present:(Faults.present_mask f)
+            t.space t.pos t.rngs t.mobility);
       phase_end t (fun p -> p.ph_move) (fun c -> c.tn_move) t0;
       exchange t;
       let t1 = phase_start t in
@@ -472,4 +601,11 @@ module Make (S : Space.S) = struct
         Array.of_list !sizes
 
   let live_preys t = t.ex.Exchange.live_preys
+
+  let present_count t =
+    match t.faults with
+    | None -> t.population
+    | Some f -> Faults.present_count f
+
+  let fault_state t = t.faults
 end

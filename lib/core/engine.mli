@@ -57,6 +57,16 @@ type spec = {
           single-hop engines that never read the island metric (the
           Clementi dense baseline, where the pair set is huge) turn this
           off to skip the per-pair union work. *)
+  faults : Faults.Plan.t;
+      (** the fault adversary ({!Faults.Plan.empty} for none). An empty
+          plan allocates no fault state and leaves every draw — and
+          hence every result — byte-identical to a faultless build; a
+          non-empty plan filters each step's visibility edges through
+          loss/outage draws from the plan's own streams, masks churned
+          agents out of movement and the index, and applies silent/deaf
+          roles during exchange. Silent/deaf roles require a
+          single-rumor broadcast protocol (Broadcast, Frog,
+          Broadcast_cover). *)
 }
 
 val default_spec : agents:int -> seed:int -> trial:int -> max_steps:int -> spec
@@ -130,6 +140,14 @@ module Make (S : Space.S) : sig
   val covered_count : t -> int
 
   val live_preys : t -> int
+
+  val present_count : t -> int
+  (** Agents currently present (population minus churn departures);
+      [population t] when the plan has no churn. *)
+
+  val fault_state : t -> Faults.t option
+  (** The live adversary state, [None] for an empty plan. Read-only
+      inspection for tests and tooling. *)
 
   val is_done : t -> bool
 end

@@ -119,6 +119,52 @@ let flood_gossip t ~dsu =
   done;
   Intbuf.clear t.acc_used
 
+(* Role-aware single-rumor flood over an explicit live-pair list (the
+   fault path with silent/deaf agents): repeated one-hop passes until a
+   fixpoint. The result is the least fixpoint of a monotone operator —
+   the closure of reachability through informed, transmitting agents —
+   so it is independent of pair order even though knowledge gained
+   mid-pass propagates within the pass. Silent agents receive but never
+   send; deaf agents send what they hold but never accept. With all
+   roles true this computes exactly component flooding over the live
+   graph (the component/exchange agreement invariant). *)
+let flood_single_masked t ~iter_pairs ~transmits ~accepts =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    iter_pairs (fun i j ->
+        if t.informed.(i) && transmits.(i) && (not t.informed.(j)) && accepts.(j)
+        then begin
+          t.informed.(j) <- true;
+          t.informed_count <- t.informed_count + 1;
+          changed := true
+        end
+        else if
+          t.informed.(j) && transmits.(j) && (not t.informed.(i)) && accepts.(i)
+        then begin
+          t.informed.(i) <- true;
+          t.informed_count <- t.informed_count + 1;
+          changed := true
+        end)
+  done
+
+(* Role-aware single-hop (the fault path): as [single_hop_single], plus
+   the transmit/accept gates, still based on pre-step knowledge. *)
+let single_hop_single_masked t ~iter_pairs ~transmits ~accepts =
+  Array.fill t.newly_informed 0 t.population false;
+  iter_pairs (fun i j ->
+      if t.informed.(i) && transmits.(i) && (not t.informed.(j)) && accepts.(j)
+      then t.newly_informed.(j) <- true
+      else if
+        t.informed.(j) && transmits.(j) && (not t.informed.(i)) && accepts.(i)
+      then t.newly_informed.(i) <- true);
+  for i = 0 to t.population - 1 do
+    if t.newly_informed.(i) then begin
+      t.informed.(i) <- true;
+      t.informed_count <- t.informed_count + 1
+    end
+  done
+
 (* Single-hop exchange (ablation): a rumor crosses at most one
    visibility edge per step, based on pre-step knowledge. *)
 let single_hop_single t ~iter_pairs =

@@ -76,6 +76,27 @@ val flood_gossip : t -> dsu:Dsu.t -> unit
 val single_hop_single : t -> iter_pairs:((int -> int -> unit) -> unit) -> unit
 (** The rumor crosses each edge once, based on pre-step knowledge. *)
 
+val flood_single_masked :
+  t ->
+  iter_pairs:((int -> int -> unit) -> unit) ->
+  transmits:bool array ->
+  accepts:bool array ->
+  unit
+(** Role-aware single-rumor flood for the fault path: one-hop passes
+    over the (already loss/outage-filtered) pair list repeated to a
+    fixpoint — the closure of reachability through informed agents with
+    [transmits] set, into agents with [accepts] set. Order-independent.
+    With all-true roles this equals {!flood_single} over the same
+    graph's components. [iter_pairs] may be called several times. *)
+
+val single_hop_single_masked :
+  t ->
+  iter_pairs:((int -> int -> unit) -> unit) ->
+  transmits:bool array ->
+  accepts:bool array ->
+  unit
+(** {!single_hop_single} with transmit/accept role gates. *)
+
 val single_hop_gossip : t -> iter_pairs:((int -> int -> unit) -> unit) -> unit
 (** Rumor sets merge pairwise across each edge, all reads from pre-step
     snapshots. *)

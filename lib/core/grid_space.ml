@@ -15,25 +15,32 @@ let kernel t = t.kernel
 
 let init_positions t rng ~n = Array.init n (fun _ -> Grid.random_node t.grid rng)
 
-let move_all t pos rngs mobility =
+(* [present] masks churned-out agents: they freeze in place and draw
+   nothing, so their stream pauses until they return. The check is a
+   branch on an immediate — the fault-free path allocates nothing. *)
+let[@inline] is_present present i =
+  match present with None -> true | Some pr -> pr.(i)
+
+let move_all ?present t pos rngs mobility =
   let n = Array.length pos in
   match mobility with
   | Space.Mobile_all ->
       for i = 0 to n - 1 do
-        pos.(i) <- Walk.step t.grid t.kernel rngs.(i) pos.(i)
+        if is_present present i then
+          pos.(i) <- Walk.step t.grid t.kernel rngs.(i) pos.(i)
       done
   | Space.Mobile_informed informed ->
       for i = 0 to n - 1 do
-        if informed.(i) then
+        if informed.(i) && is_present present i then
           pos.(i) <- Walk.step t.grid t.kernel rngs.(i) pos.(i)
       done
   | Space.Mobile_predators { informed; predators } ->
       for i = 0 to n - 1 do
-        if i < predators || not informed.(i) then
+        if (i < predators || not informed.(i)) && is_present present i then
           pos.(i) <- Walk.step t.grid t.kernel rngs.(i) pos.(i)
       done
 
-let rebuild_index t pos = Spatial.rebuild t.spatial ~positions:pos
+let rebuild_index ?present t pos = Spatial.rebuild ?present t.spatial ~positions:pos
 
 let iter_close_pairs t ~f = Spatial.iter_close_pairs t.spatial ~f
 

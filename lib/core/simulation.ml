@@ -47,6 +47,7 @@ let spec_of_config cfg =
     max_steps = Config.effective_max_steps cfg;
     record_history = cfg.Config.record_history;
     track_islands = true;
+    faults = cfg.Config.faults;
   }
 
 let create ?metrics cfg =
@@ -135,3 +136,5 @@ let island_sizes t = E.island_sizes t.e
 let covered_count t = E.covered_count t.e
 
 let live_preys t = E.live_preys t.e
+
+let present_count t = E.present_count t.e

@@ -124,6 +124,10 @@ val covered_count : t -> int
 val live_preys : t -> int
 (** Remaining preys (0 for non-predator protocols). *)
 
+val present_count : t -> int
+(** Agents currently present — population minus churn departures;
+    equals {!population} when the config's fault plan has no churn. *)
+
 val is_done : t -> bool
 
 (** {1 Running} *)

@@ -40,9 +40,9 @@ module type S = sig
 
   val init_positions : t -> Prng.t -> n:int -> pos
 
-  val move_all : t -> pos -> Prng.t array -> mobility -> unit
+  val move_all : ?present:bool array -> t -> pos -> Prng.t array -> mobility -> unit
 
-  val rebuild_index : t -> pos -> unit
+  val rebuild_index : ?present:bool array -> t -> pos -> unit
 
   val iter_close_pairs : t -> f:(int -> int -> unit) -> unit
 

@@ -64,14 +64,17 @@ module type S = sig
       draw order is part of the deterministic contract: it must match
       what the pre-refactor engine for this space did. *)
 
-  val move_all : t -> pos -> Prng.t array -> mobility -> unit
+  val move_all : ?present:bool array -> t -> pos -> Prng.t array -> mobility -> unit
   (** One mobility-kernel transition for every agent selected by the
       {!mobility} value, in increasing agent order, drawing only from
-      the moving agent's own stream [rngs.(i)]. *)
+      the moving agent's own stream [rngs.(i)]. Agents masked out by
+      [present] (the engine's churn adversary) freeze in place and draw
+      nothing — their stream pauses until they return. *)
 
-  val rebuild_index : t -> pos -> unit
+  val rebuild_index : ?present:bool array -> t -> pos -> unit
   (** Load current positions into the spatial index (reusing internal
-      storage across steps). *)
+      storage across steps). Agents masked out by [present] are left out
+      of the index entirely, so [iter_close_pairs] never visits them. *)
 
   val iter_close_pairs : t -> f:(int -> int -> unit) -> unit
   (** Visit every visibility edge of the last [rebuild_index] exactly

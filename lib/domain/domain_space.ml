@@ -24,27 +24,32 @@ let los_blocking t = t.los_blocking
 let init_positions t rng ~n =
   Array.init n (fun _ -> Domain.random_free_node t.domain rng)
 
-let move_all t pos rngs mobility =
+(* Churn mask: absent agents freeze in place and draw nothing. *)
+let[@inline] is_present present i =
+  match present with None -> true | Some pr -> pr.(i)
+
+let move_all ?present t pos rngs mobility =
   let n = Array.length pos in
   match mobility with
   | Space.Mobile_all ->
       for i = 0 to n - 1 do
-        pos.(i) <- Domain.step_lazy t.domain rngs.(i) pos.(i)
+        if is_present present i then
+          pos.(i) <- Domain.step_lazy t.domain rngs.(i) pos.(i)
       done
   | Space.Mobile_informed informed ->
       for i = 0 to n - 1 do
-        if informed.(i) then
+        if informed.(i) && is_present present i then
           pos.(i) <- Domain.step_lazy t.domain rngs.(i) pos.(i)
       done
   | Space.Mobile_predators { informed; predators } ->
       for i = 0 to n - 1 do
-        if i < predators || not informed.(i) then
+        if (i < predators || not informed.(i)) && is_present present i then
           pos.(i) <- Domain.step_lazy t.domain rngs.(i) pos.(i)
       done
 
-let rebuild_index t pos =
+let rebuild_index ?present t pos =
   t.cur <- pos;
-  Spatial.rebuild t.spatial ~positions:pos
+  Spatial.rebuild ?present t.spatial ~positions:pos
 
 let iter_close_pairs t ~f =
   if t.los_blocking then

@@ -1,0 +1,12 @@
+(** F1 — broadcast under per-contact message loss.
+
+    Sweeps the fault plan's [loss_p] (each candidate visibility edge is
+    independently dropped with probability [p] at each step) and compares
+    the median broadcast time against the loss-free run of the same
+    (seed, trial) family. The [p = 0] column must reproduce the pristine
+    engine trial-for-trial — the fault adversary draws from its own
+    stream, so an empty plan never perturbs walk or exchange
+    randomness. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t
+(** [quick] shrinks the grid and the trial count for test/CI use. *)

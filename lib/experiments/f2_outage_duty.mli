@@ -1,0 +1,11 @@
+(** F2 — broadcast under a periodic global radio outage.
+
+    Sweeps the blackout fraction of a duty-cycled outage (radio down for
+    [off] of every [period] steps) at fixed walk randomness. Because
+    agents keep moving — and therefore mixing — through a blackout, the
+    slowdown is bounded above by the naive availability model
+    [T ~ T0 / (1 - off/period)]; the sweep measures how far below that
+    envelope the process actually lands. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t
+(** [quick] shrinks the grid and the trial count for test/CI use. *)

@@ -1,0 +1,13 @@
+(** F3 — broadcast under agent churn.
+
+    Sweeps the per-step departure probability of a two-state churn chain
+    (present agents leave with [leave_p], absent ones rejoin with
+    [return_p]; while away an agent freezes in place and neither moves
+    nor exchanges). The stationary presence fraction
+    [return_p / (leave_p + return_p)] thins the effective population, so
+    the broadcast slows as churn rises. A watched run asserts agent-count
+    conservation: the present count never leaves [0, k] and every agent
+    is informed at completion. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Exp_result.t
+(** [quick] shrinks the grid and the trial count for test/CI use. *)

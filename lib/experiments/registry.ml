@@ -102,6 +102,21 @@ let all =
       run = A3_multi_source.run;
     };
     {
+      id = "F1";
+      summary = "fault injection: per-contact message loss vs T_B";
+      run = F1_loss_rate.run;
+    };
+    {
+      id = "F2";
+      summary = "fault injection: periodic radio outages vs T_B";
+      run = F2_outage_duty.run;
+    };
+    {
+      id = "F3";
+      summary = "fault injection: agent churn (depart/rejoin) vs T_B";
+      run = F3_churn_rate.run;
+    };
+    {
       id = "X1";
       summary = "broadcast with mobility/communication barriers (par. 4 future work)";
       run = X1_barriers.run;

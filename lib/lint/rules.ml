@@ -131,11 +131,12 @@ let dag =
     ("lib/walk", ("walk", [ "prng"; "grid" ]));
     ("lib/runtime", ("runtime", [ "obs" ]));
     ("lib/lint", ("lint", [ "obs" ]));
+    ("lib/faults", ("faults", [ "prng"; "obs" ]));
     ("lib/graph", ("visibility", [ "prng"; "grid"; "dsu"; "spatial"; "stats" ]));
     ( "lib/core",
       ( "mobile_network",
         [ "obs"; "prng"; "grid"; "dsu"; "spatial"; "walk"; "visibility";
-          "stats" ] ) );
+          "stats"; "faults" ] ) );
     ( "lib/domain",
       ( "barriers",
         [ "obs"; "prng"; "grid"; "dsu"; "spatial"; "walk"; "mobile_network" ]
@@ -149,7 +150,7 @@ let dag =
       ( "experiments",
         [ "obs"; "runtime"; "prng"; "grid"; "dsu"; "spatial"; "walk";
           "visibility"; "stats"; "mobile_network"; "barriers"; "baselines";
-          "continuum" ] ) );
+          "continuum"; "faults" ] ) );
   ]
 
 let internal_libs = List.map (fun (_, (name, _)) -> name) dag

@@ -41,6 +41,13 @@ let mix_seed ~seed ~trial = (seed * 0x9E3779B9) lxor trial
 
 let of_seed_trial ~seed ~trial = of_seed (mix_seed ~seed ~trial)
 
+(* Subsystem streams: salt the mixed (seed, trial) value with the
+   subsystem index before expansion, so each subsystem of one run owns a
+   stream that cannot collide with — or consume draws from — another's.
+   Subsystem 0 is the unsalted stream (xor with 0), so engines that
+   predate the helper keep their exact historical streams. *)
+let subsystem_salt = 0x9E3779B9
+
 (* --- Core generator --- *)
 
 let rotl x k =
@@ -64,6 +71,10 @@ let split t =
   let a = bits64 t in
   let b = bits64 t in
   state_of_seed64 (Int64.logxor a (rotl b 32))
+
+let split_stream ~seed ~trial ~subsystem =
+  if subsystem < 0 then invalid_arg "Prng.split_stream: negative subsystem";
+  split (of_seed (mix_seed ~seed ~trial lxor (subsystem * subsystem_salt)))
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 

@@ -37,6 +37,20 @@ val split : t -> t
     future output is statistically independent of the parent's. Splitting
     is deterministic: the same parent state always yields the same child. *)
 
+val split_stream : seed:int -> trial:int -> subsystem:int -> t
+(** [split_stream ~seed ~trial ~subsystem] is the root stream of one
+    subsystem of a [(seed, trial)] run:
+    [split (of_seed (mix_seed ~seed ~trial lxor (subsystem * 0x9E3779B9)))].
+
+    This formalises the repo's mix-seed-per-subsystem idiom: every
+    stochastic subsystem of a run (walks and exchange, fault adversary,
+    ...) derives its own salted root so that adding or removing draws in
+    one subsystem can never perturb another's stream. Subsystem [0] is
+    reserved for the engine master stream (walks, placement, exchange)
+    and is identical to [split (of_seed_trial ~seed ~trial)], the
+    pre-existing unsalted derivation; {!Faults} uses subsystems 1 and 2.
+    @raise Invalid_argument if [subsystem < 0]. *)
+
 val copy : t -> t
 (** [copy stream] is an independent duplicate sharing the current state —
     both copies then produce the same future sequence. Useful in tests. *)

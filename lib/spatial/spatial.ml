@@ -15,6 +15,7 @@ type t = {
   touched : int array;  (* buckets used by the last rebuild *)
   mutable touched_len : int;
   mutable positions : Grid.node array;
+  mutable present : bool array option;  (* agents indexed by the last rebuild *)
 }
 
 let create grid ~radius =
@@ -40,6 +41,7 @@ let create grid ~radius =
     touched = Array.make buckets 0;
     touched_len = 0;
     positions = [||];
+    present = None;
   }
 
 let radius t = t.radius
@@ -49,23 +51,29 @@ let bucket_of t v =
   let clamp c = min c (t.per_row - 1) in
   ((clamp (y / t.bucket_side)) * t.per_row) + clamp (x / t.bucket_side)
 
-let rebuild t ~positions =
+let rebuild ?present t ~positions =
   (* reset only the buckets the previous rebuild used *)
   for i = 0 to t.touched_len - 1 do
     t.count.(t.touched.(i)) <- 0
   done;
   t.touched_len <- 0;
   t.positions <- positions;
+  t.present <- present;
   let k = Array.length positions in
   if Array.length t.items < k then t.items <- Array.make k 0;
+  let indexed agent =
+    match present with None -> true | Some pr -> pr.(agent)
+  in
   (* pass 1: count agents per bucket, recording first-touched buckets *)
   for agent = 0 to k - 1 do
-    let b = bucket_of t positions.(agent) in
-    if t.count.(b) = 0 then begin
-      t.touched.(t.touched_len) <- b;
-      t.touched_len <- t.touched_len + 1
-    end;
-    t.count.(b) <- t.count.(b) + 1
+    if indexed agent then begin
+      let b = bucket_of t positions.(agent) in
+      if t.count.(b) = 0 then begin
+        t.touched.(t.touched_len) <- b;
+        t.touched_len <- t.touched_len + 1
+      end;
+      t.count.(b) <- t.count.(b) + 1
+    end
   done;
   (* pass 2: prefix offsets over touched buckets (order irrelevant) *)
   let offset = ref 0 in
@@ -77,9 +85,11 @@ let rebuild t ~positions =
   (* pass 3: place agents; [start] doubles as the write cursor, then is
      restored by subtracting the counts *)
   for agent = 0 to k - 1 do
-    let b = bucket_of t positions.(agent) in
-    t.items.(t.start.(b)) <- agent;
-    t.start.(b) <- t.start.(b) + 1
+    if indexed agent then begin
+      let b = bucket_of t positions.(agent) in
+      t.items.(t.start.(b)) <- agent;
+      t.start.(b) <- t.start.(b) + 1
+    end
   done;
   for i = 0 to t.touched_len - 1 do
     let b = t.touched.(i) in
@@ -114,13 +124,19 @@ let iter_inter t b b' ~f =
   done
 
 (* Exhaustive O(k^2) fallback used when the bucket structure cannot
-   guarantee each pair is seen exactly once (tiny torus layouts). *)
+   guarantee each pair is seen exactly once (tiny torus layouts). Must
+   honour the rebuild's presence mask, which the bucketed paths get for
+   free (absent agents never enter [items]). *)
 let iter_all_pairs t ~f =
   let k = Array.length t.positions in
+  let indexed i =
+    match t.present with None -> true | Some pr -> pr.(i)
+  in
   for i = 0 to k - 1 do
-    for j = i + 1 to k - 1 do
-      if close t i j then f i j
-    done
+    if indexed i then
+      for j = i + 1 to k - 1 do
+        if indexed j && close t i j then f i j
+      done
   done
 
 (* Pairs of exactly cohabiting agents within one bucket slice (the
@@ -183,7 +199,11 @@ let iter_agents_near t v ~range ~f =
     (* wrap-aware bucket windows are not worth the complexity for this
        query (it is off the simulation hot path): scan all agents *)
     Array.iteri
-      (fun i p -> if Grid.manhattan t.grid v p <= range then f i)
+      (fun i p ->
+        let indexed =
+          match t.present with None -> true | Some pr -> pr.(i)
+        in
+        if indexed && Grid.manhattan t.grid v p <= range then f i)
       t.positions
   else begin
     let x = Grid.x_of t.grid v and y = Grid.y_of t.grid v in

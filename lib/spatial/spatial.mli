@@ -25,9 +25,11 @@ val create : Grid.t -> radius:int -> t
 
 val radius : t -> int
 
-val rebuild : t -> positions:Grid.node array -> unit
+val rebuild : ?present:bool array -> t -> positions:Grid.node array -> unit
 (** Load the current agent positions (array index = agent id). Replaces
-    any previous contents. *)
+    any previous contents. When [present] is given, agents with
+    [present.(i) = false] are left out of the index entirely — no pair
+    scan or near-query visits them (the engine's churn mask). *)
 
 val iter_close_pairs : t -> f:(int -> int -> unit) -> unit
 (** Call [f i j] (with [i < j]) exactly once for every pair of agents at

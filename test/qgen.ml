@@ -1,0 +1,52 @@
+(* Shared qcheck generators for the property suites (Dsu, Rumor_set and
+   the fault-injection state machine). Kept in one module so the fault
+   harness exercises the very same input distributions as the unit
+   property tests. *)
+
+(* A random union script over [0, n): the raw material for union-find
+   properties and for the component side of the fault invariants. *)
+let unions ?(max_len = 40) n =
+  QCheck.(
+    list_of_size
+      (Gen.int_range 0 max_len)
+      (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))))
+
+(* Rumor-id scripts for bitset properties. *)
+let rumor_ids ?(max_len = 60) capacity =
+  QCheck.(list_of_size (Gen.int_range 0 max_len) (int_range 0 (capacity - 1)))
+
+(* A structurally valid fault plan over a population of [agents].
+   Probabilities land in [0, 1], duty cycles satisfy 0 <= off <= period,
+   windows are ordered, role ids are in range — i.e. the generator's
+   support is exactly what [Faults.Plan.validate] accepts, so a
+   generated plan failing validation is itself a bug. *)
+let plan ~agents =
+  let open QCheck.Gen in
+  let prob = float_bound_inclusive 1.0 in
+  let agent = int_range 0 (agents - 1) in
+  let window =
+    let* w_from = int_range 0 50 in
+    let* len = int_range 0 20 in
+    let* w_agent = opt agent in
+    return { Faults.Plan.w_from; w_until = w_from + len; w_agent }
+  in
+  let gen =
+    let* loss_p = prob in
+    let* duty =
+      opt
+        (let* period = int_range 1 20 in
+         let* off = int_range 0 period in
+         return (off, period))
+    in
+    let* windows = list_size (int_range 0 3) window in
+    let* churn =
+      opt
+        (let* leave_p = prob in
+         let* return_p = prob in
+         return { Faults.Plan.leave_p; return_p })
+    in
+    let* silent = list_size (int_range 0 2) agent in
+    let* deaf = list_size (int_range 0 2) agent in
+    return { Faults.Plan.loss_p; duty; windows; churn; silent; deaf }
+  in
+  QCheck.make ~print:Faults.Plan.to_string gen

@@ -117,9 +117,7 @@ let naive_components n unions =
     unions;
   comp
 
-let unions_gen n =
-  QCheck.(list_of_size (Gen.int_range 0 40)
-    (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))))
+let unions_gen n = Qgen.unions n
 
 let prop_matches_naive =
   let n = 12 in
@@ -173,6 +171,33 @@ let prop_find_idempotent =
       done;
       !ok)
 
+let prop_union_idempotent =
+  let n = 15 in
+  QCheck.Test.make ~name:"replaying a union script changes nothing"
+    ~count:300 (unions_gen n) (fun unions ->
+      let d = Dsu.create n in
+      List.iter (fun (i, j) -> ignore (Dsu.union d i j)) unions;
+      let count = Dsu.set_count d in
+      (* every union of the script is now a no-op *)
+      List.for_all (fun (i, j) -> not (Dsu.union d i j)) unions
+      && Dsu.set_count d = count)
+
+let prop_set_count_monotone =
+  let n = 15 in
+  QCheck.Test.make ~name:"component count never increases" ~count:300
+    (unions_gen n) (fun unions ->
+      let d = Dsu.create n in
+      let ok = ref true in
+      let prev = ref (Dsu.set_count d) in
+      List.iter
+        (fun (i, j) ->
+          ignore (Dsu.union d i j);
+          let now = Dsu.set_count d in
+          if now > !prev then ok := false;
+          prev := now)
+        unions;
+      !ok)
+
 let () =
   Alcotest.run "dsu"
     [
@@ -197,6 +222,7 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [
             prop_matches_naive; prop_set_count_invariant; prop_sizes_sum_to_n;
-            prop_find_idempotent;
+            prop_find_idempotent; prop_union_idempotent;
+            prop_set_count_monotone;
           ] );
     ]

@@ -1,0 +1,289 @@
+(* State-machine tests for the fault-injection subsystem: plan
+   validation and JSON round-trips, the runtime invariants the adversary
+   must preserve (informed-set monotonicity, conservation under churn,
+   blackout freezes, byzantine role semantics), and the agreement
+   between the role-masked fixpoint flood and component flooding. *)
+
+module Plan = Faults.Plan
+module Config = Mobile_network.Config
+module Simulation = Mobile_network.Simulation
+module Exchange = Mobile_network.Exchange
+
+(* --- Plan validation and JSON ------------------------------------------ *)
+
+let expect_invalid label plan =
+  match Plan.validate plan with
+  | Ok () -> Alcotest.failf "%s: expected validation failure" label
+  | Error _ -> ()
+
+let test_plan_validate () =
+  Alcotest.(check bool) "empty valid" true (Result.is_ok (Plan.validate Plan.empty));
+  expect_invalid "loss > 1" { Plan.empty with Plan.loss_p = 1.5 };
+  expect_invalid "loss < 0" { Plan.empty with Plan.loss_p = -0.1 };
+  expect_invalid "period 0" { Plan.empty with Plan.duty = Some (0, 0) };
+  expect_invalid "off > period" { Plan.empty with Plan.duty = Some (5, 4) };
+  expect_invalid "window until < from"
+    { Plan.empty with
+      Plan.windows = [ { Plan.w_from = 9; w_until = 3; w_agent = None } ] };
+  expect_invalid "negative silent id" { Plan.empty with Plan.silent = [ -1 ] };
+  expect_invalid "churn leave > 1"
+    { Plan.empty with
+      Plan.churn = Some { Plan.leave_p = 1.2; return_p = 0.5 } }
+
+let test_plan_json_errors () =
+  (match Plan.of_string "{ \"loss_q\": 0.5 }" with
+  | Ok _ -> Alcotest.fail "unknown field accepted"
+  | Error msg ->
+      Alcotest.(check bool) "names the field" true
+        (String.length msg > 0));
+  (match Plan.of_string "not json" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  match Plan.of_string "{ \"loss_p\": 2.0 }" with
+  | Ok _ -> Alcotest.fail "invalid probability accepted"
+  | Error _ -> ()
+
+let test_plan_max_agent () =
+  Alcotest.(check int) "empty" (-1) (Plan.max_agent_id Plan.empty);
+  Alcotest.(check int) "roles and windows" 9
+    (Plan.max_agent_id
+       { Plan.empty with
+         Plan.silent = [ 4 ];
+         deaf = [ 2 ];
+         windows = [ { Plan.w_from = 0; w_until = 1; w_agent = Some 9 } ] })
+
+let prop_generated_plans_validate =
+  QCheck.Test.make ~name:"generated plans validate" ~count:200
+    (Qgen.plan ~agents:8) (fun p -> Result.is_ok (Plan.validate p))
+
+let prop_plan_roundtrip =
+  QCheck.Test.make ~name:"JSON round-trip is the identity" ~count:200
+    (Qgen.plan ~agents:8) (fun p ->
+      match Plan.of_string (Plan.to_string p) with
+      | Error msg -> QCheck.Test.fail_reportf "re-parse failed: %s" msg
+      | Ok p' -> String.equal (Plan.to_string p) (Plan.to_string p'))
+
+(* --- runtime invariants ------------------------------------------------- *)
+
+let cfg ?(side = 16) ?(agents = 8) ?(max_steps = 2000) ?source plan =
+  Config.make ~side ~agents ~radius:1 ~seed:7 ~trial:0 ?source ~max_steps
+    ~faults:plan ()
+
+(* Step to completion (or the cap), recording the informed count after
+   every step (index 0 = after the initial exchange) and running [check]
+   against the live simulation each step. *)
+let informed_series ?(check = fun _ -> ()) config =
+  (* is_done is the protocol predicate alone; the cap lives in [run], so
+     a manual stepping loop must enforce it itself *)
+  let cap = Config.effective_max_steps config in
+  let sim = Simulation.create config in
+  let series = ref [ Simulation.informed_count sim ] in
+  check sim;
+  while (not (Simulation.is_done sim)) && Simulation.time sim < cap do
+    Simulation.step sim;
+    series := Simulation.informed_count sim :: !series;
+    check sim
+  done;
+  Array.of_list (List.rev !series)
+
+let assert_monotone label series =
+  Array.iteri
+    (fun t v ->
+      if t > 0 && v < series.(t - 1) then
+        Alcotest.failf "%s: informed dropped %d -> %d at step %d" label
+          series.(t - 1) v t)
+    series
+
+let test_monotone_fault_free () =
+  assert_monotone "fault-free" (informed_series (cfg Plan.empty))
+
+let test_monotone_loss_only () =
+  assert_monotone "loss 0.4"
+    (informed_series (cfg { Plan.empty with Plan.loss_p = 0.4 }))
+
+let test_outage_freezes_informed () =
+  (* global window: exchanges on steps 5..14 are blacked out, so the
+     informed count cannot change there (motion continues) *)
+  let plan =
+    { Plan.empty with
+      Plan.windows = [ { Plan.w_from = 5; w_until = 15; w_agent = None } ] }
+  in
+  let series = informed_series (cfg plan) in
+  assert_monotone "outage" series;
+  if Array.length series > 15 then
+    for t = 5 to 14 do
+      Alcotest.(check int)
+        (Printf.sprintf "frozen at step %d" t)
+        series.(4) series.(t)
+    done
+
+let test_churn_conservation () =
+  let k = 8 in
+  let plan =
+    { Plan.empty with
+      Plan.churn = Some { Plan.leave_p = 0.1; return_p = 0.3 } }
+  in
+  let check sim =
+    let p = Simulation.present_count sim in
+    if p < 0 || p > k then
+      Alcotest.failf "present count %d outside [0, %d]" p k;
+    (* the DSU side never loses an agent either: component sizes
+       partition the whole population, present or not *)
+    if Simulation.time sim mod 10 = 0 then (
+      let total = Array.fold_left ( + ) 0 (Simulation.island_sizes sim) in
+      Alcotest.(check int) "island sizes partition the population" k total)
+  in
+  assert_monotone "churn" (informed_series ~check (cfg ~agents:k plan))
+
+let test_no_churn_all_present () =
+  let check sim =
+    Alcotest.(check int) "all present" 8 (Simulation.present_count sim)
+  in
+  ignore
+    (informed_series ~check (cfg { Plan.empty with Plan.loss_p = 0.2 }))
+
+let test_silent_source_never_spreads () =
+  let plan = { Plan.empty with Plan.silent = [ 0 ] } in
+  let config = cfg ~max_steps:300 ~source:0 plan in
+  let check sim =
+    Alcotest.(check int) "only the source knows" 1
+      (Simulation.informed_count sim)
+  in
+  let series = informed_series ~check config in
+  Alcotest.(check int) "timed out with one informed" 1
+    series.(Array.length series - 1)
+
+let test_deaf_agent_never_learns () =
+  let plan = { Plan.empty with Plan.deaf = [ 5 ] } in
+  let config = cfg ~max_steps:300 ~source:0 plan in
+  let check sim =
+    if Simulation.is_informed sim 5 then
+      Alcotest.failf "deaf agent informed at step %d" (Simulation.time sim)
+  in
+  ignore (informed_series ~check config)
+
+let test_replay_identical () =
+  let plan =
+    { Plan.empty with
+      Plan.loss_p = 0.3;
+      churn = Some { Plan.leave_p = 0.05; return_p = 0.5 } }
+  in
+  let a = informed_series (cfg plan) and b = informed_series (cfg plan) in
+  Alcotest.(check (array int)) "same informed series replayed" a b
+
+let test_roles_need_broadcast () =
+  let bad =
+    Config.make ~side:16 ~agents:8 ~radius:1
+      ~protocol:Mobile_network.Protocol.Gossip
+      ~faults:{ Plan.empty with Plan.silent = [ 0 ] }
+      ()
+  in
+  (match Config.validate bad with
+  | Ok () -> Alcotest.fail "gossip with silent agent validated"
+  | Error _ -> ());
+  let out_of_range =
+    Config.make ~side:16 ~agents:8 ~radius:1
+      ~faults:{ Plan.empty with Plan.deaf = [ 8 ] }
+      ()
+  in
+  match Config.validate out_of_range with
+  | Ok () -> Alcotest.fail "out-of-range deaf agent validated"
+  | Error _ -> ()
+
+(* --- masked flood vs component flood ----------------------------------- *)
+
+(* With all-true roles, the fixpoint flood over a pair list must inform
+   exactly the union of the components touching an informed agent — the
+   equivalence the fault engine's no-roles fast path relies on. *)
+let prop_masked_flood_matches_components =
+  let n = 12 in
+  QCheck.Test.make ~name:"masked flood (all-true roles) = component flood"
+    ~count:300
+    QCheck.(pair (Qgen.unions n) (int_range 0 (n - 1)))
+    (fun (pairs, source) ->
+      let fresh () =
+        let informed = Array.make n false in
+        informed.(source) <- true;
+        let ex =
+          Exchange.create ~population:n ~predators:0 ~informed ~rumors:[||]
+        in
+        ex.Exchange.informed_count <- 1;
+        ex
+      in
+      let by_components = fresh () in
+      let dsu = Dsu.create n in
+      List.iter (fun (i, j) -> ignore (Dsu.union dsu i j)) pairs;
+      Exchange.flood_single by_components ~dsu;
+      let by_fixpoint = fresh () in
+      let all = Array.make n true in
+      Exchange.flood_single_masked by_fixpoint
+        ~iter_pairs:(fun f -> List.iter (fun (i, j) -> f i j) pairs)
+        ~transmits:all ~accepts:all;
+      by_components.Exchange.informed_count
+      = by_fixpoint.Exchange.informed_count
+      && Array.for_all2 Bool.equal by_components.Exchange.informed
+           by_fixpoint.Exchange.informed)
+
+(* --- random-plan state sweep ------------------------------------------- *)
+
+(* The harness proper: run short broadcasts under arbitrary generated
+   plans and assert the cross-cutting invariants hold throughout. *)
+let prop_random_plan_invariants =
+  QCheck.Test.make ~name:"invariants hold under arbitrary plans" ~count:25
+    (Qgen.plan ~agents:6) (fun plan ->
+      let config =
+        Config.make ~side:12 ~agents:6 ~radius:1 ~seed:11 ~trial:0
+          ~max_steps:300 ~faults:plan ()
+      in
+      let cap = Config.effective_max_steps config in
+      let sim = Simulation.create config in
+      let prev = ref (Simulation.informed_count sim) in
+      let ok = ref true in
+      while (not (Simulation.is_done sim)) && Simulation.time sim < cap do
+        Simulation.step sim;
+        let now = Simulation.informed_count sim in
+        if now < !prev then ok := false;
+        prev := now;
+        let p = Simulation.present_count sim in
+        if p < 0 || p > 6 then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "validate" `Quick test_plan_validate;
+          Alcotest.test_case "json errors" `Quick test_plan_json_errors;
+          Alcotest.test_case "max agent id" `Quick test_plan_max_agent;
+        ] );
+      ( "plan-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_generated_plans_validate; prop_plan_roundtrip ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "monotone fault-free" `Quick
+            test_monotone_fault_free;
+          Alcotest.test_case "monotone under loss" `Quick
+            test_monotone_loss_only;
+          Alcotest.test_case "outage freezes informed" `Quick
+            test_outage_freezes_informed;
+          Alcotest.test_case "churn conserves agents" `Quick
+            test_churn_conservation;
+          Alcotest.test_case "no churn, all present" `Quick
+            test_no_churn_all_present;
+          Alcotest.test_case "silent source never spreads" `Quick
+            test_silent_source_never_spreads;
+          Alcotest.test_case "deaf agent never learns" `Quick
+            test_deaf_agent_never_learns;
+          Alcotest.test_case "replay is identical" `Quick
+            test_replay_identical;
+          Alcotest.test_case "roles need broadcast" `Quick
+            test_roles_need_broadcast;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_masked_flood_matches_components; prop_random_plan_invariants ]
+      );
+    ]

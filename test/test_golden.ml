@@ -74,6 +74,39 @@ let test_satellite_simulators () =
   in
   Alcotest.(check int) "clementi broadcast" 15 cl.Baselines.Clementi.steps
 
+(* The fault adversary draws from its own subsystem streams, so these
+   pins also freeze the split_stream derivation: a change to the
+   subsystem salt or stream layout shows up here, not just in lib/prng's
+   unit tests. The shared scenario is side 16, k = 6, r = 1, seed 0,
+   whose fault-free completion is 596 steps. *)
+let test_fault_injection () =
+  let module Plan = Faults.Plan in
+  let fsteps ?max_steps ?source plan =
+    (Simulation.run_config
+       (Config.make ~side:16 ~agents:6 ~radius:1 ~seed:0 ?max_steps ?source
+          ~faults:plan ()))
+      .Simulation.steps
+  in
+  Alcotest.(check int) "empty plan = pristine run" 596 (fsteps Plan.empty);
+  Alcotest.(check int) "loss 0.9" 1734
+    (fsteps { Plan.empty with Plan.loss_p = 0.9 });
+  Alcotest.(check int) "duty 7/8 outage" 655
+    (fsteps { Plan.empty with Plan.duty = Some (7, 8) });
+  Alcotest.(check int) "churn 0.05/0.5" 663
+    (fsteps
+       { Plan.empty with
+         Plan.churn = Some { Plan.leave_p = 0.05; return_p = 0.5 } });
+  Alcotest.(check int) "combined plan" 562
+    (fsteps
+       { Plan.loss_p = 0.25; duty = Some (2, 10);
+         windows = [ { Plan.w_from = 10; w_until = 30; w_agent = Some 1 } ];
+         churn = Some { Plan.leave_p = 0.02; return_p = 0.4 };
+         silent = []; deaf = [] });
+  (* a silent agent holds the rumor without retransmitting; the others
+     still complete the broadcast around it *)
+  Alcotest.(check int) "silent bystander" 218
+    (fsteps ~source:0 { Plan.empty with Plan.silent = [ 3 ] })
+
 let () =
   Alcotest.run "golden"
     [
@@ -85,5 +118,6 @@ let () =
             test_engine_completion_times;
           Alcotest.test_case "satellite simulators" `Quick
             test_satellite_simulators;
+          Alcotest.test_case "fault injection" `Quick test_fault_injection;
         ] );
     ]

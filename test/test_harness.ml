@@ -277,7 +277,7 @@ let test_plot_invalid_canvas () =
 (* --- Registry --- *)
 
 let test_registry_complete () =
-  Alcotest.(check int) "29 experiments" 29 (List.length Registry.all);
+  Alcotest.(check int) "32 experiments" 32 (List.length Registry.all);
   let ids = Registry.ids () in
   let unique = List.sort_uniq compare ids in
   Alcotest.(check int) "ids unique" (List.length ids) (List.length unique);
@@ -288,7 +288,8 @@ let test_registry_complete () =
         true
         (Option.is_some (Registry.find id)))
     [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
-      "E12"; "E13"; "E14"; "E15"; "E16"; "A1"; "A2"; "A3"; "X1"; "X2"; "X3"; "X4"; "X5"; "L1"; "L2"; "L3"; "L4"; "L5" ]
+      "E12"; "E13"; "E14"; "E15"; "E16"; "A1"; "A2"; "A3"; "F1"; "F2"; "F3";
+      "X1"; "X2"; "X3"; "X4"; "X5"; "L1"; "L2"; "L3"; "L4"; "L5" ]
 
 let test_registry_case_insensitive () =
   Alcotest.(check bool) "lowercase works" true

@@ -95,8 +95,7 @@ let test_iter_order () =
 
 (* --- qcheck: bitset behaves like a reference implementation (int sets) --- *)
 
-let ops_gen capacity =
-  QCheck.(list_of_size (Gen.int_range 0 60) (int_range 0 (capacity - 1)))
+let ops_gen capacity = Qgen.rumor_ids capacity
 
 let prop_matches_reference =
   let capacity = 37 in
@@ -127,6 +126,27 @@ let prop_union_cardinal =
       R.cardinal b = List.length expected
       && List.for_all (fun i -> R.mem b i) expected)
 
+let prop_union_into_is_set_union =
+  let capacity = 41 in
+  QCheck.Test.make
+    ~name:"union_into behaves as the functional set union" ~count:300
+    QCheck.(pair (ops_gen capacity) (ops_gen capacity))
+    (fun (xs, ys) ->
+      let a = R.create ~capacity and b = R.create ~capacity in
+      List.iter (fun i -> ignore (R.add a i)) xs;
+      List.iter (fun i -> ignore (R.add b i)) ys;
+      let before_a = R.cardinal a in
+      let added = R.union_into ~src:a ~dst:b in
+      let union = List.sort_uniq compare (xs @ ys) in
+      (* dst is exactly a U b, membership-for-membership ... *)
+      List.for_all (fun i -> R.mem b i = List.mem i union)
+        (List.init capacity (fun i -> i))
+      (* ... the return value counts the fresh rumors ... *)
+      && added = R.cardinal b - List.length (List.sort_uniq compare ys)
+      (* ... and src is untouched *)
+      && R.cardinal a = before_a
+      && List.for_all (fun i -> R.mem a i) xs)
+
 let () =
   Alcotest.run "rumor_set"
     [
@@ -149,5 +169,8 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_matches_reference; prop_union_cardinal ] );
+          [
+            prop_matches_reference; prop_union_cardinal;
+            prop_union_into_is_set_union;
+          ] );
     ]
