@@ -21,9 +21,11 @@ test:
 # loss + churn plan through --faults end to end, then asserts the
 # fault sweep F1 is byte-identical at --jobs 1 and --jobs 2 (fault
 # draws live in their own streams, so worker count can never leak into
-# results). The lint gate keeps the determinism/concurrency/
-# poly-compare/layering invariants machine-checked. `dune build @all`
-# also builds examples/.
+# results). The service smoke drives the job daemon over its socket:
+# double-submit byte-identity with cache-served metrics, then kill -9
+# mid-sweep and a byte-identical checkpoint resume. The lint gate keeps
+# the determinism/concurrency/io/poly-compare/layering invariants
+# machine-checked. `dune build @all` also builds examples/.
 check:
 	dune build @all
 	dune runtest
@@ -39,6 +41,7 @@ check:
 	dune exec bin/mobisim.exe -- exp F1 --quick --jobs 1 > /tmp/mobisim-faults-j1.out
 	dune exec bin/mobisim.exe -- exp F1 --quick --jobs 2 > /tmp/mobisim-faults-j2.out
 	cmp /tmp/mobisim-faults-j1.out /tmp/mobisim-faults-j2.out
+	sh test/service_smoke.sh
 
 bench:
 	dune exec bench/main.exe
@@ -57,10 +60,10 @@ lint:
 	dune exec bin/mobilint.exe -- --validate /tmp/mobilint.json
 
 # Machine-readable perf trajectory: one {probe -> ns/step, words/step}
-# JSON per PR, pinned at the repo root (BENCH_PR6.json for this PR).
+# JSON per PR, pinned at the repo root (BENCH_PR7.json for this PR).
 # Compare two with `mobisim bench-check OLD NEW`.
 bench-json:
-	dune exec bench/perf_probe.exe -- --json BENCH_PR6.json
+	dune exec bench/perf_probe.exe -- --json BENCH_PR7.json
 
 clean:
 	dune clean

@@ -18,7 +18,7 @@ let usage () =
      \  --root DIR       build tree to scan (default _build/default)\n\
      \  --dune-root DIR  source tree for layering dune files (default .)\n\
      \  --rules LIST     comma-separated subset of: determinism,\n\
-     \                   concurrency, poly-compare, layering\n\
+     \                   concurrency, poly-compare, layering, io\n\
      \  --baseline FILE  suppress findings listed in FILE (JSON)\n\
      \  --json FILE      also write the report as JSON ('-' = stdout)\n\
      \  --validate FILE  structurally check a --json report, then exit\n\

@@ -274,10 +274,11 @@ let load_fault_plan faults_file loss_p outage churn =
             Printf.eprintf "cannot read fault plan: %s\n" e;
             exit 2
         in
-        match Faults.Plan.of_string text with
+        match Faults.Plan.of_string ~filename:path text with
         | Ok p -> p
         | Error msg ->
-            Printf.eprintf "invalid fault plan %s: %s\n" path msg;
+            (* the message already carries file:line:col *)
+            Printf.eprintf "invalid fault plan: %s\n" msg;
             exit 2)
   in
   let p =
@@ -457,26 +458,109 @@ let run_simulate_grid side agents radius protocol kernel seed trial max_steps
       finish_trace ();
       finish_metrics ()
 
-let run_simulate space side agents radius protocol kernel seed trial max_steps
-    trace render torus trace_out metrics trace_events faults_file loss_p outage
-    churn =
-  let warn space =
-    warn_ignored_flags ~space ~protocol ~kernel ~torus ~trace ~render ~trace_out
-      ~faults_file ~loss_p ~outage ~churn
+(* Same explicitly-set detection as [warn_ignored_flags]: a scenario
+   file pins every semantic parameter, so a conflicting flag on the same
+   command line would be dropped silently without this. *)
+let warn_scenario_conflicts ~space ~side ~agents ~radius ~protocol ~kernel
+    ~seed ~trial ~max_steps ~trace ~render ~torus ~trace_out ~faults_file
+    ~loss_p ~outage ~churn =
+  let ignored =
+    List.filter_map
+      (fun (set, flag) -> if set then Some flag else None)
+      [
+        (space <> `Grid, "--space");
+        (side <> 64, "--side");
+        (agents <> 32, "--agents");
+        (radius <> 0, "--radius");
+        (protocol <> Protocol.Broadcast, "--protocol");
+        (kernel <> Walk.Lazy_one_fifth, "--kernel");
+        (seed <> 0, "--seed");
+        (trial <> 0, "--trial");
+        (max_steps <> None, "--max-steps");
+        (trace > 0, "--trace");
+        (render > 0, "--render");
+        (torus, "--torus");
+        (trace_out <> None, "--trace-out");
+        (faults_file <> None, "--faults");
+        (loss_p <> None, "--loss-p");
+        (outage <> None, "--outage");
+        (churn <> None, "--churn");
+      ]
   in
-  match space with
-  | `Grid ->
-      let faults = load_fault_plan faults_file loss_p outage churn in
-      run_simulate_grid side agents radius protocol kernel seed trial max_steps
-        trace render torus trace_out metrics trace_events faults
-  | `Continuum ->
-      warn "continuum";
-      run_simulate_continuum side agents radius seed trial max_steps metrics
-        trace_events
-  | `Domain ->
-      warn "domain";
-      run_simulate_domain side agents radius seed trial max_steps metrics
-        trace_events
+  if ignored <> [] then
+    Printf.eprintf
+      "warning: --scenario defines the whole run; ignoring conflicting %s \
+       (the scenario file wins)\n"
+      (String.concat ", " ignored)
+
+let read_text_file what path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error e ->
+    Printf.eprintf "cannot read %s: %s\n" what e;
+    exit 2
+
+let run_simulate_scenario path metrics trace_events =
+  let text = read_text_file "scenario" path in
+  match Scenario.Compile.compile ~filename:path text with
+  | Error errs ->
+      List.iter (fun e -> Printf.eprintf "%s\n" e) errs;
+      exit 2
+  | Ok compiled -> (
+      match compiled.Scenario.Compile.cells with
+      | [ cell ] ->
+          let seed = compiled.Scenario.Compile.seed in
+          let finish_metrics = install_metrics metrics in
+          let finish_trace = install_trace trace_events in
+          Printf.printf "scenario %s: hash=%s seed=%d trial=0\n" path
+            compiled.Scenario.Compile.hash seed;
+          Printf.printf "cell: %s\n"
+            (Obs.Json.to_string (Scenario.Ast.cell_json cell));
+          let payload =
+            as_pool_job (fun () ->
+                Service.Runner.run_payload cell ~seed ~trial:0)
+          in
+          Printf.printf "result: %s\n" payload;
+          finish_trace ();
+          finish_metrics ()
+      | cells ->
+          Printf.eprintf
+            "scenario %s desugars to %d cells; 'simulate' runs exactly one — \
+             use 'mobisim submit' (or singleton axes) for sweeps\n"
+            path (List.length cells);
+          exit 2)
+
+let run_simulate scenario space side agents radius protocol kernel seed trial
+    max_steps trace render torus trace_out metrics trace_events faults_file
+    loss_p outage churn =
+  match scenario with
+  | Some path ->
+      warn_scenario_conflicts ~space ~side ~agents ~radius ~protocol ~kernel
+        ~seed ~trial ~max_steps ~trace ~render ~torus ~trace_out ~faults_file
+        ~loss_p ~outage ~churn;
+      run_simulate_scenario path metrics trace_events
+  | None -> (
+      let warn space =
+        warn_ignored_flags ~space ~protocol ~kernel ~torus ~trace ~render
+          ~trace_out ~faults_file ~loss_p ~outage ~churn
+      in
+      match space with
+      | `Grid ->
+          let faults = load_fault_plan faults_file loss_p outage churn in
+          run_simulate_grid side agents radius protocol kernel seed trial
+            max_steps trace render torus trace_out metrics trace_events faults
+      | `Continuum ->
+          warn "continuum";
+          run_simulate_continuum side agents radius seed trial max_steps metrics
+            trace_events
+      | `Domain ->
+          warn "domain";
+          run_simulate_domain side agents radius seed trial max_steps metrics
+            trace_events)
 
 let simulate_cmd =
   let trace =
@@ -491,9 +575,22 @@ let simulate_cmd =
     let doc = "Write the run's per-step metrics as JSONL to $(docv)." in
     Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
   in
+  let scenario =
+    let doc =
+      "Run the single-cell scenario file $(docv) instead of the flag-built \
+       configuration: the file's space/side/agents/protocol/faults/... \
+       define the run (its seed, trial 0), and the canonical result payload \
+       is printed — byte-identical to the daemon's cached result line for \
+       the same cell. Conflicting explicit flags are ignored with a \
+       warning; the file must desugar to exactly one cell (use 'mobisim \
+       submit' for sweeps)."
+    in
+    Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"FILE" ~doc)
+  in
   let term =
     Term.(
-      const run_simulate $ space_arg $ side_arg $ agents_arg $ radius_arg
+      const run_simulate $ scenario $ space_arg $ side_arg $ agents_arg
+      $ radius_arg
       $ protocol_arg $ kernel_arg $ seed_arg $ trial_arg $ max_steps_arg
       $ trace $ render $ torus_arg $ trace_out $ metrics_arg
       $ trace_events_arg $ faults_file_arg $ loss_p_arg $ outage_arg
@@ -975,6 +1072,169 @@ let theory_cmd =
        ~doc:"Print the paper's closed-form curves for given n and k.")
     term
 
+(* --- scenario / service ---------------------------------------------------- *)
+
+let scenario_file_pos =
+  let doc = "Scenario file (JSON; see the README's scenario section)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let run_scenario_check path canonical =
+  let text = read_text_file "scenario" path in
+  match Scenario.Compile.compile ~filename:path text with
+  | Error errs ->
+      List.iter (fun e -> Printf.eprintf "%s\n" e) errs;
+      exit 2
+  | Ok compiled ->
+      let c = compiled in
+      if canonical then
+        print_string (Scenario.Ast.to_string c.Scenario.Compile.ast)
+      else
+        Printf.printf "%s: OK hash=%s cells=%d trials=%d runs=%d\n" path
+          c.Scenario.Compile.hash
+          (List.length c.Scenario.Compile.cells)
+          c.Scenario.Compile.trials
+          (Scenario.Compile.total_runs c)
+
+let scenario_check_cmd =
+  let canonical =
+    let doc =
+      "Print the canonical form (every field explicit, fixed key order) \
+       instead of the summary line. Two files whose canonical forms differ \
+       only in the name field share a cache hash."
+    in
+    Arg.(value & flag & info [ "canonical" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Compile a scenario file: report every diagnostic (file:line:col) \
+          or the canonical hash and sweep size.")
+    Term.(const run_scenario_check $ scenario_file_pos $ canonical)
+
+let scenario_cmd =
+  Cmd.group
+    (Cmd.info "scenario"
+       ~doc:"Work with declarative scenario files (compile-time checks).")
+    [ scenario_check_cmd ]
+
+let root_arg =
+  let doc =
+    "Service state directory (result cache, pending checkpoints, result \
+     artifacts). Default: \\$MOBISIM_HOME or ./.mobisim."
+  in
+  Arg.(value & opt (some string) None & info [ "root" ] ~docv:"DIR" ~doc)
+
+let socket_arg =
+  let doc = "Daemon socket path. Default: <root>/daemon.sock." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let resolve_service root socket =
+  let root = match root with Some r -> r | None -> Service.Daemon.default_root () in
+  let socket =
+    match socket with Some s -> s | None -> Service.Daemon.default_socket ~root
+  in
+  (root, socket)
+
+let run_serve root socket jobs quiet =
+  let root, socket_path = resolve_service root socket in
+  Service.Daemon.serve ~quiet { Service.Daemon.root; socket_path; jobs }
+
+let serve_cmd =
+  let quiet =
+    let doc = "Suppress the daemon's stderr status lines." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the mobisim job daemon: accept scenario submissions over a \
+          Unix-domain socket, sweep them through the worker pool with a \
+          content-addressed result cache, checkpoint in-flight jobs and \
+          resume them on restart.")
+    Term.(const run_serve $ root_arg $ socket_arg $ jobs_arg $ quiet)
+
+let client_request socket_path req =
+  match Service.Daemon.Client.request ~socket_path (Obs.Json.to_string req) with
+  | Ok response -> response
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+
+(* The response's first line tells success; the whole response is echoed
+   to stdout either way (NDJSON in, NDJSON out). *)
+let print_response response =
+  print_string response;
+  let ok =
+    match String.index_opt response '\n' with
+    | None -> false
+    | Some i -> (
+        match Obs.Json.parse (String.sub response 0 i) with
+        | Error _ -> false
+        | Ok j -> (
+            match Obs.Json.member "ok" j with
+            | Some (Obs.Json.Bool b) -> b
+            | Some _ | None -> false))
+  in
+  if not ok then exit 1
+
+let run_submit path root socket progress =
+  let _, socket_path = resolve_service root socket in
+  let text = read_text_file "scenario" path in
+  let req =
+    Obs.Json.Assoc
+      ([
+         ("op", Obs.Json.String "submit");
+         ("text", Obs.Json.String text);
+         ("filename", Obs.Json.String path);
+       ]
+      @ if progress then [ ("progress", Obs.Json.Bool true) ] else [])
+  in
+  print_response (client_request socket_path req)
+
+let submit_cmd =
+  let progress =
+    let doc =
+      "Stream {\"progress\":...} lines while the sweep runs (off by \
+       default, so identical submissions get byte-identical responses \
+       whether served cold or from cache)."
+    in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a scenario file to a running 'mobisim serve' daemon and \
+          print the NDJSON response (header line, then one result line per \
+          (cell, trial) run). Repeated submissions are served from the \
+          result cache, byte-identically.")
+    Term.(const run_submit $ scenario_file_pos $ root_arg $ socket_arg $ progress)
+
+let run_daemon_op op root socket =
+  let _, socket_path = resolve_service root socket in
+  print_response
+    (client_request socket_path
+       (Obs.Json.Assoc [ ("op", Obs.Json.String op) ]))
+
+let daemon_op_cmd name ~doc op =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (run_daemon_op op) $ root_arg $ socket_arg)
+
+let serve_health_cmd =
+  daemon_op_cmd "serve-health"
+    ~doc:"Print a running daemon's health line (jobs, served, pending)."
+    "health"
+
+let serve_metrics_cmd =
+  daemon_op_cmd "serve-metrics"
+    ~doc:
+      "Print a running daemon's metrics snapshot (cache hits/misses, cells \
+       computed, pool stats) as one JSON line."
+    "metrics"
+
+let serve_stop_cmd =
+  daemon_op_cmd "serve-stop" ~doc:"Ask a running daemon to shut down."
+    "shutdown"
+
 (* --- main ------------------------------------------------------------------ *)
 
 let () =
@@ -986,5 +1246,6 @@ let () =
   in
   let group = Cmd.group info [ simulate_cmd; exp_cmd; list_cmd; percolation_cmd; theory_cmd;
        barrier_cmd; continuum_cmd; validate_trace_cmd; validate_metrics_cmd;
-       bench_check_cmd ] in
+       bench_check_cmd; scenario_cmd; serve_cmd; submit_cmd; serve_health_cmd;
+       serve_metrics_cmd; serve_stop_cmd ] in
   exit (Cmd.eval group)

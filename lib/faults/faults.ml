@@ -81,148 +81,200 @@ module Plan = struct
 
   (* --- JSON ------------------------------------------------------------ *)
 
+  (* Parsing runs over the positioned surface (Obs.Pjson): every
+     diagnostic is anchored at the offending value (or, for unknown
+     fields, the offending key) and rendered as file:line:col: message.
+     The position-less of_json entry lifts its document with
+     Pjson.of_json, whose no_pos nodes make [diag] degenerate to the
+     bare message — one parser, both surfaces. *)
+
   let ( let* ) r f = Result.bind r f
 
-  let expect_num name = function
-    | Json.Int i -> Ok (float_of_int i)
-    | Json.Float f -> Ok f
-    | _ -> Error (Printf.sprintf "faults: %s must be a number" name)
+  module Pjson = Obs.Pjson
 
-  let expect_int name = function
-    | Json.Int i -> Ok i
-    | _ -> Error (Printf.sprintf "faults: %s must be an integer" name)
+  let diag ?filename pos msg = Error (Pjson.format ?filename pos msg)
 
-  let expect_assoc name = function
-    | Json.Assoc kvs -> Ok kvs
-    | _ -> Error (Printf.sprintf "faults: %s must be an object" name)
+  let expect_num ?filename name (j : Pjson.t) =
+    match j.Pjson.v with
+    | Pjson.Int i -> Ok (float_of_int i)
+    | Pjson.Float f -> Ok f
+    | _ -> diag ?filename j.Pjson.pos (Printf.sprintf "faults: %s must be a number" name)
 
-  let expect_list name = function
-    | Json.List l -> Ok l
-    | _ -> Error (Printf.sprintf "faults: %s must be a list" name)
+  let expect_int ?filename name (j : Pjson.t) =
+    match j.Pjson.v with
+    | Pjson.Int i -> Ok i
+    | _ ->
+        diag ?filename j.Pjson.pos
+          (Printf.sprintf "faults: %s must be an integer" name)
 
-  (* A validating field reader: every key of [kvs] must be consumed by
-     one of the [fields], so typos fail loudly instead of silently
-     disabling an adversary. *)
-  let check_keys name fields kvs =
+  let expect_assoc ?filename name (j : Pjson.t) =
+    match j.Pjson.v with
+    | Pjson.Assoc _ -> Ok (Pjson.keys j)
+    | _ ->
+        diag ?filename j.Pjson.pos
+          (Printf.sprintf "faults: %s must be an object" name)
+
+  let expect_list ?filename name (j : Pjson.t) =
+    match j.Pjson.v with
+    | Pjson.List l -> Ok l
+    | _ ->
+        diag ?filename j.Pjson.pos
+          (Printf.sprintf "faults: %s must be a list" name)
+
+  (* A validating field reader: every key of the object must be consumed
+     by one of the [fields], so typos fail loudly instead of silently
+     disabling an adversary. The diagnostic points at the unknown key. *)
+  let check_keys ?filename name fields keys =
     let unknown =
-      List.filter (fun (k, _) -> not (List.mem k fields)) kvs
+      List.filter (fun (k, _) -> not (List.mem k fields)) keys
     in
     match unknown with
     | [] -> Ok ()
-    | (k, _) :: _ ->
-        Error
+    | (k, pos) :: _ ->
+        diag ?filename pos
           (Printf.sprintf "faults: unknown field %S in %s (expected: %s)" k
              name
              (String.concat ", " fields))
 
-  let int_list name j =
-    let* l = expect_list name j in
+  let int_list ?filename name j =
+    let* l = expect_list ?filename name j in
     List.fold_left
       (fun acc v ->
         let* ids = acc in
-        let* i = expect_int (name ^ " entry") v in
+        let* i = expect_int ?filename (name ^ " entry") v in
         Ok (i :: ids))
       (Ok []) l
     |> Result.map List.rev
 
-  let parse_window j =
-    let* kvs = expect_assoc "windows entry" j in
-    let* () = check_keys "windows entry" [ "from"; "until"; "agent" ] kvs in
+  let parse_window ?filename (j : Pjson.t) =
+    let* keys = expect_assoc ?filename "windows entry" j in
+    let* () =
+      check_keys ?filename "windows entry" [ "from"; "until"; "agent" ] keys
+    in
     let* w_from =
-      match Json.member "from" j with
-      | Some v -> expect_int "window 'from'" v
-      | None -> Error "faults: window is missing 'from'"
+      match Pjson.member "from" j with
+      | Some v -> expect_int ?filename "window 'from'" v
+      | None -> diag ?filename j.Pjson.pos "faults: window is missing 'from'"
     in
     let* w_until =
-      match Json.member "until" j with
-      | Some v -> expect_int "window 'until'" v
-      | None -> Error "faults: window is missing 'until'"
+      match Pjson.member "until" j with
+      | Some v -> expect_int ?filename "window 'until'" v
+      | None -> diag ?filename j.Pjson.pos "faults: window is missing 'until'"
     in
     let* w_agent =
-      match Json.member "agent" j with
-      | Some v -> Result.map Option.some (expect_int "window 'agent'" v)
+      match Pjson.member "agent" j with
+      | Some v ->
+          Result.map Option.some (expect_int ?filename "window 'agent'" v)
       | None -> Ok None
     in
     Ok { w_from; w_until; w_agent }
 
-  let of_json j =
-    let* kvs = expect_assoc "fault plan" j in
+  let of_pjson ?filename (j : Pjson.t) =
+    let* keys = expect_assoc ?filename "fault plan" j in
     let* () =
-      check_keys "fault plan"
+      check_keys ?filename "fault plan"
         [ "loss_p"; "outage"; "windows"; "churn"; "silent"; "deaf" ]
-        kvs
+        keys
     in
     let* loss_p =
-      match Json.member "loss_p" j with
-      | Some v -> expect_num "loss_p" v
+      match Pjson.member "loss_p" j with
+      | Some v -> expect_num ?filename "loss_p" v
       | None -> Ok 0.
     in
     let* duty =
-      match Json.member "outage" j with
+      match Pjson.member "outage" j with
       | None -> Ok None
       | Some o ->
-          let* okvs = expect_assoc "outage" o in
-          let* () = check_keys "outage" [ "off"; "period" ] okvs in
+          let* okeys = expect_assoc ?filename "outage" o in
+          let* () = check_keys ?filename "outage" [ "off"; "period" ] okeys in
           let* off =
-            match Json.member "off" o with
-            | Some v -> expect_int "outage 'off'" v
-            | None -> Error "faults: outage is missing 'off'"
+            match Pjson.member "off" o with
+            | Some v -> expect_int ?filename "outage 'off'" v
+            | None -> diag ?filename o.Pjson.pos "faults: outage is missing 'off'"
           in
           let* period =
-            match Json.member "period" o with
-            | Some v -> expect_int "outage 'period'" v
-            | None -> Error "faults: outage is missing 'period'"
+            match Pjson.member "period" o with
+            | Some v -> expect_int ?filename "outage 'period'" v
+            | None ->
+                diag ?filename o.Pjson.pos "faults: outage is missing 'period'"
           in
           Ok (Some (off, period))
     in
     let* windows =
-      match Json.member "windows" j with
+      match Pjson.member "windows" j with
       | None -> Ok []
       | Some l ->
-          let* l = expect_list "windows" l in
+          let* l = expect_list ?filename "windows" l in
           List.fold_left
             (fun acc v ->
               let* ws = acc in
-              let* w = parse_window v in
+              let* w = parse_window ?filename v in
               Ok (w :: ws))
             (Ok []) l
           |> Result.map List.rev
     in
     let* churn =
-      match Json.member "churn" j with
+      match Pjson.member "churn" j with
       | None -> Ok None
       | Some c ->
-          let* ckvs = expect_assoc "churn" c in
-          let* () = check_keys "churn" [ "leave_p"; "return_p" ] ckvs in
+          let* ckeys = expect_assoc ?filename "churn" c in
+          let* () =
+            check_keys ?filename "churn" [ "leave_p"; "return_p" ] ckeys
+          in
           let* leave_p =
-            match Json.member "leave_p" c with
-            | Some v -> expect_num "churn 'leave_p'" v
-            | None -> Error "faults: churn is missing 'leave_p'"
+            match Pjson.member "leave_p" c with
+            | Some v -> expect_num ?filename "churn 'leave_p'" v
+            | None ->
+                diag ?filename c.Pjson.pos "faults: churn is missing 'leave_p'"
           in
           let* return_p =
-            match Json.member "return_p" c with
-            | Some v -> expect_num "churn 'return_p'" v
+            match Pjson.member "return_p" c with
+            | Some v -> expect_num ?filename "churn 'return_p'" v
             | None -> Ok 1.0
           in
           Ok (Some { leave_p; return_p })
     in
     let* silent =
-      match Json.member "silent" j with
+      match Pjson.member "silent" j with
       | None -> Ok []
-      | Some l -> int_list "silent" l
+      | Some l -> int_list ?filename "silent" l
     in
     let* deaf =
-      match Json.member "deaf" j with
+      match Pjson.member "deaf" j with
       | None -> Ok []
-      | Some l -> int_list "deaf" l
+      | Some l -> int_list ?filename "deaf" l
     in
     let t = { loss_p; duty; windows; churn; silent; deaf } in
-    let* () = validate t in
+    let* () =
+      match validate t with
+      | Ok () -> Ok ()
+      | Error msg ->
+          (* every validate message leads with the field it concerns —
+             anchor there rather than at the whole plan object *)
+          let field =
+            match String.index_opt msg ' ' with
+            | Some i -> (
+                match String.sub msg 0 i with
+                | "window" -> "windows"
+                | w -> w)
+            | None -> msg
+          in
+          let pos =
+            match Pjson.member field j with
+            | Some v -> v.Pjson.pos
+            | None -> j.Pjson.pos
+          in
+          diag ?filename pos msg
+    in
     Ok t
 
-  let of_string s =
-    let* j = Json.parse s in
-    of_json j
+  let of_json j = of_pjson (Pjson.of_json j)
+
+  let of_string ?filename s =
+    match Pjson.parse s with
+    | Error (pos, msg) ->
+        diag ?filename pos (Printf.sprintf "JSON parse error: %s" msg)
+    | Ok j -> of_pjson ?filename j
 
   let to_json t =
     let fields = ref [] in

@@ -90,10 +90,20 @@ module Plan : sig
       ["leave_p"] and optional ["return_p"], default [1.0]), ["silent"]
       and ["deaf"] (lists of agent indices). Unknown fields are an
       error — a mistyped key never silently disables an adversary. The
-      result is validated. *)
+      result is validated. Errors carry no source position (the plain
+      {!Obs.Json.t} has none); use {!of_pjson} or {!of_string} for
+      [file:line:col] diagnostics. *)
 
-  val of_string : string -> (t, string) result
-  (** [of_json] over {!Obs.Json.parse}. *)
+  val of_pjson : ?filename:string -> Obs.Pjson.t -> (t, string) result
+  (** The positioned parser all other entry points delegate to: every
+      diagnostic is anchored at the offending value (unknown fields at
+      the offending key) and rendered by {!Obs.Pjson.format}, so
+      [--faults FILE] errors read [file:line:col: message] like the
+      scenario front-end's. *)
+
+  val of_string : ?filename:string -> string -> (t, string) result
+  (** [of_pjson] over {!Obs.Pjson.parse}; [filename] prefixes
+      diagnostics. *)
 
   val to_json : t -> Obs.Json.t
   (** Round-trips through {!of_json}. *)

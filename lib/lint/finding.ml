@@ -3,20 +3,23 @@ type rule =
   | Concurrency
   | Poly_compare
   | Layering
+  | Io
 
-let all_rules = [ Determinism; Concurrency; Poly_compare; Layering ]
+let all_rules = [ Determinism; Concurrency; Poly_compare; Layering; Io ]
 
 let rule_tag = function
   | Determinism -> "determinism"
   | Concurrency -> "concurrency"
   | Poly_compare -> "poly-compare"
   | Layering -> "layering"
+  | Io -> "io"
 
 let rule_of_tag = function
   | "determinism" -> Some Determinism
   | "concurrency" -> Some Concurrency
   | "poly-compare" -> Some Poly_compare
   | "layering" -> Some Layering
+  | "io" -> Some Io
   | _ -> None
 
 let rule_index = function
@@ -24,6 +27,7 @@ let rule_index = function
   | Concurrency -> 1
   | Poly_compare -> 2
   | Layering -> 3
+  | Io -> 4
 
 type t = {
   file : string;  (* path relative to the repo root, e.g. lib/stats/stats.ml *)

@@ -5,12 +5,13 @@ type rule =
   | Concurrency  (** domains, atomics and locks outside the runtime/obs layers *)
   | Poly_compare  (** polymorphic compare/equality at a concrete unsafe type *)
   | Layering  (** a [lib/*/dune] dependency edge outside the declared DAG *)
+  | Io  (** Unix socket/process primitives outside the service layer *)
 
 val all_rules : rule list
 
 val rule_tag : rule -> string
 (** Stable machine-readable tag: ["determinism"], ["concurrency"],
-    ["poly-compare"], ["layering"]. *)
+    ["poly-compare"], ["layering"], ["io"]. *)
 
 val rule_of_tag : string -> rule option
 

@@ -20,16 +20,19 @@ type group =
   | Clock  (* wall clocks: only lib/obs may read time *)
   | Hash_order  (* hash values and hash-order iteration *)
   | Conc  (* domains, atomics, locks: runtime + obs only *)
+  | Io  (* Unix sockets/processes/fds: the service daemon only *)
 
 let group_rule = function
   | Rand | Clock | Hash_order -> Finding.Determinism
   | Conc -> Finding.Concurrency
+  | Io -> Finding.Io
 
 let group_allowed_layers = function
   | Rand -> [ "lib/prng" ]
   | Clock -> [ "lib/obs" ]
   | Hash_order -> [ "lib/obs" ]
   | Conc -> [ "lib/runtime"; "lib/obs" ]
+  | Io -> [ "lib/service" ]
 
 let group_message group ident =
   match group with
@@ -52,6 +55,12 @@ let group_message group ident =
       Printf.sprintf
         "%s is a concurrency primitive; domains, atomics and locks live in \
          lib/runtime and lib/obs only — simulation layers stay sequential"
+        ident
+  | Io ->
+      Printf.sprintf
+        "%s is wire/process I/O; sockets and file descriptors live in \
+         lib/service only — simulation layers stay pure so runs replay \
+         from (seed, trial) alone"
         ident
 
 let starts_with prefix s = String.length s >= String.length prefix
@@ -94,6 +103,7 @@ let classify_ident name =
       ]
     && not (List.mem name benign_conc)
   then Some Conc
+  else if starts_with "Unix." name then Some Io
   else None
 
 let group_allowed group layer =
@@ -151,6 +161,11 @@ let dag =
         [ "obs"; "runtime"; "prng"; "grid"; "dsu"; "spatial"; "walk";
           "visibility"; "stats"; "mobile_network"; "barriers"; "baselines";
           "continuum"; "faults" ] ) );
+    ("lib/scenario", ("scenario", [ "obs"; "walk"; "faults"; "mobile_network" ]));
+    ( "lib/service",
+      ( "service",
+        [ "obs"; "prng"; "runtime"; "scenario"; "faults"; "walk"; "grid";
+          "mobile_network"; "barriers"; "continuum" ] ) );
   ]
 
 let internal_libs = List.map (fun (_, (name, _)) -> name) dag

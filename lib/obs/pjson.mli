@@ -1,0 +1,59 @@
+(** Positioned JSON: the {!Json} document model annotated with source
+    positions.
+
+    The compiler-style front-ends (scenario files, fault plans) want
+    [file:line:col] on every diagnostic, while {!Json} deliberately
+    stays a bare value model for metric snapshots. This module is the
+    shared positioned surface: a lexer/parser over exactly the grammar
+    {!Json.parse} accepts, producing the same tree shape with a
+    position on every value and on every object key. [strip] erases
+    positions back to a {!Json.t}, so anything written against the
+    plain model (printers, validators) keeps working. *)
+
+type pos = { line : int; col : int }
+(** 1-based line and column (columns count bytes, like the compiler). *)
+
+val no_pos : pos
+(** [{line = 0; col = 0}] — the position of values that never came from
+    source text (see {!of_json}). {!format} omits it. *)
+
+type t = { pos : pos; v : value }
+
+and value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * pos * t) list
+      (** members as [(key, key position, value)], in source order *)
+
+val parse : string -> (t, pos * string) result
+(** Whole-input parse, same grammar and number semantics as
+    {!Json.parse}; the error carries the position where the lexer or
+    parser stopped. *)
+
+val of_json : Json.t -> t
+(** Lift a plain document; every node gets {!no_pos}. Lets one
+    positioned validator serve both surfaces — plain callers simply get
+    diagnostics without a location prefix. *)
+
+val strip : t -> Json.t
+(** Erase positions. [strip] after {!parse} agrees with {!Json.parse}
+    on every input (enforced by test). *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing field or non-object. *)
+
+val member_key_pos : string -> t -> pos option
+(** Position of the {e key} of a field, for "this field is the problem"
+    diagnostics. *)
+
+val keys : t -> (string * pos) list
+(** Keys of an object with their positions ([[]] for non-objects). *)
+
+val format : ?filename:string -> pos -> string -> string
+(** [format ~filename pos msg] is ["file:line:col: msg"], dropping the
+    [file:] part without [filename] and the whole prefix when [pos] is
+    {!no_pos} — so one error path serves positioned and plain input. *)

@@ -1,0 +1,271 @@
+(* Scenario compiler: positioned parse -> validate -> desugar. Each
+   phase appends to one diagnostics list (source order) so a malformed
+   file reports every independent problem at once. *)
+
+module Pjson = Obs.Pjson
+module Config = Mobile_network.Config
+
+type compiled = {
+  ast : Ast.t;
+  hash : string;
+  cells : Ast.cell list;
+  seed : int;
+  trials : int;
+}
+
+let total_runs c = List.length c.cells * c.trials
+
+(* Diagnostics accumulate with their positions; every reader returns
+   its default on error so later fields still get checked. [finish]
+   sorts by position, so a file's problems report in source order no
+   matter which phase (or record-field evaluation order) found them. *)
+type ctx = {
+  filename : string option;
+  mutable errs : (Pjson.pos * string) list;
+}
+
+let record ctx pos msg = ctx.errs <- (pos, msg) :: ctx.errs
+
+let diag ctx pos msg =
+  record ctx pos (Pjson.format ?filename:ctx.filename pos ("scenario: " ^ msg))
+
+let value_pos (j : Pjson.t) = j.Pjson.pos
+
+let known_fields =
+  [
+    "name"; "space"; "side"; "agents"; "radius"; "protocol"; "kernel";
+    "exchange"; "torus"; "seed"; "trials"; "max_steps"; "faults";
+  ]
+
+let read_string ctx name default j =
+  match (j : Pjson.t).Pjson.v with
+  | Pjson.String s -> s
+  | _ ->
+      diag ctx (value_pos j) (Printf.sprintf "%s must be a string" name);
+      default
+
+let read_bool ctx name default j =
+  match (j : Pjson.t).Pjson.v with
+  | Pjson.Bool b -> b
+  | _ ->
+      diag ctx (value_pos j) (Printf.sprintf "%s must be a boolean" name);
+      default
+
+let read_int ctx name default j =
+  match (j : Pjson.t).Pjson.v with
+  | Pjson.Int i -> i
+  | _ ->
+      diag ctx (value_pos j) (Printf.sprintf "%s must be an integer" name);
+      default
+
+(* An axis field: a scalar or a non-empty list of scalars. [read_one]
+   parses a single element (reporting at its own position). *)
+let read_axis ctx name default read_one (j : Pjson.t) =
+  match j.Pjson.v with
+  | Pjson.List [] ->
+      diag ctx (value_pos j) (Printf.sprintf "%s axis must not be empty" name);
+      default
+  | Pjson.List items ->
+      let vals = List.filter_map read_one items in
+      if List.length vals = List.length items then vals else default
+  | _ -> ( match read_one j with Some v -> [ v ] | None -> default)
+
+let int_elem ctx name (j : Pjson.t) =
+  match j.Pjson.v with
+  | Pjson.Int i -> Some i
+  | _ ->
+      diag ctx (value_pos j) (Printf.sprintf "%s must be an integer" name);
+      None
+
+let parsed_elem ctx name of_string (j : Pjson.t) =
+  match j.Pjson.v with
+  | Pjson.String s -> (
+      match of_string s with
+      | Ok v -> Some v
+      | Error msg -> diag ctx (value_pos j) msg; None)
+  | _ ->
+      diag ctx (value_pos j) (Printf.sprintf "%s must be a string" name);
+      None
+
+let parse_pjson ctx (j : Pjson.t) =
+  (match j.Pjson.v with
+  | Pjson.Assoc _ -> ()
+  | _ -> diag ctx (value_pos j) "a scenario file must be a JSON object");
+  List.iter
+    (fun (k, pos) ->
+      if not (List.mem k known_fields) then
+        diag ctx pos
+          (Printf.sprintf "unknown field %S (expected one of: %s)" k
+             (String.concat ", " known_fields)))
+    (Pjson.keys j);
+  let d = Ast.default in
+  let field name default read =
+    match Pjson.member name j with Some v -> read v | None -> default
+  in
+  {
+    Ast.name = field "name" d.Ast.name (read_string ctx "name" d.Ast.name);
+    space =
+      field "space" d.Ast.space (fun v ->
+          match parsed_elem ctx "space" Ast.space_of_string v with
+          | Some s -> s
+          | None -> d.Ast.space);
+    sides =
+      field "side" d.Ast.sides
+        (read_axis ctx "side" d.Ast.sides (int_elem ctx "side"));
+    agents =
+      field "agents" d.Ast.agents
+        (read_axis ctx "agents" d.Ast.agents (int_elem ctx "agents"));
+    radii =
+      field "radius" d.Ast.radii
+        (read_axis ctx "radius" d.Ast.radii (int_elem ctx "radius"));
+    protocols =
+      field "protocol" d.Ast.protocols
+        (read_axis ctx "protocol" d.Ast.protocols
+           (parsed_elem ctx "protocol" Ast.protocol_of_string));
+    kernels =
+      field "kernel" d.Ast.kernels
+        (read_axis ctx "kernel" d.Ast.kernels
+           (parsed_elem ctx "kernel" Ast.kernel_of_string));
+    exchange =
+      field "exchange" d.Ast.exchange (fun v ->
+          match parsed_elem ctx "exchange" Ast.exchange_of_string v with
+          | Some e -> e
+          | None -> d.Ast.exchange);
+    torus = field "torus" d.Ast.torus (read_bool ctx "torus" d.Ast.torus);
+    seed = field "seed" d.Ast.seed (read_int ctx "seed" d.Ast.seed);
+    trials = field "trials" d.Ast.trials (read_int ctx "trials" d.Ast.trials);
+    max_steps =
+      field "max_steps" d.Ast.max_steps (fun v ->
+          match v.Pjson.v with
+          | Pjson.Null -> None
+          | Pjson.Int i -> Some i
+          | _ ->
+              diag ctx (value_pos v) "max_steps must be an integer or null";
+              d.Ast.max_steps);
+    faults =
+      field "faults" d.Ast.faults (fun v ->
+          match Faults.Plan.of_pjson ?filename:ctx.filename v with
+          | Ok p -> p
+          | Error msg ->
+              (* already formatted with file:line:col by Faults *)
+              record ctx v.Pjson.pos msg;
+              d.Ast.faults);
+  }
+
+(* --- validation --------------------------------------------------------- *)
+
+(* [where] anchors a semantic diagnostic: the field's value position
+   when the field was written, else the top of the file. *)
+let validate_ast ctx (src : Pjson.t option) (ast : Ast.t) =
+  let where name =
+    match src with
+    | Some j -> (
+        match Pjson.member name j with
+        | Some v -> value_pos v
+        | None -> ( match j.Pjson.v with _ -> j.Pjson.pos))
+    | None -> Pjson.no_pos
+  in
+  let check_axis name vals ok msg =
+    if not (List.for_all ok vals) then diag ctx (where name) msg
+  in
+  check_axis "side" ast.Ast.sides (fun s -> s > 0) "side must be positive";
+  check_axis "agents" ast.Ast.agents (fun k -> k > 0)
+    "agents must be positive";
+  check_axis "radius" ast.Ast.radii (fun r -> r >= 0)
+    "radius must be non-negative";
+  if ast.Ast.trials < 1 then diag ctx (where "trials") "trials must be >= 1";
+  (match ast.Ast.max_steps with
+  | Some m when m <= 0 -> diag ctx (where "max_steps") "max_steps must be positive"
+  | Some _ | None -> ());
+  (match ast.Ast.space with
+  | Ast.Grid -> ()
+  | Ast.Continuum | Ast.Domain ->
+      let non_grid what = Printf.sprintf
+          "%s is grid-only: --space %s runs a plain broadcast (as on the CLI)"
+          what
+          (Ast.space_to_string ast.Ast.space)
+      in
+      (match ast.Ast.protocols with
+      | [ Mobile_network.Protocol.Broadcast ] -> ()
+      | _ -> diag ctx (where "protocol") (non_grid "protocol"));
+      (match ast.Ast.kernels with
+      | [ Walk.Lazy_one_fifth ] -> ()
+      | _ -> diag ctx (where "kernel") (non_grid "kernel"));
+      (match ast.Ast.exchange with
+      | Mobile_network.Config.Flood_component -> ()
+      | Mobile_network.Config.Single_hop ->
+          diag ctx (where "exchange") (non_grid "exchange"));
+      if ast.Ast.torus then diag ctx (where "torus") (non_grid "torus");
+      if not (Faults.Plan.is_empty ast.Ast.faults) then
+        diag ctx (where "faults") (non_grid "faults"));
+  (* per-cell engine validation (grid only): every desugared point must
+     be a configuration the engine accepts *)
+  if ctx.errs = [] then
+    match ast.Ast.space with
+    | Ast.Grid ->
+        List.iter
+          (fun (c : Ast.cell) ->
+            let cfg = Ast.cell_config c ~seed:ast.Ast.seed ~trial:0 in
+            match Config.validate cfg with
+            | Ok () -> ()
+            | Error msg ->
+                diag ctx
+                  (match src with Some j -> j.Pjson.pos | None -> Pjson.no_pos)
+                  (Printf.sprintf
+                     "cell (side=%d, agents=%d, radius=%d, protocol=%s): %s"
+                     c.Ast.c_side c.Ast.c_agents c.Ast.c_radius
+                     (Ast.protocol_to_string c.Ast.c_protocol)
+                     msg))
+          (Ast.cells ast)
+    | Ast.Continuum | Ast.Domain -> ()
+
+let finish ctx =
+  List.rev ctx.errs
+  |> List.stable_sort (fun ((a : Pjson.pos), _) (b, _) ->
+         match Int.compare a.Pjson.line b.Pjson.line with
+         | 0 -> Int.compare a.Pjson.col b.Pjson.col
+         | c -> c)
+  |> List.map snd
+
+(* --- entry points -------------------------------------------------------- *)
+
+let parse ?filename text =
+  let ctx = { filename; errs = [] } in
+  match Pjson.parse text with
+  | Error (pos, msg) ->
+      Error [ Pjson.format ?filename pos ("scenario: JSON parse error: " ^ msg) ]
+  | Ok j -> (
+      let ast = parse_pjson ctx j in
+      match finish ctx with [] -> Ok ast | errs -> Error errs)
+
+let desugar (ast : Ast.t) =
+  {
+    ast;
+    hash = Ast.hash ast;
+    cells = Ast.cells ast;
+    seed = ast.Ast.seed;
+    trials = ast.Ast.trials;
+  }
+
+let compile ?filename text =
+  let ctx = { filename; errs = [] } in
+  match Pjson.parse text with
+  | Error (pos, msg) ->
+      Error [ Pjson.format ?filename pos ("scenario: JSON parse error: " ^ msg) ]
+  | Ok j -> (
+      let ast = parse_pjson ctx j in
+      (* fields that failed to read hold their (valid) defaults, so the
+         semantic pass can always run and collect further diagnostics;
+         only the per-cell engine check inside gates on a clean slate *)
+      validate_ast ctx (Some j) ast;
+      match finish ctx with [] -> Ok (desugar ast) | errs -> Error errs)
+
+let validate ?filename text =
+  match compile ?filename text with
+  | Ok _ -> Ok ()
+  | Error errs -> Error errs
+
+let compile_ast ast =
+  let ctx = { filename = None; errs = [] } in
+  validate_ast ctx None ast;
+  match finish ctx with [] -> Ok (desugar ast) | errs -> Error errs

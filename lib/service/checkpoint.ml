@@ -1,0 +1,21 @@
+let pending_dir root = Filename.concat root "pending"
+
+let path root id = Filename.concat (pending_dir root) (id ^ ".json")
+
+let write ~root ~id ~text =
+  Store.write_atomic (path root id) text
+
+let remove ~root ~id =
+  try Sys.remove (path root id) with Sys_error _ -> ()
+
+let list_pending ~root =
+  let dir = pending_dir root in
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f ".json" then
+             Some (Filename.chop_suffix f ".json")
+           else None)
+    |> List.sort String.compare
+    |> List.map (fun id -> (id, Store.read_file (path root id)))

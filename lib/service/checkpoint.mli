@@ -1,0 +1,22 @@
+(** Crash-safe job checkpoints.
+
+    The daemon writes [<root>/pending/<id>.json] (the submitted
+    scenario text, verbatim) the moment it accepts a job, and removes
+    it only after the job's result artifact is fully written. A daemon
+    killed mid-sweep therefore restarts with the interrupted job still
+    on disk; {!Daemon.serve} replays every pending job before accepting
+    connections. Replay is cheap and byte-identical: cells the killed
+    run already finished come back out of the {!Store} cache, and the
+    artifact is re-assembled from the same cached bytes a clean run
+    would have produced. *)
+
+val write : root:string -> id:string -> text:string -> unit
+(** Atomically record a pending job (temp file + rename, like the
+    store). *)
+
+val remove : root:string -> id:string -> unit
+(** Forget a completed (or unparseable) job. Idempotent. *)
+
+val list_pending : root:string -> (string * string) list
+(** All pending jobs as [(id, text)], sorted by id — a deterministic
+    replay order regardless of directory enumeration order. *)

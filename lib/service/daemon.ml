@@ -1,0 +1,265 @@
+module Json = Obs.Json
+module Compile = Scenario.Compile
+
+type config = {
+  root : string;
+  socket_path : string;
+  jobs : int;
+}
+
+let default_root () =
+  match Sys.getenv_opt "MOBISIM_HOME" with
+  | Some d when not (String.equal d "") -> d
+  | Some _ | None -> Filename.concat (Sys.getcwd ()) ".mobisim"
+
+let default_socket ~root = Filename.concat root "daemon.sock"
+
+let artifact_path ~root ~hash =
+  Filename.concat (Filename.concat root "results") (hash ^ ".ndjson")
+
+(* --- wire helpers -------------------------------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+(* Read until the first newline (the request is one JSON line); tolerate
+   EOF without a newline. *)
+let read_line_fd fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n -> (
+        match Bytes.index_opt (Bytes.sub chunk 0 n) '\n' with
+        | Some i ->
+            Buffer.add_subbytes buf chunk 0 i;
+            Buffer.contents buf
+        | None ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ())
+  in
+  go ()
+
+let json_line j = Json.to_string j ^ "\n"
+
+let error_response errors =
+  json_line
+    (Json.Assoc
+       [
+         ("ok", Json.Bool false);
+         ("errors", Json.List (List.map (fun e -> Json.String e) errors));
+       ])
+
+(* --- request handling ---------------------------------------------------- *)
+
+type state = {
+  cfg : config;
+  store : Store.t;
+  pool : Runtime.Pool.t;
+  sink : Obs.Sink.t;
+  registry : Obs.Registry.t;
+  served : int ref;
+  mutable stop : bool;
+}
+
+let header_line (c : Compile.compiled) =
+  json_line
+    (Json.Assoc
+       [
+         ("ok", Json.Bool true);
+         ("hash", Json.String c.Compile.hash);
+         ("cells", Json.Int (List.length c.Compile.cells));
+         ("trials", Json.Int c.Compile.trials);
+         ("runs", Json.Int (Compile.total_runs c));
+       ])
+
+(* Run a compiled scenario to completion: checkpoint, sweep, persist
+   the artifact, clear the checkpoint. Returns the body. *)
+let execute ?on_progress st (text : string) (compiled : Compile.compiled) =
+  let root = st.cfg.root in
+  let id = compiled.Compile.hash in
+  Checkpoint.write ~root ~id ~text;
+  let body =
+    Runner.run ~metrics:st.sink ?on_progress ~pool:st.pool ~store:st.store
+      compiled
+  in
+  Store.write_atomic (artifact_path ~root ~hash:id) body;
+  Checkpoint.remove ~root ~id;
+  body
+
+let member_string name j =
+  match Json.member name j with
+  | Some (Json.String s) -> Some s
+  | Some _ | None -> None
+
+let member_true name j =
+  match Json.member name j with Some (Json.Bool b) -> b | Some _ | None -> false
+
+let handle_submit st client j =
+  match member_string "text" j with
+  | None -> write_all client (error_response [ "submit: missing \"text\"" ])
+  | Some text -> (
+      let filename = member_string "filename" j in
+      match Compile.compile ?filename text with
+      | Error errors -> write_all client (error_response errors)
+      | Ok compiled ->
+          let on_progress =
+            if member_true "progress" j then
+              Some
+                (fun ~done_ ~total ->
+                  write_all client
+                    (json_line
+                       (Json.Assoc
+                          [
+                            ( "progress",
+                              Json.Assoc
+                                [
+                                  ("done", Json.Int done_);
+                                  ("total", Json.Int total);
+                                ] );
+                          ])))
+            else None
+          in
+          let body = execute ?on_progress st text compiled in
+          incr st.served;
+          write_all client (header_line compiled ^ body))
+
+let handle_check client j =
+  match member_string "text" j with
+  | None -> write_all client (error_response [ "check: missing \"text\"" ])
+  | Some text -> (
+      let filename = member_string "filename" j in
+      match Compile.compile ?filename text with
+      | Error errors -> write_all client (error_response errors)
+      | Ok compiled -> write_all client (header_line compiled))
+
+let handle_health st client =
+  write_all client
+    (json_line
+       (Json.Assoc
+          [
+            ("ok", Json.Bool true);
+            ("jobs", Json.Int st.cfg.jobs);
+            ("served", Json.Int !(st.served));
+            ( "pending",
+              Json.Int (List.length (Checkpoint.list_pending ~root:st.cfg.root))
+            );
+          ]))
+
+let handle_metrics st client =
+  Runtime.Pool.publish_stats st.pool;
+  write_all client (Json.to_string (Obs.Snapshot.to_json st.registry) ^ "\n")
+
+let handle_request st client line =
+  match Json.parse line with
+  | Error msg -> write_all client (error_response [ "bad request: " ^ msg ])
+  | Ok j -> (
+      match member_string "op" j with
+      | Some "submit" -> handle_submit st client j
+      | Some "check" -> handle_check client j
+      | Some "health" -> handle_health st client
+      | Some "metrics" -> handle_metrics st client
+      | Some "shutdown" ->
+          st.stop <- true;
+          write_all client
+            (json_line
+               (Json.Assoc
+                  [ ("ok", Json.Bool true); ("shutdown", Json.Bool true) ]))
+      | Some op ->
+          write_all client (error_response [ Printf.sprintf "unknown op %S" op ])
+      | None -> write_all client (error_response [ "missing \"op\"" ]))
+
+(* --- server -------------------------------------------------------------- *)
+
+let say quiet fmt =
+  Printf.ksprintf
+    (fun s -> if not quiet then Printf.eprintf "mobisim-serve: %s\n%!" s)
+    fmt
+
+let replay_pending ~quiet st =
+  List.iter
+    (fun (id, text) ->
+      match Compile.compile text with
+      | Error errors ->
+          say quiet "dropping unparseable pending job %s (%s)" id
+            (String.concat "; " errors);
+          Checkpoint.remove ~root:st.cfg.root ~id
+      | Ok compiled ->
+          say quiet "resuming pending job %s (%d runs)" id
+            (Compile.total_runs compiled);
+          let (_ : string) = execute st text compiled in
+          ())
+    (Checkpoint.list_pending ~root:st.cfg.root)
+
+let serve ?(quiet = false) cfg =
+  (* a client that hangs up mid-response must not kill the daemon *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let registry = Obs.Registry.create () in
+  let sink = Obs.Sink.of_registry registry in
+  let store = Store.create ~metrics:sink ~root:cfg.root () in
+  let pool = Runtime.Pool.create ~jobs:cfg.jobs in
+  Runtime.Pool.set_metrics pool sink;
+  let st = { cfg; store; pool; sink; registry; served = ref 0; stop = false } in
+  replay_pending ~quiet st;
+  (* bind, replacing a stale socket file from a killed daemon *)
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+      Runtime.Pool.shutdown pool)
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX cfg.socket_path);
+      Unix.listen sock 8;
+      say quiet "listening on %s (root %s, jobs %d)" cfg.socket_path cfg.root
+        cfg.jobs;
+      while not st.stop do
+        let client, _ = Unix.accept sock in
+        (try handle_request st client (read_line_fd client) with
+        | Unix.Unix_error (e, _, _) ->
+            say quiet "client error: %s" (Unix.error_message e)
+        | Sys_error msg -> say quiet "client error: %s" msg);
+        try Unix.close client with Unix.Unix_error _ -> ()
+      done;
+      say quiet "shutting down")
+
+(* --- client -------------------------------------------------------------- *)
+
+module Client = struct
+  let read_all fd =
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 65536 in
+    let rec go () =
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Buffer.contents buf
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+    in
+    go ()
+
+  let request ~socket_path line =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        try Unix.close sock with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect sock (Unix.ADDR_UNIX socket_path) with
+        | () ->
+            write_all sock (line ^ "\n");
+            Unix.shutdown sock Unix.SHUTDOWN_SEND;
+            Ok (read_all sock)
+        | exception Unix.Unix_error (e, _, _) ->
+            Error
+              (Printf.sprintf "cannot reach daemon at %s: %s" socket_path
+                 (Unix.error_message e)))
+  end

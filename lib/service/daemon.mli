@@ -1,0 +1,66 @@
+(** The mobisim job daemon: an NDJSON request/response protocol over a
+    Unix-domain socket.
+
+    All socket and wire I/O in the repository lives in this library
+    (enforced by mobilint's [io] rule); front ends talk to a daemon only
+    through {!Client}.
+
+    {2 Protocol}
+
+    A connection carries one request — a single JSON line — and one
+    response — one or more JSON lines, then EOF. Requests:
+
+    - [{"op":"submit","text":"<scenario file bytes>"}] (optional
+      ["filename"], for diagnostics; optional ["progress":true] to
+      stream [{"progress":{"done":d,"total":n}}] lines while the sweep
+      runs). Response: a header
+      [{"ok":true,"hash":H,"cells":C,"trials":T,"runs":R}] followed by
+      one result line per run (the {!Runner} body). Without
+      ["progress"], a warm submit's response is byte-identical to the
+      cold one — the cache-correctness contract.
+    - [{"op":"check","text":...}]: compile only; [{"ok":true,...}]
+      header (no body) or [{"ok":false,"errors":[...]}].
+    - [{"op":"health"}]: [{"ok":true,"jobs":J,"served":N,"pending":P}].
+    - [{"op":"metrics"}]: one line, the compact {!Obs.Snapshot} of the
+      daemon's registry (cache hit/miss and cells-computed counters,
+      pool stats).
+    - [{"op":"shutdown"}]: acknowledge and exit the accept loop.
+
+    {2 Durability}
+
+    Every accepted submit is checkpointed ({!Checkpoint}) before it
+    runs and its body is persisted to [<root>/results/<hash>.ndjson]
+    (atomically) when it completes. On start the daemon replays pending
+    checkpoints before listening; a daemon killed mid-sweep thus
+    converges to the same artifact bytes as an uninterrupted one, with
+    already-cached cells not recomputed. *)
+
+type config = {
+  root : string;  (** service state directory (cache/pending/results) *)
+  socket_path : string;
+  jobs : int;  (** worker-pool size for sweep fan-out *)
+}
+
+val default_root : unit -> string
+(** [$MOBISIM_HOME] if set, else [.mobisim] in the current directory. *)
+
+val default_socket : root:string -> string
+(** [<root>/daemon.sock]. *)
+
+val artifact_path : root:string -> hash:string -> string
+(** [<root>/results/<hash>.ndjson]. *)
+
+val serve : ?quiet:bool -> config -> unit
+(** Run the daemon until a shutdown request: replay pending
+    checkpoints, bind the socket (replacing a stale socket file),
+    accept one connection at a time. [quiet] silences the stderr
+    status lines. *)
+
+(** Front-end side of the protocol. *)
+module Client : sig
+  val request :
+    socket_path:string -> string -> (string, string) result
+  (** Send one request line, return the raw response bytes (all lines,
+      as sent). [Error] describes a connect/IO failure, e.g. no daemon
+      listening. *)
+end

@@ -1,0 +1,161 @@
+module Json = Obs.Json
+module Ast = Scenario.Ast
+module Compile = Scenario.Compile
+
+let outcome_payload ~outcome ~steps ~informed ~covered =
+  Json.to_string
+    (Json.Assoc
+       [
+         ("outcome", Json.String outcome);
+         ("steps", Json.Int steps);
+         ("informed", Json.Int informed);
+         ("covered", Json.Int covered);
+       ])
+
+let run_payload (c : Ast.cell) ~seed ~trial =
+  match c.Ast.c_space with
+  | Ast.Grid ->
+      let report =
+        Mobile_network.Simulation.run_config (Ast.cell_config c ~seed ~trial)
+      in
+      outcome_payload
+        ~outcome:
+          (match report.Mobile_network.Simulation.outcome with
+          | Mobile_network.Simulation.Completed -> "completed"
+          | Mobile_network.Simulation.Timed_out -> "timed-out")
+        ~steps:report.Mobile_network.Simulation.steps
+        ~informed:report.Mobile_network.Simulation.informed
+        ~covered:report.Mobile_network.Simulation.covered
+  | Ast.Continuum ->
+      (* same derived parameters as `mobisim simulate --space continuum` *)
+      let radius = float_of_int c.Ast.c_radius in
+      let report =
+        Continuum.broadcast
+          {
+            Continuum.box_side = float_of_int c.Ast.c_side;
+            agents = c.Ast.c_agents;
+            radius;
+            sigma = (if radius > 0. then radius /. 4. else 1.0);
+            seed;
+            trial;
+            max_steps =
+              (match c.Ast.c_max_steps with Some m -> m | None -> 1_000_000);
+          }
+      in
+      outcome_payload
+        ~outcome:
+          (match report.Continuum.outcome with
+          | Continuum.Completed -> "completed"
+          | Continuum.Timed_out -> "timed-out")
+        ~steps:report.Continuum.steps ~informed:report.Continuum.informed
+        ~covered:0
+  | Ast.Domain ->
+      let side = c.Ast.c_side in
+      let report =
+        Barriers.Barrier_sim.broadcast
+          {
+            Barriers.Barrier_sim.domain =
+              Barriers.Domain.unobstructed (Grid.create ~side ());
+            agents = c.Ast.c_agents;
+            radius = c.Ast.c_radius;
+            los_blocking = false;
+            seed;
+            trial;
+            max_steps =
+              (match c.Ast.c_max_steps with
+              | Some m -> m
+              | None -> 100 * side * side);
+          }
+      in
+      outcome_payload
+        ~outcome:
+          (match report.Barriers.Barrier_sim.outcome with
+          | Barriers.Barrier_sim.Completed -> "completed"
+          | Barriers.Barrier_sim.Timed_out -> "timed-out")
+        ~steps:report.Barriers.Barrier_sim.steps
+        ~informed:report.Barriers.Barrier_sim.informed ~covered:0
+
+(* One run of the matrix: cell index, its hash, and the trial. *)
+type task = {
+  t_index : int;  (** position in the matrix, for progress accounting *)
+  t_cell_index : int;
+  t_cell : Ast.cell;
+  t_hash : string;
+  t_trial : int;
+}
+
+let matrix (compiled : Compile.compiled) =
+  let trials = compiled.Compile.trials in
+  List.concat
+    (List.mapi
+       (fun ci cell ->
+         let h = Ast.cell_hash cell in
+         List.init trials (fun trial ->
+             {
+               t_index = (ci * trials) + trial;
+               t_cell_index = ci;
+               t_cell = cell;
+               t_hash = h;
+               t_trial = trial;
+             }))
+       compiled.Compile.cells)
+
+let run ?(metrics = Obs.Sink.null) ?on_progress ~pool ~store compiled =
+  let seed = compiled.Compile.seed in
+  let computed =
+    Option.map
+      (fun r -> Obs.Registry.counter r "service.cells.computed")
+      (Obs.Sink.registry metrics)
+  in
+  let tasks = matrix compiled in
+  let total = List.length tasks in
+  let progress done_ =
+    match on_progress with
+    | Some f -> f ~done_ ~total
+    | None -> ()
+  in
+  (* Pass 1: one cache probe per run (so hits + misses = total). *)
+  let payloads = Array.make total None in
+  List.iter
+    (fun t ->
+      payloads.(t.t_index) <-
+        Store.get store ~hash:t.t_hash ~seed ~trial:t.t_trial)
+    tasks;
+  let missing =
+    List.filter (fun t -> Option.is_none payloads.(t.t_index)) tasks
+  in
+  let done_count = ref (total - List.length missing) in
+  if !done_count > 0 then progress !done_count;
+  (* Pass 2: compute the misses through the pool. Each result is
+     persisted from [on_result] — which fires in submission order, on
+     this domain, as soon as the ordered prefix completes — so a daemon
+     killed mid-sweep has already cached every finished prefix run and
+     checkpoint replay only recomputes the tail. *)
+  let missing_arr = Array.of_list missing in
+  let (_ : string list) =
+    Runtime.Pool.map pool
+      ~f:(fun _i t -> run_payload t.t_cell ~seed ~trial:t.t_trial)
+      ~on_result:(fun i payload ->
+        let t = missing_arr.(i) in
+        Option.iter Obs.Metric.Counter.incr computed;
+        Store.put store ~hash:t.t_hash ~seed ~trial:t.t_trial payload;
+        payloads.(t.t_index) <- Some payload;
+        incr done_count;
+        progress !done_count)
+      missing
+  in
+  (* Pass 3: assemble every line from the cached bytes. *)
+  let buf = Buffer.create (256 * total) in
+  List.iter
+    (fun t ->
+      let payload =
+        match payloads.(t.t_index) with Some b -> b | None -> assert false
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"cell\":%d,\"hash\":%s,\"seed\":%d,\"trial\":%d,\"result\":%s}\n"
+           t.t_cell_index
+           (Json.to_string (Json.String t.t_hash))
+           seed t.t_trial payload))
+    tasks;
+  Buffer.contents buf

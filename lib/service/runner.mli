@@ -1,0 +1,38 @@
+(** Executes a compiled scenario against the cache.
+
+    The run matrix is [cells × trials] in a fixed order (cells in
+    {!Scenario.Ast.cells} order, trials innermost). Each run is looked
+    up in the {!Store} first; only the misses are fanned out over the
+    {!Runtime.Pool} (in matrix order, so submission-order determinism
+    applies), cached, and then the full NDJSON body is assembled from
+    the cached bytes — one line per run:
+
+    {v {"cell":i,"hash":"<cell hash>","seed":s,"trial":t,"result":{...}} v}
+
+    Because every line embeds the stored payload verbatim, a warm
+    re-run returns exactly the bytes of the cold run, and the body is
+    independent of the pool's [--jobs] level.
+
+    With a recording sink on the store's registry the runner counts
+    [service.cells.computed] (engine runs actually executed, i.e. cache
+    misses that were materialised); a fully warm sweep leaves it
+    untouched — the smoke test's "no engine steps on a cache hit"
+    witness. *)
+
+val run :
+  ?metrics:Obs.Sink.t ->
+  ?on_progress:(done_:int -> total:int -> unit) ->
+  pool:Runtime.Pool.t ->
+  store:Store.t ->
+  Scenario.Compile.compiled ->
+  string
+(** The NDJSON body (newline-terminated). [on_progress] fires once per
+    run in matrix order: immediately for cache hits, on completion for
+    computed runs. [metrics] (default {!Obs.Sink.null}) receives
+    [service.cells.computed]. *)
+
+val run_payload : Scenario.Ast.cell -> seed:int -> trial:int -> string
+(** One engine run, rendered as the compact canonical payload
+    [{"outcome":...,"steps":...,"informed":...,"covered":...}]. This is
+    what the cache stores; exposed for direct (daemonless)
+    [mobisim simulate --scenario] execution and tests. *)

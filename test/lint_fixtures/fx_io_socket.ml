@@ -1,0 +1,2 @@
+(* expect: exactly one [io] finding — socket I/O outside lib/service *)
+let listen () = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0

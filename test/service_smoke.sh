@@ -1,0 +1,146 @@
+#!/bin/sh
+# End-to-end smoke for the mobisim service daemon. Two scenes:
+#
+#   1. cache: submit the same sweep twice to one daemon — responses must
+#      be byte-identical, and after the warm submit the metrics must show
+#      every run served from cache (cells.computed stays at the cold
+#      count, hits covers the whole resubmission).
+#
+#   2. crash: kill -9 the daemon mid-sweep, check a pending checkpoint
+#      and a partial cache were left behind, restart, and wait for the
+#      replayed job's artifact — it must be byte-identical to the same
+#      scenario swept by an uninterrupted daemon in a fresh root.
+#
+# Needs only the built binary: MOBISIM=... overrides the default path.
+set -eu
+
+BIN=${MOBISIM:-_build/default/bin/mobisim.exe}
+TMP=$(mktemp -d)
+PIDS=""
+
+cleanup() {
+  for p in $PIDS; do kill -9 "$p" 2>/dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "service_smoke: FAIL: $1" >&2
+  exit 1
+}
+
+wait_health() { # root socket
+  i=0
+  until "$BIN" serve-health --root "$1" --socket "$2" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 200 ] && fail "daemon on $2 never became healthy"
+    sleep 0.05
+  done
+}
+
+metric() { # root socket name -> value (0 when absent)
+  "$BIN" serve-metrics --root "$1" --socket "$2" \
+    | grep -o "\"$3\":[0-9]*" | head -n1 | cut -d: -f2 || true
+}
+
+cache_entries() { # root
+  find "$1/cache" -name '*.json' 2>/dev/null | wc -l
+}
+
+# --- scene 1: double submit is cache-served and byte-identical ----------
+
+cat > "$TMP/sweep.json" <<'EOF'
+{"side": 16, "agents": 8, "protocol": ["broadcast", "gossip"],
+ "trials": 2, "seed": 7}
+EOF
+RUNS=4
+
+ROOT_A=$TMP/a
+SOCK_A=$TMP/a.sock
+"$BIN" serve --quiet --root "$ROOT_A" --socket "$SOCK_A" --jobs 2 &
+PIDS="$PIDS $!"
+wait_health "$ROOT_A" "$SOCK_A"
+
+"$BIN" submit "$TMP/sweep.json" --root "$ROOT_A" --socket "$SOCK_A" \
+  > "$TMP/cold.out"
+"$BIN" submit "$TMP/sweep.json" --root "$ROOT_A" --socket "$SOCK_A" \
+  > "$TMP/warm.out"
+cmp -s "$TMP/cold.out" "$TMP/warm.out" \
+  || fail "cold and warm submissions differ"
+
+computed=$(metric "$ROOT_A" "$SOCK_A" service.cells.computed)
+hits=$(metric "$ROOT_A" "$SOCK_A" service.cache.hits)
+[ "${computed:-0}" -eq "$RUNS" ] \
+  || fail "expected $RUNS computed runs after both submits, got '$computed'"
+[ "${hits:-0}" -eq "$RUNS" ] \
+  || fail "warm submit should hit the cache $RUNS times, got '$hits'"
+
+"$BIN" serve-stop --root "$ROOT_A" --socket "$SOCK_A" > /dev/null
+echo "service_smoke: cache scene ok (runs=$RUNS, warm hits=$hits)"
+
+# --- scene 2: kill -9 mid-sweep, resume byte-identically ----------------
+
+# one slow cell, many trials: the sweep takes long enough that the
+# partial-cache window after the first finished run is easy to hit
+cat > "$TMP/slow.json" <<'EOF'
+{"side": 192, "agents": 8, "trials": 8, "seed": 11}
+EOF
+SLOW_RUNS=8
+
+ROOT_B=$TMP/b
+SOCK_B=$TMP/b.sock
+"$BIN" serve --quiet --root "$ROOT_B" --socket "$SOCK_B" --jobs 2 &
+DAEMON_B=$!
+PIDS="$PIDS $DAEMON_B"
+wait_health "$ROOT_B" "$SOCK_B"
+
+"$BIN" submit "$TMP/slow.json" --root "$ROOT_B" --socket "$SOCK_B" \
+  > /dev/null 2>&1 &
+PIDS="$PIDS $!"
+
+i=0
+while [ "$(cache_entries "$ROOT_B")" -lt 1 ]; do
+  i=$((i + 1))
+  [ "$i" -gt 3000 ] && fail "no cache entry ever appeared in the slow sweep"
+  sleep 0.02
+done
+kill -9 "$DAEMON_B"
+wait "$DAEMON_B" 2>/dev/null || true
+
+partial=$(cache_entries "$ROOT_B")
+[ "$partial" -lt "$SLOW_RUNS" ] \
+  || fail "sweep finished before the kill; pick a slower scenario"
+pending=$(find "$ROOT_B/pending" -name '*.json' | wc -l)
+[ "$pending" -eq 1 ] \
+  || fail "expected exactly one pending checkpoint after the kill, got $pending"
+[ -z "$(find "$ROOT_B/results" -name '*.ndjson' 2>/dev/null)" ] \
+  || fail "artifact exists even though the sweep was killed"
+
+"$BIN" serve --quiet --root "$ROOT_B" --socket "$SOCK_B" --jobs 2 &
+PIDS="$PIDS $!"
+wait_health "$ROOT_B" "$SOCK_B"
+
+i=0
+while [ "$(find "$ROOT_B/pending" -name '*.json' | wc -l)" -gt 0 ]; do
+  i=$((i + 1))
+  [ "$i" -gt 6000 ] && fail "replayed job never finished"
+  sleep 0.05
+done
+ARTIFACT_B=$(find "$ROOT_B/results" -name '*.ndjson')
+[ -n "$ARTIFACT_B" ] || fail "no artifact after the replayed job finished"
+
+ROOT_C=$TMP/c
+SOCK_C=$TMP/c.sock
+"$BIN" serve --quiet --root "$ROOT_C" --socket "$SOCK_C" --jobs 2 &
+PIDS="$PIDS $!"
+wait_health "$ROOT_C" "$SOCK_C"
+"$BIN" submit "$TMP/slow.json" --root "$ROOT_C" --socket "$SOCK_C" > /dev/null
+ARTIFACT_C=$(find "$ROOT_C/results" -name '*.ndjson')
+
+cmp -s "$ARTIFACT_B" "$ARTIFACT_C" \
+  || fail "resumed artifact differs from the uninterrupted run"
+
+"$BIN" serve-stop --root "$ROOT_B" --socket "$SOCK_B" > /dev/null
+"$BIN" serve-stop --root "$ROOT_C" --socket "$SOCK_C" > /dev/null
+echo "service_smoke: crash scene ok (cached at kill: $partial/$SLOW_RUNS)"
+echo "service_smoke: OK"

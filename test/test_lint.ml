@@ -43,6 +43,7 @@ let fixtures =
     ("fx_cmp_float_sort", "poly-compare");
     ("fx_cmp_tuple", "poly-compare");
     ("fx_cmp_closure", "poly-compare");
+    ("fx_io_socket", "io");
   ]
 
 let test_fixture_diagnostics () =

@@ -1,0 +1,188 @@
+(* Service-layer suite: store round-trip and counters, runner
+   cache-correctness (cold = warm = any --jobs, bytes included),
+   partial-cache resume, and checkpoint bookkeeping. Everything runs
+   in-process against temp directories — the socket daemon itself is
+   exercised end-to-end by test/service_smoke.sh. *)
+
+module Compile = Scenario.Compile
+module Store = Service.Store
+module Checkpoint = Service.Checkpoint
+module Runner = Service.Runner
+
+let with_temp_dir fn =
+  let root = Filename.temp_file "mobisim_service" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote root)))
+    (fun () -> fn root)
+
+let compile_exn text =
+  match Compile.compile text with
+  | Ok c -> c
+  | Error errs -> Alcotest.failf "compile failed: %s" (String.concat "; " errs)
+
+let sweep_text =
+  {|{"side": 12, "agents": 6, "protocol": ["broadcast", "gossip"],
+     "trials": 2, "seed": 3}|}
+
+let run_fresh ~jobs ?metrics text =
+  with_temp_dir (fun root ->
+      let store = Store.create ?metrics ~root () in
+      Runtime.Pool.with_pool ~jobs (fun pool ->
+          Runner.run ?metrics ~pool ~store (compile_exn text)))
+
+(* ---- store -------------------------------------------------------------- *)
+
+let test_store_roundtrip () =
+  with_temp_dir (fun root ->
+      let store = Store.create ~root () in
+      Alcotest.(check (option string))
+        "miss before put" None
+        (Store.get store ~hash:"aaaa" ~seed:1 ~trial:0);
+      Store.put store ~hash:"aaaa" ~seed:1 ~trial:0 "{\"x\":1}";
+      Alcotest.(check (option string))
+        "hit after put" (Some "{\"x\":1}")
+        (Store.get store ~hash:"aaaa" ~seed:1 ~trial:0);
+      Alcotest.(check (option string))
+        "distinct trial is a distinct key" None
+        (Store.get store ~hash:"aaaa" ~seed:1 ~trial:1);
+      Alcotest.(check int) "2 misses" 2 (Store.misses store);
+      Alcotest.(check int) "1 hit" 1 (Store.hits store))
+
+let test_store_counters_in_registry () =
+  with_temp_dir (fun root ->
+      let reg = Obs.Registry.create () in
+      let store = Store.create ~metrics:(Obs.Sink.of_registry reg) ~root () in
+      ignore (Store.get store ~hash:"h" ~seed:0 ~trial:0);
+      Store.put store ~hash:"h" ~seed:0 ~trial:0 "p";
+      ignore (Store.get store ~hash:"h" ~seed:0 ~trial:0);
+      let counter name =
+        Obs.Metric.Counter.value (Obs.Registry.counter reg name)
+      in
+      Alcotest.(check int) "hits counter" 1 (counter "service.cache.hits");
+      Alcotest.(check int) "misses counter" 1 (counter "service.cache.misses"))
+
+(* ---- runner ------------------------------------------------------------- *)
+
+let test_runner_jobs_independent () =
+  let b1 = run_fresh ~jobs:1 sweep_text in
+  let b2 = run_fresh ~jobs:2 sweep_text in
+  Alcotest.(check string) "jobs=1 and jobs=2 bodies byte-identical" b1 b2
+
+let test_runner_warm_cache () =
+  with_temp_dir (fun root ->
+      let reg = Obs.Registry.create () in
+      let metrics = Obs.Sink.of_registry reg in
+      let store = Store.create ~metrics ~root () in
+      let compiled = compile_exn sweep_text in
+      let computed () =
+        Obs.Metric.Counter.value
+          (Obs.Registry.counter reg "service.cells.computed")
+      in
+      Runtime.Pool.with_pool ~jobs:2 (fun pool ->
+          let cold = Runner.run ~metrics ~pool ~store compiled in
+          let after_cold = computed () in
+          Alcotest.(check int) "cold run computed every run"
+            (Compile.total_runs compiled) after_cold;
+          let warm = Runner.run ~metrics ~pool ~store compiled in
+          Alcotest.(check string) "warm body byte-identical to cold" cold warm;
+          Alcotest.(check int) "warm run computed nothing" after_cold
+            (computed ())))
+
+let test_runner_partial_cache_resume () =
+  (* a trials=1 run pre-populates every cell's trial-0 entry; the full
+     trials=2 run over the same store must still produce exactly the
+     bytes of an uninterrupted run — the checkpoint-replay property *)
+  let full_fresh = run_fresh ~jobs:2 sweep_text in
+  with_temp_dir (fun root ->
+      let store = Store.create ~root () in
+      let half =
+        compile_exn
+          {|{"side": 12, "agents": 6, "protocol": ["broadcast", "gossip"],
+             "trials": 1, "seed": 3}|}
+      in
+      Runtime.Pool.with_pool ~jobs:2 (fun pool ->
+          let (_ : string) = Runner.run ~pool ~store half in
+          let resumed = Runner.run ~pool ~store (compile_exn sweep_text) in
+          Alcotest.(check string)
+            "resume over a partial cache = uninterrupted run" full_fresh
+            resumed;
+          Alcotest.(check int)
+            "the pre-populated trial-0 entries were reused" 2
+            (Store.hits store)))
+
+let test_runner_progress_order () =
+  with_temp_dir (fun root ->
+      let store = Store.create ~root () in
+      let compiled = compile_exn sweep_text in
+      let seen = ref [] in
+      Runtime.Pool.with_pool ~jobs:2 (fun pool ->
+          let (_ : string) =
+            Runner.run
+              ~on_progress:(fun ~done_ ~total -> seen := (done_, total) :: !seen)
+              ~pool ~store compiled
+          in
+          ());
+      let total = Compile.total_runs compiled in
+      Alcotest.(check (list (pair int int)))
+        "progress counts every run once, in order"
+        (List.init total (fun i -> (i + 1, total)))
+        (List.rev !seen))
+
+let test_run_payload_deterministic () =
+  let compiled = compile_exn sweep_text in
+  let cell = List.hd compiled.Compile.cells in
+  Alcotest.(check string)
+    "same (cell, seed, trial) twice gives identical payloads"
+    (Runner.run_payload cell ~seed:3 ~trial:1)
+    (Runner.run_payload cell ~seed:3 ~trial:1)
+
+(* ---- checkpoints -------------------------------------------------------- *)
+
+let test_checkpoint_lifecycle () =
+  with_temp_dir (fun root ->
+      Alcotest.(check int)
+        "empty root has no pending jobs" 0
+        (List.length (Checkpoint.list_pending ~root));
+      Checkpoint.write ~root ~id:"bbb" ~text:"{\"agents\": 2}";
+      Checkpoint.write ~root ~id:"aaa" ~text:"{}";
+      Alcotest.(check (list (pair string string)))
+        "pending jobs listed sorted by id"
+        [ ("aaa", "{}"); ("bbb", "{\"agents\": 2}") ]
+        (Checkpoint.list_pending ~root);
+      Checkpoint.remove ~root ~id:"aaa";
+      Checkpoint.remove ~root ~id:"aaa";
+      Alcotest.(check (list (pair string string)))
+        "remove is idempotent"
+        [ ("bbb", "{\"agents\": 2}") ]
+        (Checkpoint.list_pending ~root))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "round-trip and counters" `Quick
+            test_store_roundtrip;
+          Alcotest.test_case "registry counters" `Quick
+            test_store_counters_in_registry;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "jobs-independent bytes" `Quick
+            test_runner_jobs_independent;
+          Alcotest.test_case "warm cache byte-identical, no recompute" `Quick
+            test_runner_warm_cache;
+          Alcotest.test_case "partial-cache resume" `Quick
+            test_runner_partial_cache_resume;
+          Alcotest.test_case "progress ordering" `Quick
+            test_runner_progress_order;
+          Alcotest.test_case "payload determinism" `Quick
+            test_run_payload_deterministic;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_checkpoint_lifecycle;
+        ] );
+    ]
