@@ -21,7 +21,11 @@ test:
 # loss + churn plan through --faults end to end, then asserts the
 # fault sweep F1 is byte-identical at --jobs 1 and --jobs 2 (fault
 # draws live in their own streams, so worker count can never leak into
-# results). The service smoke drives the job daemon over its socket:
+# results). The big-k smoke exercises the SoA/Morton/incremental data
+# plane at population scale (65536 agents, step-capped) with a metrics
+# snapshot the obs parser accepts, and asserts --full-rebuild is
+# output-identical to the incremental default. The service smoke
+# drives the job daemon over its socket:
 # double-submit byte-identity with cache-served metrics, then kill -9
 # mid-sweep and a byte-identical checkpoint resume. The lint gate keeps
 # the determinism/concurrency/io/poly-compare/layering invariants
@@ -41,6 +45,11 @@ check:
 	dune exec bin/mobisim.exe -- exp F1 --quick --jobs 1 > /tmp/mobisim-faults-j1.out
 	dune exec bin/mobisim.exe -- exp F1 --quick --jobs 2 > /tmp/mobisim-faults-j2.out
 	cmp /tmp/mobisim-faults-j1.out /tmp/mobisim-faults-j2.out
+	dune exec bin/mobisim.exe -- simulate --side 1024 -k 65536 -r 0 --max-steps 100 --metrics /tmp/mobisim-bigk.json
+	dune exec bin/mobisim.exe -- validate-metrics /tmp/mobisim-bigk.json
+	dune exec bin/mobisim.exe -- simulate --side 64 -k 64 -r 0 --seed 7 > /tmp/mobisim-inc.out
+	dune exec bin/mobisim.exe -- simulate --side 64 -k 64 -r 0 --seed 7 --full-rebuild > /tmp/mobisim-fullrb.out
+	cmp /tmp/mobisim-inc.out /tmp/mobisim-fullrb.out
 	sh test/service_smoke.sh
 
 bench:
@@ -60,10 +69,10 @@ lint:
 	dune exec bin/mobilint.exe -- --validate /tmp/mobilint.json
 
 # Machine-readable perf trajectory: one {probe -> ns/step, words/step}
-# JSON per PR, pinned at the repo root (BENCH_PR7.json for this PR).
+# JSON per PR, pinned at the repo root (BENCH_PR8.json for this PR).
 # Compare two with `mobisim bench-check OLD NEW`.
 bench-json:
-	dune exec bench/perf_probe.exe -- --json BENCH_PR7.json
+	dune exec bench/perf_probe.exe -- --json BENCH_PR8.json
 
 clean:
 	dune clean

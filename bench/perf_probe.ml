@@ -94,6 +94,20 @@ let () =
       (Simulation.run_config
          (Config.make ~side:64 ~agents:64 ~radius:8 ~seed:7 ~max_steps:2000 ()))
         .Simulation.steps);
+  (* large-k data-plane probes: SoA positions + Morton index +
+     incremental components at population scale. Broadcast cannot finish
+     in 100 steps at these sizes; the probe measures steady-state
+     step cost, not completion. *)
+  time_alloc ~label:"core broadcast side=1024 k=65536 r=0" ~reps:3 (fun () ->
+      (Simulation.run_config
+         (Config.make ~side:1024 ~agents:65536 ~radius:0 ~seed:7
+            ~max_steps:100 ()))
+        .Simulation.steps);
+  time_alloc ~label:"core broadcast side=512 k=100000 r=0" ~reps:3 (fun () ->
+      (Simulation.run_config
+         (Config.make ~side:512 ~agents:100000 ~radius:0 ~seed:7
+            ~max_steps:100 ()))
+        .Simulation.steps);
   (* gossip flood: per-step shared-set table churn *)
   time_alloc ~label:"gossip flood side=32 k=64 r=2" ~reps:10 (fun () ->
       (Simulation.run_config

@@ -322,9 +322,9 @@ let space_arg =
      side x side box, r and sigma = r/4 in continuous units) or domain \
      (an unobstructed barrier domain). Non-grid spaces run a plain \
      broadcast; the grid-only flags \
-     --protocol/--kernel/--torus/--trace/--render/--trace-out and the \
-     fault flags --faults/--loss-p/--outage/--churn are ignored there \
-     (with a warning on stderr if one was set)."
+     --protocol/--kernel/--torus/--trace/--render/--trace-out/--full-rebuild \
+     and the fault flags --faults/--loss-p/--outage/--churn are ignored \
+     there (with a warning on stderr if one was set)."
   in
   Arg.(value & opt space_conv `Grid & info [ "space" ] ~docv:"SPACE" ~doc)
 
@@ -333,7 +333,7 @@ let space_arg =
    comparison with the flag's default, so re-stating a default (e.g. an
    explicit `--trace 0`) goes unnoticed — fine for a warning. *)
 let warn_ignored_flags ~space ~protocol ~kernel ~torus ~trace ~render
-    ~trace_out ~faults_file ~loss_p ~outage ~churn =
+    ~trace_out ~full_rebuild ~faults_file ~loss_p ~outage ~churn =
   let ignored =
     List.filter_map
       (fun (set, flag) -> if set then Some flag else None)
@@ -344,6 +344,7 @@ let warn_ignored_flags ~space ~protocol ~kernel ~torus ~trace ~render
         (trace > 0, "--trace");
         (render > 0, "--render");
         (trace_out <> None, "--trace-out");
+        (full_rebuild, "--full-rebuild");
         (faults_file <> None, "--faults");
         (loss_p <> None, "--loss-p");
         (outage <> None, "--outage");
@@ -407,7 +408,7 @@ let run_simulate_domain side agents radius seed trial max_steps metrics
   finish_metrics ()
 
 let run_simulate_grid side agents radius protocol kernel seed trial max_steps
-    trace render torus trace_out metrics trace_events faults =
+    trace render torus trace_out metrics trace_events faults full_rebuild =
   let cfg =
     Config.make ~torus ~side ~agents ~radius ~protocol ~kernel ~seed ~trial
       ?max_steps ~faults ()
@@ -436,7 +437,10 @@ let run_simulate_grid side agents radius protocol kernel seed trial max_steps
         if render > 0 && Simulation.time sim mod render = 0 then
           print_string (Render.frame sim)
       in
-      let report = as_pool_job (fun () -> Simulation.run_config ~on_step cfg) in
+      let report =
+        as_pool_job (fun () ->
+            Simulation.run_config ~on_step ~full_rebuild cfg)
+      in
       (match report.Simulation.outcome with
       | Simulation.Completed ->
           Printf.printf "completed in %d steps\n" report.Simulation.steps
@@ -462,8 +466,8 @@ let run_simulate_grid side agents radius protocol kernel seed trial max_steps
    file pins every semantic parameter, so a conflicting flag on the same
    command line would be dropped silently without this. *)
 let warn_scenario_conflicts ~space ~side ~agents ~radius ~protocol ~kernel
-    ~seed ~trial ~max_steps ~trace ~render ~torus ~trace_out ~faults_file
-    ~loss_p ~outage ~churn =
+    ~seed ~trial ~max_steps ~trace ~render ~torus ~trace_out ~full_rebuild
+    ~faults_file ~loss_p ~outage ~churn =
   let ignored =
     List.filter_map
       (fun (set, flag) -> if set then Some flag else None)
@@ -481,6 +485,7 @@ let warn_scenario_conflicts ~space ~side ~agents ~radius ~protocol ~kernel
         (render > 0, "--render");
         (torus, "--torus");
         (trace_out <> None, "--trace-out");
+        (full_rebuild, "--full-rebuild");
         (faults_file <> None, "--faults");
         (loss_p <> None, "--loss-p");
         (outage <> None, "--outage");
@@ -535,24 +540,25 @@ let run_simulate_scenario path metrics trace_events =
           exit 2)
 
 let run_simulate scenario space side agents radius protocol kernel seed trial
-    max_steps trace render torus trace_out metrics trace_events faults_file
-    loss_p outage churn =
+    max_steps trace render torus trace_out full_rebuild metrics trace_events
+    faults_file loss_p outage churn =
   match scenario with
   | Some path ->
       warn_scenario_conflicts ~space ~side ~agents ~radius ~protocol ~kernel
-        ~seed ~trial ~max_steps ~trace ~render ~torus ~trace_out ~faults_file
-        ~loss_p ~outage ~churn;
+        ~seed ~trial ~max_steps ~trace ~render ~torus ~trace_out ~full_rebuild
+        ~faults_file ~loss_p ~outage ~churn;
       run_simulate_scenario path metrics trace_events
   | None -> (
       let warn space =
         warn_ignored_flags ~space ~protocol ~kernel ~torus ~trace ~render
-          ~trace_out ~faults_file ~loss_p ~outage ~churn
+          ~trace_out ~full_rebuild ~faults_file ~loss_p ~outage ~churn
       in
       match space with
       | `Grid ->
           let faults = load_fault_plan faults_file loss_p outage churn in
           run_simulate_grid side agents radius protocol kernel seed trial
             max_steps trace render torus trace_out metrics trace_events faults
+            full_rebuild
       | `Continuum ->
           warn "continuum";
           run_simulate_continuum side agents radius seed trial max_steps metrics
@@ -575,6 +581,17 @@ let simulate_cmd =
     let doc = "Write the run's per-step metrics as JSONL to $(docv)." in
     Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
   in
+  let full_rebuild =
+    let doc =
+      "Disable the incremental component-maintenance fast path: rebuild \
+       the visibility-graph components from scratch every step (the \
+       reference behaviour the incremental path is tested against). \
+       Results are byte-identical either way; the flag only trades speed \
+       for simplicity, which is why it is not part of the configuration \
+       or scenario hash."
+    in
+    Arg.(value & flag & info [ "full-rebuild" ] ~doc)
+  in
   let scenario =
     let doc =
       "Run the single-cell scenario file $(docv) instead of the flag-built \
@@ -592,7 +609,7 @@ let simulate_cmd =
       const run_simulate $ scenario $ space_arg $ side_arg $ agents_arg
       $ radius_arg
       $ protocol_arg $ kernel_arg $ seed_arg $ trial_arg $ max_steps_arg
-      $ trace $ render $ torus_arg $ trace_out $ metrics_arg
+      $ trace $ render $ torus_arg $ trace_out $ full_rebuild $ metrics_arg
       $ trace_events_arg $ faults_file_arg $ loss_p_arg $ outage_arg
       $ churn_arg)
   in
@@ -976,26 +993,47 @@ let bench_number field probe json =
       Printf.eprintf "INVALID bench probe %S: missing numeric %S\n" probe field;
       exit 1
 
-let run_bench_check old_path new_path threshold report_only =
+(* Allocation gating needs an absolute slack on top of the percentage:
+   the steady-state probes sit at a couple of words/step, where a
+   harmless 2-word wobble is a three-digit percentage. A probe only
+   counts as an allocation regression when it exceeds the baseline by
+   the percentage threshold AND by more than this many words/step. *)
+let alloc_slack_words = 8.
+
+let run_bench_check old_path new_path threshold alloc_threshold report_only =
   let old_probes = read_bench_file old_path
   and new_probes = read_bench_file new_path in
   let regressions = ref [] in
-  Printf.printf "%-40s %12s %12s %9s\n" "probe" "old ns/step" "new ns/step"
-    "delta";
+  Printf.printf "%-40s %12s %12s %9s %11s %11s\n" "probe" "old ns/step"
+    "new ns/step" "delta" "old w/step" "new w/step";
   List.iter
     (fun (probe, nv) ->
       let ns_new = bench_number "ns_per_step" probe nv in
+      let ws_new = bench_number "minor_words_per_step" probe nv in
       match List.assoc_opt probe old_probes with
-      | None -> Printf.printf "%-40s %12s %12.1f %9s\n" probe "-" ns_new "new"
+      | None ->
+          Printf.printf "%-40s %12s %12.1f %9s %11s %11.1f\n" probe "-" ns_new
+            "new" "-" ws_new
       | Some ov ->
           let ns_old = bench_number "ns_per_step" probe ov in
+          let ws_old = bench_number "minor_words_per_step" probe ov in
           let delta =
             if ns_old > 0. then (ns_new -. ns_old) /. ns_old *. 100. else 0.
           in
-          if delta > threshold then regressions := probe :: !regressions;
-          Printf.printf "%-40s %12.1f %12.1f %+8.1f%%%s\n" probe ns_old ns_new
-            delta
-            (if delta > threshold then "  REGRESSION" else ""))
+          let time_regressed = delta > threshold in
+          let alloc_regressed =
+            match alloc_threshold with
+            | None -> false
+            | Some pct ->
+                ws_new -. ws_old > alloc_slack_words
+                && ws_new > ws_old *. (1. +. (pct /. 100.))
+          in
+          if time_regressed || alloc_regressed then
+            regressions := probe :: !regressions;
+          Printf.printf "%-40s %12.1f %12.1f %+8.1f%% %11.1f %11.1f%s%s\n"
+            probe ns_old ns_new delta ws_old ws_new
+            (if time_regressed then "  REGRESSION" else "")
+            (if alloc_regressed then "  ALLOC-REGRESSION" else ""))
     new_probes;
   List.iter
     (fun (probe, _) ->
@@ -1023,6 +1061,18 @@ let bench_check_cmd =
     let doc = "Fail when a probe's ns/step grows by more than $(docv)%." in
     Arg.(value & opt float 25.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
   in
+  let alloc_threshold =
+    let doc =
+      "Also fail when a probe's minor_words_per_step grows by more than \
+       $(docv)% over the baseline (and by more than 8 words/step in \
+       absolute terms, so near-zero probes don't trip on noise). Off by \
+       default."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "alloc-threshold" ] ~docv:"PCT" ~doc)
+  in
   let report_only =
     let doc = "Print the comparison but always exit 0 (CI advisory mode)." in
     Arg.(value & flag & info [ "report-only" ] ~doc)
@@ -1031,9 +1081,10 @@ let bench_check_cmd =
     (Cmd.info "bench-check"
        ~doc:
          "Compare two perf-trajectory files from 'make bench-json' and fail \
-          on ns/step regressions.")
+          on ns/step or allocation regressions.")
     Term.(
-      const run_bench_check $ old_path $ new_path $ threshold $ report_only)
+      const run_bench_check $ old_path $ new_path $ threshold
+      $ alloc_threshold $ report_only)
 
 (* --- theory ----------------------------------------------------------------- *)
 

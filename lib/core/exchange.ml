@@ -65,13 +65,19 @@ let scratch_set t slots i =
    fully informed. Two passes over agents with a root-flag scratch
    array. *)
 let flood_single t ~dsu =
+  (* unchecked accesses: i < population = length of both arrays, and
+     [Dsu.find] returns a validated element id *)
   Array.fill t.root_informed 0 t.population false;
   for i = 0 to t.population - 1 do
-    if t.informed.(i) then t.root_informed.(Dsu.find dsu i) <- true
+    if Array.unsafe_get t.informed i then
+      Array.unsafe_set t.root_informed (Dsu.find dsu i) true
   done;
   for i = 0 to t.population - 1 do
-    if (not t.informed.(i)) && t.root_informed.(Dsu.find dsu i) then begin
-      t.informed.(i) <- true;
+    if
+      (not (Array.unsafe_get t.informed i))
+      && Array.unsafe_get t.root_informed (Dsu.find dsu i)
+    then begin
+      Array.unsafe_set t.informed i true;
       t.informed_count <- t.informed_count + 1
     end
   done

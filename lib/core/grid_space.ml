@@ -1,19 +1,49 @@
+(* The paper's grid space on the structure-of-arrays data plane:
+   positions live in two int32 Bigarray coordinate vectors, walk kernels
+   mutate them in place ([Walk.step_inplace]), and the spatial index is
+   fed through [Spatial.rebuild_soa] — the whole move/index/observe
+   steady state allocates nothing. At radius 0 with no presence mask the
+   index reports membership deltas, which the engine uses to reconcile
+   connected components incrementally instead of rebuilding them. *)
+
 type t = {
   grid : Grid.t;
   kernel : Walk.kernel;
   spatial : Spatial.t;
+  incremental : bool;
 }
 
-type pos = Grid.node array
+type pos = {
+  side : int;
+  xs : Walk.vec;
+  ys : Walk.vec;
+}
 
-let create grid ~kernel ~radius =
-  { grid; kernel; spatial = Spatial.create grid ~radius }
+let create ?(incremental = true) grid ~kernel ~radius =
+  { grid; kernel; spatial = Spatial.create grid ~radius; incremental }
 
 let grid t = t.grid
 
 let kernel t = t.kernel
 
-let init_positions t rng ~n = Array.init n (fun _ -> Grid.random_node t.grid rng)
+let vget (v : Walk.vec) i = Int32.to_int (Bigarray.Array1.unsafe_get v i)
+
+let agents pos = Bigarray.Array1.dim pos.xs
+
+let node_at pos i = (vget pos.ys i * pos.side) + vget pos.xs i
+
+let init_positions t rng ~n =
+  let side = Grid.side t.grid in
+  let xs = Bigarray.Array1.create Bigarray.Int32 Bigarray.C_layout n in
+  let ys = Bigarray.Array1.create Bigarray.Int32 Bigarray.C_layout n in
+  (* same draws in the same (increasing agent) order as the historical
+     [Array.init n (fun _ -> Grid.random_node ...)] placement *)
+  for i = 0 to n - 1 do
+    let v = Grid.random_node t.grid rng in
+    Bigarray.Array1.set xs i (Int32.of_int (v mod side));
+    Bigarray.Array1.set ys i (Int32.of_int (v / side))
+  done;
+  { side; xs; ys }
 
 (* [present] masks churned-out agents: they freeze in place and draw
    nothing, so their stream pauses until they return. The check is a
@@ -22,25 +52,39 @@ let[@inline] is_present present i =
   match present with None -> true | Some pr -> pr.(i)
 
 let move_all ?present t pos rngs mobility =
-  let n = Array.length pos in
+  let n = agents pos in
+  let xs = pos.xs and ys = pos.ys in
   match mobility with
-  | Space.Mobile_all ->
-      for i = 0 to n - 1 do
-        if is_present present i then
-          pos.(i) <- Walk.step t.grid t.kernel rngs.(i) pos.(i)
-      done
+  | Space.Mobile_all -> (
+      match present with
+      | None -> Walk.move_all t.grid t.kernel rngs ~xs ~ys ~n
+      | Some _ ->
+          for i = 0 to n - 1 do
+            if is_present present i then
+              Walk.step_inplace t.grid t.kernel rngs.(i) ~xs ~ys i
+          done)
   | Space.Mobile_informed informed ->
       for i = 0 to n - 1 do
         if informed.(i) && is_present present i then
-          pos.(i) <- Walk.step t.grid t.kernel rngs.(i) pos.(i)
+          Walk.step_inplace t.grid t.kernel rngs.(i) ~xs ~ys i
       done
   | Space.Mobile_predators { informed; predators } ->
       for i = 0 to n - 1 do
         if (i < predators || not informed.(i)) && is_present present i then
-          pos.(i) <- Walk.step t.grid t.kernel rngs.(i) pos.(i)
+          Walk.step_inplace t.grid t.kernel rngs.(i) ~xs ~ys i
       done
 
-let rebuild_index ?present t pos = Spatial.rebuild ?present t.spatial ~positions:pos
+let rebuild_index ?present t pos =
+  match
+    Spatial.rebuild_soa ?present t.spatial ~xs:pos.xs ~ys:pos.ys ~n:(agents pos)
+  with
+  | Spatial.Full -> Space.Rebuilt
+  | Spatial.Delta -> if t.incremental then Space.Delta else Space.Rebuilt
+
+let reconcile_components t ~dissolve ~union =
+  Spatial.reconcile t.spatial ~dissolve ~union
+
+let max_occupancy t = Spatial.max_occupancy t.spatial
 
 let iter_close_pairs t ~f = Spatial.iter_close_pairs t.spatial ~f
 
@@ -48,15 +92,33 @@ let cover_cells t = Grid.nodes t.grid
 
 let cover_target t = Grid.nodes t.grid
 
+(* Accumulating the frontier through a tail-recursive loop instead of a
+   [ref] keeps the coverless steady state allocation-free without
+   flambda. *)
+let rec frontier_loop (xs : Walk.vec) informed frontier i n =
+  if i >= n then frontier
+  else
+    let frontier =
+      if Array.unsafe_get informed i then begin
+        let x = vget xs i in
+        if x > frontier then x else frontier
+      end
+      else frontier
+    in
+    frontier_loop xs informed frontier (i + 1) n
+
 let observe t pos ~informed ~frontier ~cover ~cover_any =
-  let frontier = ref frontier in
-  for i = 0 to Array.length pos - 1 do
-    if informed.(i) then begin
-      let x = Grid.x_of t.grid pos.(i) in
-      if x > !frontier then frontier := x
-    end;
-    match cover with
-    | Some c when cover_any || informed.(i) -> Space.Cover.mark c pos.(i)
-    | Some _ | None -> ()
-  done;
-  !frontier
+  ignore t;
+  let n = agents pos in
+  match cover with
+  | None -> frontier_loop pos.xs informed frontier 0 n
+  | Some c ->
+      let frontier = ref frontier in
+      for i = 0 to n - 1 do
+        if informed.(i) then begin
+          let x = vget pos.xs i in
+          if x > !frontier then frontier := x
+        end;
+        if cover_any || informed.(i) then Space.Cover.mark c (node_at pos i)
+      done;
+      !frontier

@@ -2,16 +2,38 @@
     {!Walk.kernel} transition per step, with visibility = Manhattan
     distance [<= radius] found through the bucket-grid {!Spatial} index.
 
+    Positions are structure-of-arrays int32 coordinate vectors
+    ({!Walk.vec}): moves mutate them in place and the index loads them
+    directly, so the steady-state step allocates nothing. At radius 0
+    (with no presence mask) [rebuild_index] reports {!Space.Delta} and
+    the engine maintains connected components incrementally.
+
     This is the {!Space.S} instance behind {!Simulation} (with the lazy
     walk of §2) and behind the Clementi dense baseline of §1.1 (with
     [Walk.Jump]) — the two models differ only in kernel, radius and
     exchange mechanism once expressed as spaces. *)
 
-include Space.S with type pos = Grid.node array
+type pos = {
+  side : int;  (** grid side, for node reconstruction *)
+  xs : Walk.vec;
+  ys : Walk.vec;
+}
 
-val create : Grid.t -> kernel:Walk.kernel -> radius:int -> t
-(** @raise Invalid_argument if [radius < 0] (via {!Spatial.create}). *)
+include Space.S with type pos := pos
+
+val create : ?incremental:bool -> Grid.t -> kernel:Walk.kernel -> radius:int -> t
+(** [incremental] (default [true]) permits the {!Space.Delta}
+    reconciliation path when the index can track membership changes;
+    [false] forces a full component rebuild every step (the reference
+    behaviour the incremental path is property-tested against).
+    @raise Invalid_argument if [radius < 0] (via {!Spatial.create}). *)
 
 val grid : t -> Grid.t
 
 val kernel : t -> Walk.kernel
+
+val node_at : pos -> int -> Grid.node
+(** Current node of agent [i], reconstructed from its coordinates. *)
+
+val agents : pos -> int
+(** Number of agents the position state covers. *)

@@ -50,7 +50,7 @@ let spec_of_config cfg =
     faults = cfg.Config.faults;
   }
 
-let create ?metrics cfg =
+let create ?metrics ?(full_rebuild = false) cfg =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Simulation.create: " ^ msg));
@@ -60,7 +60,8 @@ let create ?metrics cfg =
       ~side:cfg.Config.side ()
   in
   let space =
-    Grid_space.create grid ~kernel:cfg.Config.kernel ~radius:cfg.Config.radius
+    Grid_space.create ~incremental:(not full_rebuild) grid
+      ~kernel:cfg.Config.kernel ~radius:cfg.Config.radius
   in
   { cfg; e = E.create ?metrics ~space (spec_of_config cfg) }
 
@@ -84,7 +85,8 @@ let run ?on_step t =
   let on_step = Option.map (fun f _e -> f t) on_step in
   report_of t (E.run ?on_step t.e)
 
-let run_config ?on_step ?metrics cfg = run ?on_step (create ?metrics cfg)
+let run_config ?on_step ?metrics ?full_rebuild cfg =
+  run ?on_step (create ?metrics ?full_rebuild cfg)
 
 let completion_time cfg =
   let report = run_config cfg in
@@ -121,9 +123,11 @@ let rumors_known t i =
 
 let position t i =
   check_agent t i;
-  (E.pos t.e).(i)
+  Grid_space.node_at (E.pos t.e) i
 
-let positions t = Array.copy (E.pos t.e)
+let positions t =
+  let pos = E.pos t.e in
+  Array.init (Grid_space.agents pos) (Grid_space.node_at pos)
 
 let source t = E.source t.e
 

@@ -54,8 +54,16 @@ type report = {
   history : history option;
 }
 
-val create : ?metrics:Obs.Sink.t -> Config.t -> t
-(** [metrics] (default {!Obs.Sink.ambient}) selects where per-phase
+val create : ?metrics:Obs.Sink.t -> ?full_rebuild:bool -> Config.t -> t
+(** [full_rebuild] (default [false]) disables the incremental
+    component-maintenance path: the visibility-graph DSU is reset and
+    re-unioned from scratch every step, the reference behaviour the
+    incremental path is tested against. Results are identical either
+    way — the flag only trades speed for simplicity, which is why it is
+    not a {!Config.t} field (it cannot affect a run's outcome or its
+    scenario hash).
+
+    [metrics] (default {!Obs.Sink.ambient}) selects where per-phase
     timings go. Against the null sink instrumentation is free: the
     per-step path performs no clock reads and no allocation. Against a
     recording sink the engine observes, per executed step, one sample
@@ -141,7 +149,11 @@ val run : ?on_step:(t -> unit) -> t -> report
     executed step (not for the initial state). *)
 
 val run_config :
-  ?on_step:(t -> unit) -> ?metrics:Obs.Sink.t -> Config.t -> report
+  ?on_step:(t -> unit) ->
+  ?metrics:Obs.Sink.t ->
+  ?full_rebuild:bool ->
+  Config.t ->
+  report
 (** [create] + [run]. *)
 
 val completion_time : Config.t -> int option

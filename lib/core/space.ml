@@ -9,6 +9,10 @@ type mobility =
       predators : int;
     }
 
+type index_update =
+  | Rebuilt
+  | Delta
+
 module Cover = struct
   type t = {
     bits : Bytes.t;
@@ -42,7 +46,12 @@ module type S = sig
 
   val move_all : ?present:bool array -> t -> pos -> Prng.t array -> mobility -> unit
 
-  val rebuild_index : ?present:bool array -> t -> pos -> unit
+  val rebuild_index : ?present:bool array -> t -> pos -> index_update
+
+  val reconcile_components :
+    t -> dissolve:(int -> unit) -> union:(int -> int -> unit) -> unit
+
+  val max_occupancy : t -> int
 
   val iter_close_pairs : t -> f:(int -> int -> unit) -> unit
 

@@ -1,78 +1,162 @@
+(* Union–find with epoch-stamped lazy reset and bucket-cohort dissolve.
+
+   Every element carries the epoch in which its parent/size entries were
+   last written. [reset] just bumps the epoch counter: any element whose
+   stamp lags the current epoch is a singleton that has not been touched
+   yet, and is healed (parent := self, size := 1, stamp := epoch) the
+   first time an operation reaches it. This makes reset O(1), which is
+   what lets the engine alternate cheap full resets with incremental
+   [dissolve]-based reconciliation without an O(n) sweep per step.
+
+   Stale pointers cannot be followed by accident: parent pointers of
+   current-epoch elements only ever point at current-epoch elements
+   (heal writes self-loops, unions link current roots, and dissolve is
+   only sound over whole sets — see below), so [find_root] never needs
+   a stamp check past the entry point. *)
+
 type t = {
   parent : int array;
   size : int array;
+  (* epoch in which parent/size were last written; entries with
+     [stamp.(i) <> epoch] are untouched singletons of the current epoch *)
+  stamp : int array;
+  mutable epoch : int;
   mutable sets : int;
+  (* [sets] is only meaningful while [sets_exact]; dissolve cannot know
+     how many sets its cohort will re-form, so it taints the counter and
+     [set_count] recomputes (and re-caches) by root scan. *)
+  mutable sets_exact : bool;
+  (* running maximum over sizes produced by [union] this epoch; with no
+     dissolves it equals the largest set size (see [max_union_size]) *)
+  mutable max_merged : int;
 }
 
 let create n =
   if n < 0 then invalid_arg "Dsu.create: negative size";
-  { parent = Array.init n (fun i -> i); size = Array.make n 1; sets = n }
+  {
+    parent = Array.init n (fun i -> i);
+    size = Array.make n 1;
+    stamp = Array.make n 0;
+    epoch = 0;
+    sets = n;
+    sets_exact = true;
+    max_merged = min n 1;
+  }
 
 let length t = Array.length t.parent
 
 let reset t =
-  for i = 0 to Array.length t.parent - 1 do
-    t.parent.(i) <- i;
-    t.size.(i) <- 1
-  done;
-  t.sets <- Array.length t.parent
+  let n = Array.length t.parent in
+  t.epoch <- t.epoch + 1;
+  t.sets <- n;
+  t.sets_exact <- true;
+  t.max_merged <- min n 1
 
 let check t i =
   if i < 0 || i >= Array.length t.parent then
     invalid_arg "Dsu: element out of range"
 
+(* [check] at every public entry point validates the element, so the
+   internal accesses below are unchecked: parent pointers only ever hold
+   validated element ids. *)
+let heal t i =
+  if Array.unsafe_get t.stamp i <> t.epoch then begin
+    Array.unsafe_set t.stamp i t.epoch;
+    Array.unsafe_set t.parent i i;
+    Array.unsafe_set t.size i 1
+  end
+
 let rec find_root t i =
-  let p = t.parent.(i) in
+  let p = Array.unsafe_get t.parent i in
   if p = i then i
   else begin
     (* path halving: point to grandparent as we walk up *)
-    let gp = t.parent.(p) in
-    t.parent.(i) <- gp;
+    let gp = Array.unsafe_get t.parent p in
+    Array.unsafe_set t.parent i gp;
     find_root t gp
   end
 
 let find t i =
   check t i;
+  heal t i;
   find_root t i
 
 let union t i j =
   check t i;
   check t j;
+  heal t i;
+  heal t j;
   let ri = find_root t i and rj = find_root t j in
   if ri = rj then false
   else begin
-    let big, small =
-      if t.size.(ri) >= t.size.(rj) then (ri, rj) else (rj, ri)
-    in
-    t.parent.(small) <- big;
-    t.size.(big) <- t.size.(big) + t.size.(small);
+    let si = Array.unsafe_get t.size ri
+    and sj = Array.unsafe_get t.size rj in
+    let big, small = if si >= sj then (ri, rj) else (rj, ri) in
+    Array.unsafe_set t.parent small big;
+    let merged = si + sj in
+    Array.unsafe_set t.size big merged;
+    if merged > t.max_merged then t.max_merged <- merged;
     t.sets <- t.sets - 1;
     true
   end
 
+let dissolve t i =
+  check t i;
+  Array.unsafe_set t.stamp i t.epoch;
+  Array.unsafe_set t.parent i i;
+  Array.unsafe_set t.size i 1;
+  t.sets_exact <- false
+
 let same_set t i j =
   check t i;
   check t j;
+  heal t i;
+  heal t j;
   find_root t i = find_root t j
 
 let set_size t i =
   check t i;
+  heal t i;
   t.size.(find_root t i)
 
-let set_count t = t.sets
+(* An element is currently a root if it is untouched this epoch (an
+   implicit singleton) or an explicit self-loop. *)
+let is_root t i = t.stamp.(i) <> t.epoch || t.parent.(i) = i
+
+let set_count t =
+  if t.sets_exact then t.sets
+  else begin
+    let n = Array.length t.parent in
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      if is_root t i then incr count
+    done;
+    t.sets <- !count;
+    t.sets_exact <- true;
+    !count
+  end
 
 let max_set_size t =
-  let best = ref 0 in
-  for i = 0 to Array.length t.parent - 1 do
-    if t.parent.(i) = i && t.size.(i) > !best then best := t.size.(i)
-  done;
-  !best
+  let n = Array.length t.parent in
+  if n = 0 then 0
+  else begin
+    (* untouched elements are singletons, so the floor is 1 *)
+    let best = ref 1 in
+    for i = 0 to n - 1 do
+      if t.stamp.(i) = t.epoch && t.parent.(i) = i && t.size.(i) > !best then
+        best := t.size.(i)
+    done;
+    !best
+  end
+
+let max_union_size t = t.max_merged
 
 let groups t =
   let n = Array.length t.parent in
   let acc = Array.make n [] in
   (* walk downward so member lists come out increasing *)
   for i = n - 1 downto 0 do
+    heal t i;
     let r = find_root t i in
     acc.(r) <- i :: acc.(r)
   done;

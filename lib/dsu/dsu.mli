@@ -5,8 +5,14 @@
     transmission range is {!union}ed. Path compression plus union by size
     give effectively-constant amortised operations.
 
-    The structure is mutable and supports O(n) {!reset} so the simulator
-    can reuse one allocation across all steps. *)
+    The structure is mutable and epoch-stamped: {!reset} is O(1) (it
+    bumps an epoch counter and elements are lazily re-initialised as
+    singletons on first touch), so the simulator reuses one allocation
+    across all steps without paying an O(n) sweep per step. {!dissolve}
+    supports *incremental* component maintenance: instead of resetting,
+    the engine dissolves only the members of spatial buckets whose
+    occupancy changed and re-unions them, leaving untouched components
+    intact across steps. *)
 
 type t
 
@@ -18,7 +24,21 @@ val length : t -> int
 (** Number of elements. *)
 
 val reset : t -> unit
-(** Return every element to its own singleton set. *)
+(** Return every element to its own singleton set. O(1): starts a new
+    epoch; stale entries are healed lazily on first touch. *)
+
+val dissolve : t -> int -> unit
+(** [dissolve t i] detaches element [i] into a singleton of the current
+    epoch *without* starting a new epoch, leaving all other sets intact.
+
+    Soundness invariant (caller's obligation): between two queries,
+    dissolves must cover whole sets — if any member of a set is
+    dissolved, every member must be, before new unions touch any of
+    them. The engine satisfies this because at radius 0 a component is
+    exactly the population of one spatial bucket, and it dissolves every
+    current member of every dirty bucket. Partial dissolution would
+    leave surviving members pointing at a recycled root with a stale
+    size. Taints {!set_count}'s O(1) counter (recomputed on demand). *)
 
 val find : t -> int -> int
 (** Canonical representative of the element's set. Performs path
@@ -39,6 +59,15 @@ val set_count : t -> int
 
 val max_set_size : t -> int
 (** Size of the largest set — the "largest island" of Lemma 6. O(n). *)
+
+val max_union_size : t -> int
+(** Running maximum of merged-set sizes since the last {!reset} (O(1)).
+    In an epoch with no {!dissolve}, this equals {!max_set_size} for any
+    non-empty structure: every multi-element set's final size is
+    produced by its last union, and with no unions all sets are
+    singletons (the counter starts at [min n 1]). After a dissolve the
+    counter may overstate the current maximum — use {!max_set_size}
+    (or an external occupancy bound) in incremental epochs. *)
 
 val iter_sets : t -> f:(representative:int -> members:int list -> unit) -> unit
 (** Iterate over every set, passing its representative and full member

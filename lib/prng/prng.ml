@@ -1,12 +1,39 @@
 (* Xoshiro256** seeded via SplitMix64. Reference: Blackman & Vigna,
-   "Scrambled linear pseudorandom number generators", 2018. *)
+   "Scrambled linear pseudorandom number generators", 2018.
+
+   The 256-bit state is stored as eight unboxed OCaml [int] fields, each
+   holding one 32-bit half of a state word (value in [0, 2^32)). The
+   obvious representation — four mutable [int64] fields — boxes an
+   [Int64.t] on every store without flambda, which put the generator at
+   the top of every allocation profile (~30 minor words per draw). With
+   halves, [advance] is pure untagged-int arithmetic: zero allocation
+   per draw, and the simulator's steady state allocates nothing. The
+   output streams are bit-identical to the int64 formulation; the
+   SplitMix64 seeding path stays on [Int64] (cold, runs once per
+   stream). *)
 
 type t = {
-  mutable s0 : int64;
-  mutable s1 : int64;
-  mutable s2 : int64;
-  mutable s3 : int64;
+  mutable s0l : int;
+  mutable s0h : int;
+  mutable s1l : int;
+  mutable s1h : int;
+  mutable s2l : int;
+  mutable s2h : int;
+  mutable s3l : int;
+  mutable s3h : int;
+  (* Halves of the most recent output, written by [advance]. Returning
+     a tuple or int64 from [advance] would allocate; derived draws read
+     these fields instead. *)
+  mutable rl : int;
+  mutable rh : int;
 }
+
+let mask32 = 0xFFFFFFFF
+let lo32 x = Int64.to_int (Int64.logand x 0xFFFFFFFFL)
+let hi32 x = Int64.to_int (Int64.shift_right_logical x 32)
+
+let to64 ~hi ~lo =
+  Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo)
 
 (* --- SplitMix64: used only to expand seeds into initial states. --- *)
 
@@ -26,9 +53,22 @@ let state_of_seed64 seed64 =
   let s3 = splitmix_next sm in
   (* All-zero state is a fixed point of xoshiro; splitmix of any seed
      cannot produce four zero outputs, but guard anyway. *)
-  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
-    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
-  else { s0; s1; s2; s3 }
+  let s0, s1, s2, s3 =
+    if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then (1L, 2L, 3L, 4L)
+    else (s0, s1, s2, s3)
+  in
+  {
+    s0l = lo32 s0;
+    s0h = hi32 s0;
+    s1l = lo32 s1;
+    s1h = hi32 s1;
+    s2l = lo32 s2;
+    s2h = hi32 s2;
+    s3l = lo32 s3;
+    s3h = hi32 s3;
+    rl = 0;
+    rh = 0;
+  }
 
 let of_seed seed = state_of_seed64 (Int64.of_int seed)
 
@@ -50,60 +90,144 @@ let subsystem_salt = 0x9E3779B9
 
 (* --- Core generator --- *)
 
-let rotl x k =
-  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+(* One xoshiro256** step on 32-bit halves. Multiplication by a small
+   constant c: low = (l*c) land mask, carry = (l*c) lsr 32,
+   high = (h*c + carry) land mask — products stay below 2^36, well
+   within the 63-bit native int. rotl by k < 32 crosses the halves in
+   both directions; rotl 45 is a half-swap followed by rotl 13. *)
+let[@inline always] advance t =
+  let s1l = t.s1l and s1h = t.s1h in
+  (* m = s1 * 5 *)
+  let p = s1l * 5 in
+  let ml = p land mask32 in
+  let mh = ((s1h * 5) + (p lsr 32)) land mask32 in
+  (* r = rotl m 7 *)
+  let rl = ((ml lsl 7) lor (mh lsr 25)) land mask32 in
+  let rh = ((mh lsl 7) lor (ml lsr 25)) land mask32 in
+  (* result = r * 9 *)
+  let q = rl * 9 in
+  t.rl <- q land mask32;
+  t.rh <- ((rh * 9) + (q lsr 32)) land mask32;
+  (* tmp = s1 lsl 17 *)
+  let tl = (s1l lsl 17) land mask32 in
+  let th = ((s1h lsl 17) lor (s1l lsr 15)) land mask32 in
+  let s2l = t.s2l lxor t.s0l and s2h = t.s2h lxor t.s0h in
+  let s3l = t.s3l lxor s1l and s3h = t.s3h lxor s1h in
+  let ns1l = s1l lxor s2l and ns1h = s1h lxor s2h in
+  let s0l = t.s0l lxor s3l and s0h = t.s0h lxor s3h in
+  let ns2l = s2l lxor tl and ns2h = s2h lxor th in
+  (* s3 = rotl s3 45 = swap halves, then rotl 13 *)
+  let ns3l = ((s3h lsl 13) lor (s3l lsr 19)) land mask32 in
+  let ns3h = ((s3l lsl 13) lor (s3h lsr 19)) land mask32 in
+  t.s0l <- s0l;
+  t.s0h <- s0h;
+  t.s1l <- ns1l;
+  t.s1h <- ns1h;
+  t.s2l <- ns2l;
+  t.s2h <- ns2h;
+  t.s3l <- ns3l;
+  t.s3h <- ns3h
 
 let bits64 t =
-  let open Int64 in
-  let result = mul (rotl (mul t.s1 5L) 7) 9L in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
-  result
+  advance t;
+  to64 ~hi:t.rh ~lo:t.rl
+
+let rotl64 x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let split t =
   (* Derive a fresh seed from two parent outputs, re-expanded through
      splitmix so parent and child states share no linear structure. *)
   let a = bits64 t in
   let b = bits64 t in
-  state_of_seed64 (Int64.logxor a (rotl b 32))
+  state_of_seed64 (Int64.logxor a (rotl64 b 32))
 
 let split_stream ~seed ~trial ~subsystem =
   if subsystem < 0 then invalid_arg "Prng.split_stream: negative subsystem";
   split (of_seed (mix_seed ~seed ~trial lxor (subsystem * subsystem_salt)))
 
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let copy t =
+  {
+    s0l = t.s0l;
+    s0h = t.s0h;
+    s1l = t.s1l;
+    s1h = t.s1h;
+    s2l = t.s2l;
+    s2h = t.s2h;
+    s3l = t.s3l;
+    s3h = t.s3h;
+    rl = t.rl;
+    rh = t.rh;
+  }
 
 let fingerprint t =
   let open Int64 in
-  logxor (logxor t.s0 (rotl t.s1 16)) (logxor (rotl t.s2 32) (rotl t.s3 48))
+  let s0 = to64 ~hi:t.s0h ~lo:t.s0l in
+  let s1 = to64 ~hi:t.s1h ~lo:t.s1l in
+  let s2 = to64 ~hi:t.s2h ~lo:t.s2l in
+  let s3 = to64 ~hi:t.s3h ~lo:t.s3l in
+  logxor (logxor s0 (rotl64 s1 16)) (logxor (rotl64 s2 32) (rotl64 s3 48))
 
-(* --- Derived draws --- *)
+(* --- Derived draws ---
 
-let bits30 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 34)
+   Each reads the output halves directly: bits64 = rh·2^32 + rl, so
+   bits64 lsr 34 = rh lsr 2, bits64 lsr 2 = (rh lsl 30) lor (rl lsr 2),
+   and bits64 lsr 11 = (rh lsl 21) lor (rl lsr 11) < 2^53 (exact as a
+   float). All match the int64 formulation bit for bit. *)
+
+let bits30 t =
+  advance t;
+  t.rh lsr 2
 
 (* 62 uniform bits as a non-negative OCaml int. *)
-let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+let bits62 t =
+  advance t;
+  (t.rh lsl 30) lor (t.rl lsr 2)
+
+let max62 = (1 lsl 62) - 1
+
+(* Rejection loops live at module level: a local [let rec draw () = ...]
+   closure captures its environment and allocates on every call site
+   without flambda, which matters on the walk hot path. *)
+let rec reject_int t bound limit =
+  let v = bits62 t in
+  if v <= limit then v mod bound else reject_int t bound limit
+
+(* Bounds 3 and 5 dominate the walk hot path (the lazy kernel draws in
+   [0,5) every step; a bounded-grid boundary node has degree 3; the
+   default Clementi jump span is 5). A division whose divisor is a
+   compile-time constant is strength-reduced to a multiply-high, while
+   [reject_int]'s run-time divisor costs three hardware divisions per
+   draw (two for the limit, one for the fold). The specialised loops
+   below use the same limit value and the same [v mod bound] fold, so
+   the output stream is bit-identical to the generic path. *)
+let limit_for bound = max62 - (((max62 mod bound) + 1) mod bound)
+let limit3 = limit_for 3
+let limit5 = limit_for 5
+
+let rec reject3 t =
+  let v = bits62 t in
+  if v <= limit3 then v mod 3 else reject3 t
+
+let rec reject5 t =
+  let v = bits62 t in
+  if v <= limit5 then v mod 5 else reject5 t
 
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   if bound land (bound - 1) = 0 then
     (* power of two: mask is exact *)
     bits62 t land (bound - 1)
-  else begin
+  else if bound = 5 then reject5 t
+  else if bound = 3 then reject3 t
+  else
     (* rejection sampling on 62-bit draws to avoid modulo bias *)
-    let max62 = (1 lsl 62) - 1 in
-    let limit = max62 - (((max62 mod bound) + 1) mod bound) in
-    let rec draw () =
-      let v = bits62 t in
-      if v <= limit then v mod bound else draw ()
-    in
-    draw ()
-  end
+    let limit = limit_for bound in
+    reject_int t bound limit
+
+let rec reject_wide t lo hi =
+  let v = bits62 t + (min_int / 2) in
+  if v >= lo && v <= hi then v else reject_wide t lo hi
 
 let int_incl t lo hi =
   if lo > hi then invalid_arg "Prng.int_incl: empty range";
@@ -113,24 +237,22 @@ let int_incl t lo hi =
     if span <= 0 then
       (* range wider than max_int: draw raw 62-bit values until in range;
          only reachable for astronomically wide ranges, kept for totality *)
-      let rec draw () =
-        let v = bits62 t + min_int / 2 in
-        if v >= lo && v <= hi then v else draw ()
-      in
-      draw ()
+      reject_wide t lo hi
     else lo + int t span
 
 let unit_float t =
   (* 53 high bits, standard doubles-in-[0,1) construction *)
-  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
-  v *. 0x1p-53
+  advance t;
+  float_of_int ((t.rh lsl 21) lor (t.rl lsr 11)) *. 0x1p-53
 
 let float t bound =
   if not (bound > 0.) || not (Float.is_finite bound) then
     invalid_arg "Prng.float: bound must be positive and finite";
   unit_float t *. bound
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let bool t =
+  advance t;
+  t.rl land 1 = 1
 
 let bernoulli t ~p =
   if not (p >= 0. && p <= 1.) then invalid_arg "Prng.bernoulli: p not in [0,1]";

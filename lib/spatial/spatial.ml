@@ -1,22 +1,98 @@
-(* Flat-array bucket index. Buckets live in arrays sized to the bucket
-   grid (allocated once); each rebuild touches only the buckets that
-   actually hold agents (recorded in [touched]), so a rebuild costs O(k)
-   regardless of how many buckets the grid has. Agent ids are stored
-   contiguously in [items], grouped by bucket via a counting sort. *)
+(* Flat-array bucket index keyed by Morton (Z-order) codes. Buckets
+   live in arrays sized to the bucket grid (allocated once); each
+   rebuild touches only the buckets that actually hold agents (recorded
+   in [touched]), so a rebuild costs O(k) regardless of how many buckets
+   the grid has. Agent ids are stored contiguously in [items], grouped
+   by bucket via a counting sort.
+
+   Two position representations feed the same table:
+   - [rebuild] takes the legacy [Grid.node array];
+   - [rebuild_soa] takes structure-of-arrays int32 coordinate vectors
+     (the engine's zero-allocation path) and additionally maintains a
+     per-agent previous-bucket table so that steps where few agents
+     changed bucket can reconcile components incrementally instead of
+     rebuilding them ([update], [reconcile]).
+
+   Morton keys interleave the x/y bucket coordinates bit by bit, so
+   spatially adjacent buckets land near each other in the flat arrays
+   (better locality for the neighbourhood scans than row-major keys on
+   large grids). The key scheme is invisible to iteration order: pairs
+   are visited in first-touch bucket order (a function of agent order
+   and bucket *membership*, not bucket ids), agent-id order within a
+   bucket, and the same fixed E/N/NE/NW neighbour geometry — so all
+   output streams are byte-identical to the row-major index. *)
+
+type vec = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let empty_vec : vec = Bigarray.Array1.create Bigarray.Int32 Bigarray.C_layout 0
+
+type update = Full | Delta
 
 type t = {
   grid : Grid.t;
   radius : int;
   bucket_side : int;
   per_row : int;
+  side : int;
+  torus : bool;
   count : int array;  (* agents per bucket *)
   start : int array;  (* offset of each bucket's slice in [items] *)
   mutable items : int array;  (* agent ids grouped by bucket *)
   touched : int array;  (* buckets used by the last rebuild *)
   mutable touched_len : int;
+  (* node-array path *)
   mutable positions : Grid.node array;
   mutable present : bool array option;  (* agents indexed by the last rebuild *)
+  (* structure-of-arrays path *)
+  mutable xs : vec;
+  mutable ys : vec;
+  mutable soa : bool;  (* which representation the last rebuild used *)
+  mutable n : int;  (* population of the last SoA rebuild *)
+  (* incremental state: bucket of each agent as of the last rebuild, and
+     the scratch for the dirty-bucket set of the current step *)
+  mutable prev_bucket : int array;
+  mutable delta_ok : bool;  (* prev_bucket covers all n agents *)
+  dirty : int array;
+  dirty_stamp : int array;
+  mutable dirty_len : int;
+  mutable dirty_epoch : int;
+  mutable max_occ : int;  (* max bucket occupancy of the last rebuild *)
 }
+
+(* --- Morton codes (16-bit coordinates interleaved into 32 bits) --- *)
+
+let part1by1 x =
+  let x = x land 0xFFFF in
+  let x = (x lor (x lsl 8)) land 0x00FF00FF in
+  let x = (x lor (x lsl 4)) land 0x0F0F0F0F in
+  let x = (x lor (x lsl 2)) land 0x33333333 in
+  (x lor (x lsl 1)) land 0x55555555
+
+let compact1by1 x =
+  let x = x land 0x55555555 in
+  let x = (x lor (x lsr 1)) land 0x33333333 in
+  let x = (x lor (x lsr 2)) land 0x0F0F0F0F in
+  let x = (x lor (x lsr 4)) land 0x00FF00FF in
+  (x lor (x lsr 8)) land 0x0000FFFF
+
+(* Byte-wise interleave table: 256 entries cover one byte per lookup,
+   and bucket coordinates fit 16 bits ([create] guards per_row), so two
+   lookups per axis. The table stays hot in L1 and beats the five-step
+   shift/mask cascade by ~3x on the index hot path. *)
+let part1by1_tbl = Array.init 256 part1by1
+
+let morton bx by =
+  let ex =
+    Array.unsafe_get part1by1_tbl (bx land 0xFF)
+    lor (Array.unsafe_get part1by1_tbl (bx lsr 8) lsl 16)
+  in
+  let ey =
+    Array.unsafe_get part1by1_tbl (by land 0xFF)
+    lor (Array.unsafe_get part1by1_tbl (by lsr 8) lsl 16)
+  in
+  ex lor (ey lsl 1)
+let morton_x b = compact1by1 b
+let morton_y b = compact1by1 (b lsr 1)
 
 let create grid ~radius =
   if radius < 0 then invalid_arg "Spatial.create: negative radius";
@@ -29,12 +105,23 @@ let create grid ~radius =
     if Grid.is_torus grid then max 1 (Grid.side grid / bucket_side)
     else (Grid.side grid + bucket_side - 1) / bucket_side
   in
-  let buckets = per_row * per_row in
+  if per_row > 0x10000 then
+    invalid_arg "Spatial.create: more than 65536 bucket columns";
+  (* Morton keys need a power-of-two coordinate space; unused buckets
+     cost idle array slots, never scan time (only touched buckets are
+     visited). *)
+  let np2 = ref 1 in
+  while !np2 < per_row do
+    np2 := !np2 * 2
+  done;
+  let buckets = !np2 * !np2 in
   {
     grid;
     radius;
     bucket_side;
     per_row;
+    side = Grid.side grid;
+    torus = Grid.is_torus grid;
     count = Array.make buckets 0;
     start = Array.make buckets 0;
     items = [||];
@@ -42,23 +129,48 @@ let create grid ~radius =
     touched_len = 0;
     positions = [||];
     present = None;
+    xs = empty_vec;
+    ys = empty_vec;
+    soa = false;
+    n = 0;
+    prev_bucket = [||];
+    delta_ok = false;
+    dirty = Array.make buckets 0;
+    dirty_stamp = Array.make buckets 0;
+    dirty_len = 0;
+    dirty_epoch = 0;
+    max_occ = 0;
   }
 
 let radius t = t.radius
 
 let bucket_of t v =
   let x = Grid.x_of t.grid v and y = Grid.y_of t.grid v in
-  let clamp c = min c (t.per_row - 1) in
-  ((clamp (y / t.bucket_side)) * t.per_row) + clamp (x / t.bucket_side)
+  let bx = min (x / t.bucket_side) (t.per_row - 1) in
+  let by = min (y / t.bucket_side) (t.per_row - 1) in
+  morton bx by
 
-let rebuild ?present t ~positions =
+(* The per-step loops below use unchecked array accesses. The indices
+   are structurally in range: bucket ids come from [bucket_of]/[morton]
+   over clamped coordinates (< buckets, the arrays' length), agent ids
+   are < n (and [items]/[prev_bucket] are grown to n before the loops),
+   and [touched_len]/[dirty_len] count distinct bucket ids, so they
+   never exceed [buckets]. *)
+
+let clear_table t =
   (* reset only the buckets the previous rebuild used *)
   for i = 0 to t.touched_len - 1 do
-    t.count.(t.touched.(i)) <- 0
+    Array.unsafe_set t.count (Array.unsafe_get t.touched i) 0
   done;
   t.touched_len <- 0;
+  t.max_occ <- 0
+
+let rebuild ?present t ~positions =
+  clear_table t;
   t.positions <- positions;
   t.present <- present;
+  t.soa <- false;
+  t.delta_ok <- false;
   let k = Array.length positions in
   if Array.length t.items < k then t.items <- Array.make k 0;
   let indexed agent =
@@ -72,7 +184,9 @@ let rebuild ?present t ~positions =
         t.touched.(t.touched_len) <- b;
         t.touched_len <- t.touched_len + 1
       end;
-      t.count.(b) <- t.count.(b) + 1
+      let c = t.count.(b) + 1 in
+      t.count.(b) <- c;
+      if c > t.max_occ then t.max_occ <- c
     end
   done;
   (* pass 2: prefix offsets over touched buckets (order irrelevant) *)
@@ -96,8 +210,163 @@ let rebuild ?present t ~positions =
     t.start.(b) <- t.start.(b) - t.count.(b)
   done
 
+let mark_dirty t b =
+  if Array.unsafe_get t.dirty_stamp b <> t.dirty_epoch then begin
+    Array.unsafe_set t.dirty_stamp b t.dirty_epoch;
+    Array.unsafe_set t.dirty t.dirty_len b;
+    t.dirty_len <- t.dirty_len + 1
+  end
+
+let vget (v : vec) i = Int32.to_int (Bigarray.Array1.unsafe_get v i)
+
+let rebuild_soa ?present t ~xs ~ys ~n =
+  (* Delta eligibility is judged against the *previous* rebuild, before
+     prev_bucket is overwritten: radius 0 (bucket = cell, components are
+     bucket-local), a previous unmasked SoA rebuild of the same
+     population, so prev_bucket.(i) is valid for every agent. The delta
+     machinery itself is distance-agnostic — it compares buckets, so
+     even jump kernels that hop several cells stay correct; step
+     distance only governs how many buckets turn dirty. *)
+  let unmasked = match present with None -> true | Some _ -> false in
+  let eligible = t.radius = 0 && t.delta_ok && t.n = n && unmasked in
+  clear_table t;
+  t.xs <- xs;
+  t.ys <- ys;
+  t.n <- n;
+  t.soa <- true;
+  t.present <- present;
+  t.dirty_epoch <- t.dirty_epoch + 1;
+  t.dirty_len <- 0;
+  if Array.length t.items < n then t.items <- Array.make n 0;
+  if Array.length t.prev_bucket < n then t.prev_bucket <- Array.make n (-1);
+  let bs = t.bucket_side and clamp_hi = t.per_row - 1 in
+  (* pass 1: count agents per bucket, recording first-touched buckets
+     and (when eligible) buckets whose membership changed — an agent
+     that switched buckets dirties both its old and its new bucket *)
+  if bs = 1 && unmasked then
+    (* radius-0 hot path: bucket side 1 makes bucket coordinates the
+       cell coordinates themselves — no per-agent division, and no
+       clamp since coordinates are already < per_row *)
+    for agent = 0 to n - 1 do
+      let b = morton (vget xs agent) (vget ys agent) in
+      if eligible then begin
+        let pb = Array.unsafe_get t.prev_bucket agent in
+        if pb <> b then begin
+          mark_dirty t pb;
+          mark_dirty t b
+        end
+      end;
+      Array.unsafe_set t.prev_bucket agent b;
+      let c = Array.unsafe_get t.count b in
+      if c = 0 then begin
+        Array.unsafe_set t.touched t.touched_len b;
+        t.touched_len <- t.touched_len + 1
+      end;
+      let c = c + 1 in
+      Array.unsafe_set t.count b c;
+      if c > t.max_occ then t.max_occ <- c
+    done
+  else
+    for agent = 0 to n - 1 do
+      if (match present with None -> true | Some pr -> pr.(agent)) then begin
+        let x = vget xs agent and y = vget ys agent in
+        let bx = min (x / bs) clamp_hi and by = min (y / bs) clamp_hi in
+        let b = morton bx by in
+        if eligible then begin
+          let pb = t.prev_bucket.(agent) in
+          if pb <> b then begin
+            mark_dirty t pb;
+            mark_dirty t b
+          end
+        end;
+        t.prev_bucket.(agent) <- b;
+        if t.count.(b) = 0 then begin
+          t.touched.(t.touched_len) <- b;
+          t.touched_len <- t.touched_len + 1
+        end;
+        let c = t.count.(b) + 1 in
+        t.count.(b) <- c;
+        if c > t.max_occ then t.max_occ <- c
+      end
+    done;
+  (* pass 2: prefix offsets over touched buckets (order irrelevant) *)
+  let offset = ref 0 in
+  for i = 0 to t.touched_len - 1 do
+    let b = Array.unsafe_get t.touched i in
+    Array.unsafe_set t.start b !offset;
+    offset := !offset + Array.unsafe_get t.count b
+  done;
+  (* pass 3: place agents, reusing the bucket computed in pass 1 *)
+  if unmasked then
+    for agent = 0 to n - 1 do
+      let b = Array.unsafe_get t.prev_bucket agent in
+      let s = Array.unsafe_get t.start b in
+      Array.unsafe_set t.items s agent;
+      Array.unsafe_set t.start b (s + 1)
+    done
+  else
+    for agent = 0 to n - 1 do
+      if (match present with None -> true | Some pr -> pr.(agent)) then begin
+        let b = Array.unsafe_get t.prev_bucket agent in
+        let s = Array.unsafe_get t.start b in
+        Array.unsafe_set t.items s agent;
+        Array.unsafe_set t.start b (s + 1)
+      end
+    done;
+  for i = 0 to t.touched_len - 1 do
+    let b = Array.unsafe_get t.touched i in
+    Array.unsafe_set t.start b
+      (Array.unsafe_get t.start b - Array.unsafe_get t.count b)
+  done;
+  (* prev_bucket is only trustworthy for the next step if every agent
+     was indexed this step *)
+  t.delta_ok <- (t.radius = 0 && unmasked);
+  if eligible then Delta else Full
+
+let reconcile t ~dissolve ~union =
+  (* Two phases, dissolve-all before union-any: an agent that left a
+     dirty bucket is a current member of another dirty bucket (both
+     endpoints of a move are marked), so phase 1 detaches every element
+     whose old component is affected before phase 2 can traverse it —
+     no union ever walks through a stale link. Clean buckets keep their
+     membership (any arrival or departure would have dirtied them), and
+     at radius 0 their components are internal, so leaving them alone
+     is exact. *)
+  for idx = 0 to t.dirty_len - 1 do
+    let b = Array.unsafe_get t.dirty idx in
+    let lo = Array.unsafe_get t.start b
+    and c = Array.unsafe_get t.count b in
+    if c > 0 then
+      for x = lo to lo + c - 1 do
+        dissolve (Array.unsafe_get t.items x)
+      done
+  done;
+  for idx = 0 to t.dirty_len - 1 do
+    let b = Array.unsafe_get t.dirty idx in
+    let lo = Array.unsafe_get t.start b
+    and c = Array.unsafe_get t.count b in
+    if c > 1 then begin
+      let first = Array.unsafe_get t.items lo in
+      for x = lo + 1 to lo + c - 1 do
+        union first (Array.unsafe_get t.items x)
+      done
+    end
+  done
+
+let max_occupancy t = t.max_occ
+
+let population t = if t.soa then t.n else Array.length t.positions
+
+let axis_dist t a b =
+  let d = abs (a - b) in
+  if t.torus then min d (t.side - d) else d
+
 let close t i j =
-  Grid.manhattan t.grid t.positions.(i) t.positions.(j) <= t.radius
+  if t.soa then
+    axis_dist t (vget t.xs i) (vget t.xs j)
+    + axis_dist t (vget t.ys i) (vget t.ys j)
+    <= t.radius
+  else Grid.manhattan t.grid t.positions.(i) t.positions.(j) <= t.radius
 
 (* Pairs within one bucket's slice. *)
 let iter_intra t b ~f =
@@ -128,7 +397,7 @@ let iter_inter t b b' ~f =
    honour the rebuild's presence mask, which the bucketed paths get for
    free (absent agents never enter [items]). *)
 let iter_all_pairs t ~f =
-  let k = Array.length t.positions in
+  let k = population t in
   let indexed i =
     match t.present with None -> true | Some pr -> pr.(i)
   in
@@ -153,7 +422,7 @@ let iter_cohabitants t b ~f =
   done
 
 let iter_close_pairs t ~f =
-  let wrap = Grid.is_torus t.grid in
+  let wrap = t.torus in
   if t.radius = 0 then
     for idx = 0 to t.touched_len - 1 do
       let b = t.touched.(idx) in
@@ -169,7 +438,7 @@ let iter_close_pairs t ~f =
       iter_intra t b ~f;
       (* scan only forward neighbours (E, N, NE, NW) so each bucket pair
          is considered once; on the torus indices wrap *)
-      let bx = b mod t.per_row and by = b / t.per_row in
+      let bx = morton_x b and by = morton_y b in
       let scan dx dy =
         let nx = bx + dx and ny = by + dy in
         let nx, ny =
@@ -178,7 +447,7 @@ let iter_close_pairs t ~f =
           else (nx, ny)
         in
         if nx >= 0 && nx < t.per_row && ny >= 0 && ny < t.per_row then begin
-          let b' = (ny * t.per_row) + nx in
+          let b' = morton nx ny in
           if t.count.(b') > 0 then iter_inter t b b' ~f
         end
       in
@@ -193,18 +462,25 @@ let count_close_pairs t =
   iter_close_pairs t ~f:(fun _ _ -> incr n);
   !n
 
+let near t v i ~range =
+  if t.soa then
+    let x = Grid.x_of t.grid v and y = Grid.y_of t.grid v in
+    axis_dist t x (vget t.xs i) + axis_dist t y (vget t.ys i) <= range
+  else Grid.manhattan t.grid v t.positions.(i) <= range
+
 let iter_agents_near t v ~range ~f =
   if range < 0 then invalid_arg "Spatial.iter_agents_near: negative range";
-  if Grid.is_torus t.grid then
+  if t.torus then begin
     (* wrap-aware bucket windows are not worth the complexity for this
        query (it is off the simulation hot path): scan all agents *)
-    Array.iteri
-      (fun i p ->
-        let indexed =
-          match t.present with None -> true | Some pr -> pr.(i)
-        in
-        if indexed && Grid.manhattan t.grid v p <= range then f i)
-      t.positions
+    let k = population t in
+    let indexed i =
+      match t.present with None -> true | Some pr -> pr.(i)
+    in
+    for i = 0 to k - 1 do
+      if indexed i && near t v i ~range then f i
+    done
+  end
   else begin
     let x = Grid.x_of t.grid v and y = Grid.y_of t.grid v in
     let b_lo_x = max 0 ((x - range) / t.bucket_side)
@@ -213,11 +489,11 @@ let iter_agents_near t v ~range ~f =
     and b_hi_y = min (t.per_row - 1) ((y + range) / t.bucket_side) in
     for by = b_lo_y to b_hi_y do
       for bx = b_lo_x to b_hi_x do
-        let b = (by * t.per_row) + bx in
+        let b = morton bx by in
         let lo = t.start.(b) in
         for idx = lo to lo + t.count.(b) - 1 do
           let i = t.items.(idx) in
-          if Grid.manhattan t.grid v t.positions.(i) <= range then f i
+          if near t v i ~range then f i
         done
       done
     done

@@ -8,9 +8,18 @@
     every close pair exactly once. Below the percolation point the
     expected bucket occupancy is O(1), so a full pass costs O(k).
 
-    The index is rebuilt from scratch each simulation step ({!rebuild});
-    the structure reuses its internal table across rebuilds to avoid
-    per-step allocation churn.
+    Buckets are keyed by Morton (Z-order) codes, so spatially adjacent
+    buckets sit near each other in the backing arrays; the keying is
+    invisible to iteration order, which remains first-touch bucket
+    order with agent-id order inside each bucket.
+
+    The index is rebuilt each simulation step ({!rebuild} from a node
+    array, or {!rebuild_soa} from int32 coordinate vectors — the
+    engine's allocation-free path); the structure reuses its internal
+    table across rebuilds. The SoA path additionally tracks which
+    buckets changed membership between consecutive rebuilds, enabling
+    *incremental* connected-component maintenance ({!reconcile}) when a
+    rebuild reports {!Delta}.
 
     Torus grids are fully supported: bucket adjacency wraps around, and
     degenerate layouts (fewer than 3 bucket columns) fall back to an
@@ -18,10 +27,20 @@
 
 type t
 
+type vec = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Structure-of-arrays coordinate vector: entry [i] is one coordinate
+    of agent [i]. *)
+
+type update =
+  | Full  (** bucket membership was rebuilt with no change tracking *)
+  | Delta
+      (** membership changes since the previous rebuild were recorded;
+          {!reconcile} can repair components incrementally *)
+
 val create : Grid.t -> radius:int -> t
 (** [create grid ~radius] prepares an index for agents on [grid] with
     transmission radius [radius]. @raise Invalid_argument if
-    [radius < 0]. *)
+    [radius < 0] or the grid needs more than 65536 bucket columns. *)
 
 val radius : t -> int
 
@@ -31,9 +50,36 @@ val rebuild : ?present:bool array -> t -> positions:Grid.node array -> unit
     [present.(i) = false] are left out of the index entirely — no pair
     scan or near-query visits them (the engine's churn mask). *)
 
+val rebuild_soa :
+  ?present:bool array -> t -> xs:vec -> ys:vec -> n:int -> update
+(** [rebuild_soa t ~xs ~ys ~n] loads positions of agents [0..n-1] from
+    coordinate vectors. Same table and iteration semantics as
+    {!rebuild}, with no per-step allocation. Returns {!Delta} when the
+    rebuild also recorded the set of buckets whose membership changed
+    since the previous step — available at radius 0 (bucket = grid
+    cell) for consecutive unmasked rebuilds of the same population;
+    otherwise {!Full}. *)
+
+val reconcile :
+  t -> dissolve:(int -> unit) -> union:(int -> int -> unit) -> unit
+(** After a {!rebuild_soa} that returned {!Delta}: repair an external
+    component structure. Calls [dissolve i] for every current member of
+    every bucket whose membership changed (all dissolves precede all
+    unions), then [union i j] to re-link each such bucket's cohabitants.
+    Components of untouched buckets are never visited — at radius 0
+    their members are pairwise cohabiting, so their old unions remain
+    exact. After a {!Full} rebuild the dirty set is empty or stale; do
+    not call this. *)
+
+val max_occupancy : t -> int
+(** Largest number of agents in one bucket as of the last rebuild. At
+    radius 0 a bucket is a single grid cell, so this is the size of the
+    largest cohabitation group — i.e. the largest connected component of
+    the visibility graph. *)
+
 val iter_close_pairs : t -> f:(int -> int -> unit) -> unit
 (** Call [f i j] (with [i < j]) exactly once for every pair of agents at
-    Manhattan distance [<= radius] in the last {!rebuild}. For
+    Manhattan distance [<= radius] in the last rebuild. For
     [radius = 0] this degenerates to exact-position cohabitation. *)
 
 val count_close_pairs : t -> int

@@ -75,6 +75,160 @@ let jump grid rng rho v =
       draw ()
   end
 
+(* --- In-place structure-of-arrays kernels ---------------------------------
+
+   [step_inplace] is the engine's hot path: positions live in int32
+   coordinate vectors and one step mutates the two entries of one agent
+   with zero allocation. Each kernel consumes exactly the same draws in
+   exactly the same order as [step], so a run stepped through either
+   entry point produces byte-identical streams. Helpers that loop
+   (rejection sampling) are module-level recursive functions: local
+   closures or refs would allocate per call without flambda. *)
+
+type vec = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let vget (v : vec) i = Int32.to_int (Bigarray.Array1.unsafe_get v i)
+let vset (v : vec) i x = Bigarray.Array1.unsafe_set v i (Int32.of_int x)
+
+(* Uniform over the Manhattan ball: same rejection loops as [jump],
+   returning the destination as a packed node index (y * side + x) to
+   avoid allocating a pair. *)
+let rec jump_torus rng rho x y side =
+  let dx = Prng.int_incl rng (-rho) rho in
+  let dy = Prng.int_incl rng (-rho) rho in
+  if abs dx + abs dy > rho then jump_torus rng rho x y side
+  else
+    let nx = (((x + dx) mod side) + side) mod side in
+    let ny = (((y + dy) mod side) + side) mod side in
+    (ny * side) + nx
+
+let rec jump_bounded rng rho x y side =
+  let dx = Prng.int_incl rng (-rho) rho in
+  let dy = Prng.int_incl rng (-rho) rho in
+  if abs dx + abs dy > rho then jump_bounded rng rho x y side
+  else
+    let nx = x + dx and ny = y + dy in
+    if nx < 0 || nx >= side || ny < 0 || ny >= side then
+      jump_bounded rng rho x y side
+    else (ny * side) + nx
+
+(* In-place mirror of [uniform_neighbour]: same degree computation, same
+   draw, same W/E/S/N selection order (the fold order of
+   [Grid.fold_neighbours]). The bounded arm walks the existing-direction
+   list by shadowing [pick] instead of folding with a closure. *)
+let simple_inplace grid rng (xs : vec) (ys : vec) i =
+  let side = Grid.side grid in
+  let x = vget xs i and y = vget ys i in
+  if Grid.is_torus grid then begin
+    (* coordinates are in [0, side), so wrapping is a compare, not a
+       [mod] — a variable-divisor division per moving agent *)
+    match Prng.int rng 4 with
+    | 0 -> vset xs i (if x = 0 then side - 1 else x - 1)
+    | 1 -> vset xs i (if x = side - 1 then 0 else x + 1)
+    | 2 -> vset ys i (if y = 0 then side - 1 else y - 1)
+    | _ -> vset ys i (if y = side - 1 then 0 else y + 1)
+  end
+  else begin
+    let w = x > 0 and e = x < side - 1 and s = y > 0 and n = y < side - 1 in
+    let deg =
+      (if w then 1 else 0) + (if e then 1 else 0) + (if s then 1 else 0)
+      + if n then 1 else 0
+    in
+    if deg > 0 then begin
+      let pick = Prng.int rng deg in
+      if w && pick = 0 then vset xs i (x - 1)
+      else
+        let pick = if w then pick - 1 else pick in
+        if e && pick = 0 then vset xs i (x + 1)
+        else
+          let pick = if e then pick - 1 else pick in
+          if s && pick = 0 then vset ys i (y - 1)
+          else vset ys i (y + 1)
+    end
+  end
+
+let step_inplace grid kernel rng ~xs ~ys i =
+  match kernel with
+  | Lazy_one_fifth ->
+      let d = Prng.int rng 5 in
+      if d <> 4 then begin
+        let side = Grid.side grid in
+        let x = vget xs i and y = vget ys i in
+        if Grid.is_torus grid then begin
+          match d with
+          | 0 -> vset xs i (if x = 0 then side - 1 else x - 1)
+          | 1 -> vset xs i (if x = side - 1 then 0 else x + 1)
+          | 2 -> vset ys i (if y = 0 then side - 1 else y - 1)
+          | _ -> vset ys i (if y = side - 1 then 0 else y + 1)
+        end
+        else begin
+          match d with
+          | 0 -> if x > 0 then vset xs i (x - 1)
+          | 1 -> if x < side - 1 then vset xs i (x + 1)
+          | 2 -> if y > 0 then vset ys i (y - 1)
+          | _ -> if y < side - 1 then vset ys i (y + 1)
+        end
+      end
+  | Simple -> simple_inplace grid rng xs ys i
+  | Lazy_half -> if Prng.bool rng then () else simple_inplace grid rng xs ys i
+  | Jump rho ->
+      if rho <> 0 then begin
+        let side = Grid.side grid in
+        let x = vget xs i and y = vget ys i in
+        let p =
+          if Grid.is_torus grid then jump_torus rng rho x y side
+          else jump_bounded rng rho x y side
+        in
+        vset xs i (p mod side);
+        vset ys i (p / side)
+      end
+
+(* Bulk stepping for the unmasked whole-population case. Per agent this
+   saves the [step_inplace] call, its kernel dispatch and the grid
+   accessor calls — the loop hoists side/topology once and draws exactly
+   the same values in the same agent order, so streams are unchanged.
+   The lazy kernel is the paper's default and the only one specialised;
+   the rest delegate to [step_inplace]. *)
+let move_all grid kernel (rngs : Prng.t array) ~(xs : vec) ~(ys : vec) ~n =
+  match kernel with
+  | Lazy_one_fifth ->
+      (* The direction is random, so branching on it mispredicts ~half
+         the time; flag arithmetic (dx, dy in {-1,0,1}) keeps the loop
+         free of data-dependent branches — the wrap/clamp tests below
+         are taken with probability 1/side and predict cleanly. Both
+         coordinates are stored unconditionally; d = 4 stores them back
+         unchanged. *)
+      let side = Grid.side grid in
+      if Grid.is_torus grid then
+        for i = 0 to n - 1 do
+          let d = Prng.int (Array.unsafe_get rngs i) 5 in
+          let dx = (if d = 1 then 1 else 0) - (if d = 0 then 1 else 0) in
+          let dy = (if d = 3 then 1 else 0) - (if d = 2 then 1 else 0) in
+          let x = vget xs i + dx in
+          let y = vget ys i + dy in
+          let x = if x < 0 then side - 1 else if x >= side then 0 else x in
+          let y = if y < 0 then side - 1 else if y >= side then 0 else y in
+          vset xs i x;
+          vset ys i y
+        done
+      else
+        for i = 0 to n - 1 do
+          let d = Prng.int (Array.unsafe_get rngs i) 5 in
+          let dx = (if d = 1 then 1 else 0) - (if d = 0 then 1 else 0) in
+          let dy = (if d = 3 then 1 else 0) - (if d = 2 then 1 else 0) in
+          let x0 = vget xs i and y0 = vget ys i in
+          let x = x0 + dx and y = y0 + dy in
+          (* bounded grid: a move off the edge clamps to staying put *)
+          let x = if x < 0 || x >= side then x0 else x in
+          let y = if y < 0 || y >= side then y0 else y in
+          vset xs i x;
+          vset ys i y
+        done
+  | Simple | Lazy_half | Jump _ ->
+      for i = 0 to n - 1 do
+        step_inplace grid kernel (Array.unsafe_get rngs i) ~xs ~ys i
+      done
+
 let step grid kernel rng v =
   match kernel with
   | Lazy_one_fifth ->

@@ -30,6 +30,23 @@ val kernel_to_string : kernel -> string
 val step : Grid.t -> kernel -> Prng.t -> Grid.node -> Grid.node
 (** One transition of the kernel from the given node. *)
 
+type vec = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Structure-of-arrays coordinate vector (one coordinate per agent). *)
+
+val step_inplace : Grid.t -> kernel -> Prng.t -> xs:vec -> ys:vec -> int -> unit
+(** [step_inplace grid kernel rng ~xs ~ys i] performs one transition of
+    agent [i], mutating [xs.{i}]/[ys.{i}] in place with zero allocation.
+    Consumes exactly the same stream draws in the same order as {!step},
+    so runs stepped through either entry point are byte-identical. *)
+
+val move_all :
+  Grid.t -> kernel -> Prng.t array -> xs:vec -> ys:vec -> n:int -> unit
+(** One {!step_inplace} transition for each of agents [0..n-1], agent [i]
+    drawing from [rngs.(i)]. Equivalent to calling {!step_inplace} in
+    increasing agent order (same draws, same results); the lazy kernel is
+    specialised so the per-agent dispatch and grid lookups are hoisted
+    out of the loop. *)
+
 val advance : Grid.t -> kernel -> Prng.t -> Grid.node -> steps:int -> Grid.node
 (** Position after [steps] transitions. @raise Invalid_argument if
     [steps < 0]. *)

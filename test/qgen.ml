@@ -50,3 +50,57 @@ let plan ~agents =
     return { Faults.Plan.loss_p; duty; windows; churn; silent; deaf }
   in
   QCheck.make ~print:Faults.Plan.to_string gen
+
+(* A random <=1-cell-per-step walk workload over a side x side grid:
+   initial positions plus per-step per-agent axis moves, with optional
+   per-step churn masks (None = everyone present). Raw material for the
+   incremental spatial-index properties: the engine's bucket-delta fast
+   path must agree with a from-scratch rebuild on exactly these inputs,
+   and masked steps force the index back onto the full-rebuild path so
+   the Delta/Full transitions get exercised too. *)
+type walk_script = {
+  ws_side : int;
+  ws_agents : int;
+  ws_starts : (int * int) array;
+  ws_steps : ((int * int) array * bool array option) list;
+      (* per step: per-agent (dx, dy) plus an optional presence mask *)
+}
+
+let walk_script ?(max_side = 9) ?(max_agents = 14) ?(max_steps = 14) ~churn ()
+    =
+  let open QCheck.Gen in
+  let dir =
+    map
+      (function
+        | 0 -> (0, 0)
+        | 1 -> (1, 0)
+        | 2 -> (-1, 0)
+        | 3 -> (0, 1)
+        | _ -> (0, -1))
+      (int_range 0 4)
+  in
+  let gen =
+    let* side = int_range 2 max_side in
+    let* agents = int_range 1 max_agents in
+    let* steps = int_range 1 max_steps in
+    let coord = int_range 0 (side - 1) in
+    let* starts = array_size (return agents) (pair coord coord) in
+    let mask =
+      if churn then
+        frequency
+          [
+            (3, return None);
+            (1, map Option.some (array_size (return agents) bool));
+          ]
+      else return None
+    in
+    let* moves =
+      list_size (return steps) (pair (array_size (return agents) dir) mask)
+    in
+    return
+      { ws_side = side; ws_agents = agents; ws_starts = starts;
+        ws_steps = moves }
+  in
+  QCheck.make gen ~print:(fun s ->
+      Printf.sprintf "side=%d agents=%d steps=%d" s.ws_side s.ws_agents
+        (List.length s.ws_steps))

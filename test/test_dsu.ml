@@ -198,6 +198,66 @@ let prop_set_count_monotone =
         unions;
       !ok)
 
+(* Epoch reuse: the O(1) reset must behave exactly like a fresh
+   structure — no union from an earlier epoch may survive into a later
+   one through the lazily healed entries. *)
+let prop_epoch_reuse_no_stale =
+  let n = 15 in
+  QCheck.Test.make ~name:"reset epochs never leak earlier-epoch unions"
+    ~count:300
+    QCheck.(triple (unions_gen n) (unions_gen n) (unions_gen n))
+    (fun (a, b, c) ->
+      let reused = Dsu.create n in
+      let ok = ref true in
+      List.iter
+        (fun script ->
+          Dsu.reset reused;
+          List.iter (fun (i, j) -> ignore (Dsu.union reused i j)) script;
+          let fresh = Dsu.create n in
+          List.iter (fun (i, j) -> ignore (Dsu.union fresh i j)) script;
+          for i = 0 to n - 1 do
+            if Dsu.set_size reused i <> Dsu.set_size fresh i then ok := false;
+            for j = 0 to n - 1 do
+              if Dsu.same_set reused i j <> Dsu.same_set fresh i j then
+                ok := false
+            done
+          done;
+          if Dsu.set_count reused <> Dsu.set_count fresh then ok := false)
+        [ a; b; c ];
+      !ok)
+
+(* Whole-set dissolution (the reconcile contract): dissolving every
+   member of one set leaves those members as singletons of the current
+   epoch and every other set byte-for-byte intact. *)
+let prop_dissolve_whole_set =
+  let n = 12 in
+  QCheck.Test.make
+    ~name:"dissolving a whole set yields singletons, others intact"
+    ~count:300
+    QCheck.(pair (unions_gen n) (int_range 0 (n - 1)))
+    (fun (script, x) ->
+      let d = Dsu.create n in
+      List.iter (fun (i, j) -> ignore (Dsu.union d i j)) script;
+      let member = Array.init n (fun i -> Dsu.same_set d i x) in
+      let before =
+        Array.init n (fun i -> Array.init n (fun j -> Dsu.same_set d i j))
+      in
+      for i = 0 to n - 1 do
+        if member.(i) then Dsu.dissolve d i
+      done;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let expect =
+            if i = j then true
+            else if member.(i) || member.(j) then false
+            else before.(i).(j)
+          in
+          if Dsu.same_set d i j <> expect then ok := false
+        done
+      done;
+      !ok)
+
 let () =
   Alcotest.run "dsu"
     [
@@ -223,6 +283,7 @@ let () =
           [
             prop_matches_naive; prop_set_count_invariant; prop_sizes_sum_to_n;
             prop_find_idempotent; prop_union_idempotent;
-            prop_set_count_monotone;
+            prop_set_count_monotone; prop_epoch_reuse_no_stale;
+            prop_dissolve_whole_set;
           ] );
     ]

@@ -142,7 +142,7 @@ let test_continuum_zero_radius_no_pairs () =
   let module S = Continuum.Space in
   let s = S.create ~box_side:4. ~radius:0. ~sigma:0.25 ~agents:8 in
   let pos = S.init_positions s (Prng.of_seed 1) ~n:8 in
-  S.rebuild_index s pos;
+  ignore (S.rebuild_index s pos : Space.index_update);
   let pairs = ref 0 in
   S.iter_close_pairs s ~f:(fun _ _ -> incr pairs);
   Alcotest.(check int) "no visibility edges at radius 0" 0 !pairs

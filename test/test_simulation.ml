@@ -591,6 +591,25 @@ let prop_determinism =
       && a.Simulation.informed = b.Simulation.informed
       && a.Simulation.covered = b.Simulation.covered)
 
+(* The incremental component-maintenance fast path is an optimisation,
+   never a semantics change: a run with --full-rebuild (scratch DSU
+   every step) must produce the identical report, history included. *)
+let prop_full_rebuild_identical =
+  QCheck.Test.make
+    ~name:"incremental components = full rebuild, report and history"
+    ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         tup5 (int_range 3 10) (int_range 1 8) (int_range 0 2)
+           (int_range 0 999) bool))
+    (fun (side, agents, radius, seed, torus) ->
+      let cfg =
+        Config.make ~side ~agents ~radius ~torus ~seed ~max_steps:300
+          ~record_history:true ()
+      in
+      Simulation.run_config cfg
+      = Simulation.run_config ~full_rebuild:true cfg)
+
 let () =
   Alcotest.run "simulation"
     [
@@ -691,6 +710,6 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [
             prop_run_invariants; prop_completed_means_goal_reached;
-            prop_determinism;
+            prop_determinism; prop_full_rebuild_identical;
           ] );
     ]

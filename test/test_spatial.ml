@@ -145,6 +145,123 @@ let prop_pair_distance =
             ok := false);
       !ok)
 
+(* Degenerate torus layouts: fewer than 3 distinct bucket columns means
+   a wrap-aware 3x3 neighbourhood scan would visit the same bucket
+   twice, so the index must take the exhaustive-fallback path. Make that
+   case explicit instead of relying on the randomized properties to
+   stumble into it. *)
+let test_degenerate_torus_fallback () =
+  (* side=4, radius=2: bucket side 2 -> only 2 bucket columns *)
+  let grid = Grid.create ~topology:Grid.Torus ~side:4 () in
+  let rng = Prng.of_seed 42 in
+  for _ = 1 to 5 do
+    let positions = Array.init 12 (fun _ -> Grid.random_node grid rng) in
+    Alcotest.(check (list (pair int int)))
+      "2 bucket columns matches brute force"
+      (brute_pairs grid ~radius:2 positions)
+      (index_pairs grid ~radius:2 positions)
+  done;
+  (* side=3, radius=4: buckets larger than the grid -> 1 bucket column *)
+  let tiny = Grid.create ~topology:Grid.Torus ~side:3 () in
+  let positions = [| 0; 1; 4; 8; 0; 4 |] in
+  Alcotest.(check (list (pair int int)))
+    "1 bucket column matches brute force"
+    (brute_pairs tiny ~radius:4 positions)
+    (index_pairs tiny ~radius:4 positions)
+
+(* --- incremental reconcile ≡ from-scratch rebuild -------------------
+
+   Drive one long-lived index + DSU through a random walk script
+   exactly the way the engine does (Delta -> reconcile, Full -> reset +
+   re-union) and check the resulting components against a freshly built
+   index + freshly unioned DSU after every step. Churn scripts insert
+   masked rebuilds, which force the Full path and exercise the
+   Delta/Full transitions on either side of a mask. *)
+
+let vec_of_coords coords =
+  let v =
+    Bigarray.Array1.create Bigarray.Int32 Bigarray.c_layout
+      (Array.length coords)
+  in
+  Array.iteri (fun i c -> Bigarray.Array1.set v i (Int32.of_int c)) coords;
+  v
+
+let components_agree k inc scratch =
+  let ok = ref true in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      if Dsu.same_set inc i j <> Dsu.same_set scratch i j then ok := false
+    done
+  done;
+  !ok
+
+let prop_incremental_matches_scratch ~torus ~churn =
+  let name =
+    Printf.sprintf "incremental reconcile = scratch rebuild (%s%s)"
+      (if torus then "torus" else "bounded")
+      (if churn then ", churn" else "")
+  in
+  QCheck.Test.make ~name ~count:80 (Qgen.walk_script ~churn ()) (fun s ->
+      (* a torus needs side >= 3; widening the grid keeps the generated
+         coordinates valid *)
+      let side = if torus then max 3 s.Qgen.ws_side else s.Qgen.ws_side in
+      let k = s.Qgen.ws_agents in
+      let grid =
+        if torus then Grid.create ~topology:Grid.Torus ~side ()
+        else Grid.create ~side ()
+      in
+      let xs = vec_of_coords (Array.map fst s.Qgen.ws_starts) in
+      let ys = vec_of_coords (Array.map snd s.Qgen.ws_starts) in
+      let index = Spatial.create grid ~radius:0 in
+      let dsu = Dsu.create k in
+      let ok = ref true in
+      let sync present =
+        match Spatial.rebuild_soa ?present index ~xs ~ys ~n:k with
+        | Spatial.Full ->
+            Dsu.reset dsu;
+            Spatial.iter_close_pairs index ~f:(fun i j ->
+                ignore (Dsu.union dsu i j))
+        | Spatial.Delta ->
+            Spatial.reconcile index
+              ~dissolve:(fun i -> Dsu.dissolve dsu i)
+              ~union:(fun i j -> ignore (Dsu.union dsu i j))
+      in
+      let check present =
+        let positions =
+          Array.init k (fun i ->
+              Grid.index grid
+                ~x:(Int32.to_int (Bigarray.Array1.get xs i))
+                ~y:(Int32.to_int (Bigarray.Array1.get ys i)))
+        in
+        let fresh = Spatial.create grid ~radius:0 in
+        Spatial.rebuild ?present fresh ~positions;
+        let scratch = Dsu.create k in
+        Spatial.iter_close_pairs fresh ~f:(fun i j ->
+            ignore (Dsu.union scratch i j));
+        if not (components_agree k dsu scratch) then ok := false
+      in
+      let move v d =
+        let nv = v + d in
+        if torus then (nv + side) mod side
+        else if nv < 0 || nv >= side then v
+        else nv
+      in
+      sync None;
+      check None;
+      List.iter
+        (fun (moves, present) ->
+          Array.iteri
+            (fun i (dx, dy) ->
+              let x = Int32.to_int (Bigarray.Array1.get xs i) in
+              let y = Int32.to_int (Bigarray.Array1.get ys i) in
+              Bigarray.Array1.set xs i (Int32.of_int (move x dx));
+              Bigarray.Array1.set ys i (Int32.of_int (move y dy)))
+            moves;
+          sync present;
+          check present)
+        s.Qgen.ws_steps;
+      !ok)
+
 let test_iter_agents_near_torus () =
   let grid = Grid.create ~topology:Grid.Torus ~side:10 () in
   let rng = Prng.of_seed 31 in
@@ -199,8 +316,16 @@ let () =
           Alcotest.test_case "invalid range" `Quick
             test_iter_agents_near_invalid;
           Alcotest.test_case "torus query" `Quick test_iter_agents_near_torus;
+          Alcotest.test_case "degenerate torus fallback" `Quick
+            test_degenerate_torus_fallback;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_agreement; prop_pair_distance; prop_torus_agreement ] );
+          [
+            prop_agreement; prop_pair_distance; prop_torus_agreement;
+            prop_incremental_matches_scratch ~torus:false ~churn:false;
+            prop_incremental_matches_scratch ~torus:true ~churn:false;
+            prop_incremental_matches_scratch ~torus:false ~churn:true;
+            prop_incremental_matches_scratch ~torus:true ~churn:true;
+          ] );
     ]
