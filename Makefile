@@ -69,10 +69,10 @@ lint:
 	dune exec bin/mobilint.exe -- --validate /tmp/mobilint.json
 
 # Machine-readable perf trajectory: one {probe -> ns/step, words/step}
-# JSON per PR, pinned at the repo root (BENCH_PR8.json for this PR).
+# JSON per PR, pinned at the repo root (BENCH_PR9.json for this PR).
 # Compare two with `mobisim bench-check OLD NEW`.
 bench-json:
-	dune exec bench/perf_probe.exe -- --json BENCH_PR8.json
+	dune exec bench/perf_probe.exe -- --json BENCH_PR9.json
 
 clean:
 	dune clean

@@ -90,6 +90,18 @@ let () =
         .Simulation.steps);
   Obs.Tracer.set_ambient Obs.Tracer.null;
   assert (Obs.Tracer.dropped traced = 0);
+  (* same run with a per-step series recorder attached: the telemetry
+     overhead budget. A fresh recorder per rep (as --series creates
+     one per run); its Bigarray rows live off the minor heap, so
+     words/step counts only the per-step staging cost plus the
+     Gc.quick_stat reads on sampled steps. *)
+  time_alloc ~label:"core broadcast side=64 k=64 series" ~reps:20 (fun () ->
+      let series =
+        Obs.Series.create ~columns:Mobile_network.Engine.series_columns ()
+      in
+      (Simulation.run_config ~series
+         (Config.make ~side:64 ~agents:64 ~radius:0 ~seed:7 ~max_steps:2000 ()))
+        .Simulation.steps);
   time_alloc ~label:"core broadcast side=64 k=64 r=8" ~reps:20 (fun () ->
       (Simulation.run_config
          (Config.make ~side:64 ~agents:64 ~radius:8 ~seed:7 ~max_steps:2000 ()))

@@ -133,6 +133,36 @@ let trace_events_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace-events" ] ~docv:"FILE" ~doc)
 
+let series_arg =
+  let doc =
+    "Record a per-step timeseries (informed count, component count, \
+     largest island, theory-curve residual, per-phase ns, GC counters; \
+     fixed capacity with power-of-two decimation) and write it as \
+     schema'd NDJSON to $(docv) after the run. Pure observation: it \
+     never changes results."
+  in
+  Arg.(value & opt (some string) None & info [ "series" ] ~docv:"FILE" ~doc)
+
+(* Recorder for `--series FILE`, and the finalizer that writes it.
+   With [None] no recorder exists and the engine keeps its zero-
+   allocation disabled path. *)
+let make_series path =
+  match path with
+  | None -> None
+  | Some _ ->
+      Some
+        (Obs.Series.create ~columns:Mobile_network.Engine.series_columns ())
+
+let finish_series path series ~meta =
+  match (path, series) with
+  | Some path, Some sr ->
+      let oc = open_out_bin path in
+      output_string oc (Obs.Series.export_string ~meta sr);
+      close_out oc;
+      Printf.eprintf "series: wrote %s (%d rows, stride %d)\n" path
+        (Obs.Series.rows sr) (Obs.Series.stride sr)
+  | _ -> ()
+
 (* Install a recording ambient tracer (and hand it to the ambient pool)
    and return the finalizer that writes the merged timeline to FILE.
    With [None] everything stays on the null tracer. *)
@@ -328,28 +358,39 @@ let space_arg =
   in
   Arg.(value & opt space_conv `Grid & info [ "space" ] ~docv:"SPACE" ~doc)
 
+(* The grid-only flags and their explicitly-set detectors, as one table:
+   both the non-grid-space warning and the scenario-conflict warning
+   consume it, so a new grid-only flag is declared in exactly one place.
+   Detection is by comparison with the flag's default, so re-stating a
+   default (e.g. an explicit `--trace 0`) goes unnoticed — fine for a
+   warning. *)
+let grid_only_flags ~protocol ~kernel ~torus ~trace ~render ~trace_out
+    ~full_rebuild ~faults_file ~loss_p ~outage ~churn =
+  [
+    (protocol <> Protocol.Broadcast, "--protocol");
+    (kernel <> Walk.Lazy_one_fifth, "--kernel");
+    (torus, "--torus");
+    (trace > 0, "--trace");
+    (render > 0, "--render");
+    (trace_out <> None, "--trace-out");
+    (full_rebuild, "--full-rebuild");
+    (faults_file <> None, "--faults");
+    (loss_p <> None, "--loss-p");
+    (outage <> None, "--outage");
+    (churn <> None, "--churn");
+  ]
+
+let set_flags table =
+  List.filter_map (fun (set, flag) -> if set then Some flag else None) table
+
 (* The non-grid spaces run a fixed plain broadcast: flag values that only
-   the grid engine interprets would be dropped silently. Detection is by
-   comparison with the flag's default, so re-stating a default (e.g. an
-   explicit `--trace 0`) goes unnoticed — fine for a warning. *)
+   the grid engine interprets would be dropped silently. *)
 let warn_ignored_flags ~space ~protocol ~kernel ~torus ~trace ~render
     ~trace_out ~full_rebuild ~faults_file ~loss_p ~outage ~churn =
   let ignored =
-    List.filter_map
-      (fun (set, flag) -> if set then Some flag else None)
-      [
-        (protocol <> Protocol.Broadcast, "--protocol");
-        (kernel <> Walk.Lazy_one_fifth, "--kernel");
-        (torus, "--torus");
-        (trace > 0, "--trace");
-        (render > 0, "--render");
-        (trace_out <> None, "--trace-out");
-        (full_rebuild, "--full-rebuild");
-        (faults_file <> None, "--faults");
-        (loss_p <> None, "--loss-p");
-        (outage <> None, "--outage");
-        (churn <> None, "--churn");
-      ]
+    set_flags
+      (grid_only_flags ~protocol ~kernel ~torus ~trace ~render ~trace_out
+         ~full_rebuild ~faults_file ~loss_p ~outage ~churn)
   in
   if ignored <> [] then
     Printf.eprintf
@@ -358,9 +399,10 @@ let warn_ignored_flags ~space ~protocol ~kernel ~torus ~trace ~render
       (String.concat ", " ignored)
 
 let run_simulate_continuum side agents radius seed trial max_steps metrics
-    trace_events =
+    trace_events series_file =
   let finish_metrics = install_metrics metrics in
   let finish_trace = install_trace trace_events in
+  let series = make_series series_file in
   let box_side = float_of_int side in
   let radius = float_of_int radius in
   let rc = Continuum.critical_radius ~box_side ~agents in
@@ -373,25 +415,36 @@ let run_simulate_continuum side agents radius seed trial max_steps metrics
     box_side agents radius
     (if rc > 0. then radius /. rc else 0.)
     cfg.Continuum.sigma;
-  let report = as_pool_job (fun () -> Continuum.broadcast cfg) in
+  let report = as_pool_job (fun () -> Continuum.broadcast ?series cfg) in
   (match report.Continuum.outcome with
   | Continuum.Completed ->
       Printf.printf "completed in %d steps\n" report.Continuum.steps
   | Continuum.Timed_out ->
       Printf.printf "TIMED OUT after %d steps (informed %d/%d)\n"
         report.Continuum.steps report.Continuum.informed agents);
+  finish_series series_file series
+    ~meta:
+      [
+        ("space", Obs.Json.String "continuum");
+        ("side", Obs.Json.Int side);
+        ("agents", Obs.Json.Int agents);
+        ("radius", Obs.Json.Float radius);
+        ("seed", Obs.Json.Int seed);
+        ("trial", Obs.Json.Int trial);
+      ];
   finish_trace ();
   finish_metrics ()
 
 let run_simulate_domain side agents radius seed trial max_steps metrics
-    trace_events =
+    trace_events series_file =
   let finish_metrics = install_metrics metrics in
   let finish_trace = install_trace trace_events in
+  let series = make_series series_file in
   let domain = Barriers.Domain.unobstructed (Grid.create ~side ()) in
   Printf.printf "domain: open %dx%d, k=%d r=%d\n" side side agents radius;
   let report =
     as_pool_job (fun () ->
-        Barriers.Barrier_sim.broadcast
+        Barriers.Barrier_sim.broadcast ?series
           { Barriers.Barrier_sim.domain; agents; radius; los_blocking = false;
             seed; trial;
             max_steps =
@@ -404,11 +457,22 @@ let run_simulate_domain side agents radius seed trial max_steps metrics
       Printf.printf "TIMED OUT after %d steps (informed %d/%d)\n"
         report.Barriers.Barrier_sim.steps
         report.Barriers.Barrier_sim.informed agents);
+  finish_series series_file series
+    ~meta:
+      [
+        ("space", Obs.Json.String "domain");
+        ("side", Obs.Json.Int side);
+        ("agents", Obs.Json.Int agents);
+        ("radius", Obs.Json.Int radius);
+        ("seed", Obs.Json.Int seed);
+        ("trial", Obs.Json.Int trial);
+      ];
   finish_trace ();
   finish_metrics ()
 
 let run_simulate_grid side agents radius protocol kernel seed trial max_steps
-    trace render torus trace_out metrics trace_events faults full_rebuild =
+    trace render torus trace_out metrics trace_events faults full_rebuild
+    series_file =
   let cfg =
     Config.make ~torus ~side ~agents ~radius ~protocol ~kernel ~seed ~trial
       ?max_steps ~faults ()
@@ -420,6 +484,7 @@ let run_simulate_grid side agents radius protocol kernel seed trial max_steps
   | Ok () ->
       let finish_metrics = install_metrics metrics in
       let finish_trace = install_trace trace_events in
+      let series = make_series series_file in
       Printf.printf "config: %s\n" (Config.to_string cfg);
       Printf.printf "n = %d nodes, r_c = %.2f, subcritical: %b\n"
         (Config.n cfg)
@@ -439,7 +504,7 @@ let run_simulate_grid side agents radius protocol kernel seed trial max_steps
       in
       let report =
         as_pool_job (fun () ->
-            Simulation.run_config ~on_step ~full_rebuild cfg)
+            Simulation.run_config ~on_step ?series ~full_rebuild cfg)
       in
       (match report.Simulation.outcome with
       | Simulation.Completed ->
@@ -448,6 +513,12 @@ let run_simulate_grid side agents radius protocol kernel seed trial max_steps
           Printf.printf "TIMED OUT after %d steps\n" report.Simulation.steps);
       Printf.printf "final: informed=%d covered=%d\n" report.Simulation.informed
         report.Simulation.covered;
+      finish_series series_file series
+        ~meta:
+          [
+            ("space", Obs.Json.String "grid");
+            ("config", Obs.Json.String (Config.to_string cfg));
+          ];
       Option.iter
         (fun path ->
           (* re-run deterministically through the trace recorder *)
@@ -469,28 +540,18 @@ let warn_scenario_conflicts ~space ~side ~agents ~radius ~protocol ~kernel
     ~seed ~trial ~max_steps ~trace ~render ~torus ~trace_out ~full_rebuild
     ~faults_file ~loss_p ~outage ~churn =
   let ignored =
-    List.filter_map
-      (fun (set, flag) -> if set then Some flag else None)
-      [
-        (space <> `Grid, "--space");
-        (side <> 64, "--side");
-        (agents <> 32, "--agents");
-        (radius <> 0, "--radius");
-        (protocol <> Protocol.Broadcast, "--protocol");
-        (kernel <> Walk.Lazy_one_fifth, "--kernel");
-        (seed <> 0, "--seed");
-        (trial <> 0, "--trial");
-        (max_steps <> None, "--max-steps");
-        (trace > 0, "--trace");
-        (render > 0, "--render");
-        (torus, "--torus");
-        (trace_out <> None, "--trace-out");
-        (full_rebuild, "--full-rebuild");
-        (faults_file <> None, "--faults");
-        (loss_p <> None, "--loss-p");
-        (outage <> None, "--outage");
-        (churn <> None, "--churn");
-      ]
+    set_flags
+      ([
+         (space <> `Grid, "--space");
+         (side <> 64, "--side");
+         (agents <> 32, "--agents");
+         (radius <> 0, "--radius");
+         (seed <> 0, "--seed");
+         (trial <> 0, "--trial");
+         (max_steps <> None, "--max-steps");
+       ]
+      @ grid_only_flags ~protocol ~kernel ~torus ~trace ~render ~trace_out
+          ~full_rebuild ~faults_file ~loss_p ~outage ~churn)
   in
   if ignored <> [] then
     Printf.eprintf
@@ -509,7 +570,7 @@ let read_text_file what path =
     Printf.eprintf "cannot read %s: %s\n" what e;
     exit 2
 
-let run_simulate_scenario path metrics trace_events =
+let run_simulate_scenario path metrics trace_events series_file =
   let text = read_text_file "scenario" path in
   match Scenario.Compile.compile ~filename:path text with
   | Error errs ->
@@ -521,15 +582,24 @@ let run_simulate_scenario path metrics trace_events =
           let seed = compiled.Scenario.Compile.seed in
           let finish_metrics = install_metrics metrics in
           let finish_trace = install_trace trace_events in
+          let series = make_series series_file in
           Printf.printf "scenario %s: hash=%s seed=%d trial=0\n" path
             compiled.Scenario.Compile.hash seed;
           Printf.printf "cell: %s\n"
             (Obs.Json.to_string (Scenario.Ast.cell_json cell));
           let payload =
             as_pool_job (fun () ->
-                Service.Runner.run_payload cell ~seed ~trial:0)
+                Service.Runner.run_payload ?series cell ~seed ~trial:0)
           in
           Printf.printf "result: %s\n" payload;
+          finish_series series_file series
+            ~meta:
+              [
+                ("cell", Scenario.Ast.cell_json cell);
+                ("hash", Obs.Json.String (Scenario.Ast.cell_hash cell));
+                ("seed", Obs.Json.Int seed);
+                ("trial", Obs.Json.Int 0);
+              ];
           finish_trace ();
           finish_metrics ()
       | cells ->
@@ -541,13 +611,13 @@ let run_simulate_scenario path metrics trace_events =
 
 let run_simulate scenario space side agents radius protocol kernel seed trial
     max_steps trace render torus trace_out full_rebuild metrics trace_events
-    faults_file loss_p outage churn =
+    series_file faults_file loss_p outage churn =
   match scenario with
   | Some path ->
       warn_scenario_conflicts ~space ~side ~agents ~radius ~protocol ~kernel
         ~seed ~trial ~max_steps ~trace ~render ~torus ~trace_out ~full_rebuild
         ~faults_file ~loss_p ~outage ~churn;
-      run_simulate_scenario path metrics trace_events
+      run_simulate_scenario path metrics trace_events series_file
   | None -> (
       let warn space =
         warn_ignored_flags ~space ~protocol ~kernel ~torus ~trace ~render
@@ -558,15 +628,15 @@ let run_simulate scenario space side agents radius protocol kernel seed trial
           let faults = load_fault_plan faults_file loss_p outage churn in
           run_simulate_grid side agents radius protocol kernel seed trial
             max_steps trace render torus trace_out metrics trace_events faults
-            full_rebuild
+            full_rebuild series_file
       | `Continuum ->
           warn "continuum";
           run_simulate_continuum side agents radius seed trial max_steps metrics
-            trace_events
+            trace_events series_file
       | `Domain ->
           warn "domain";
           run_simulate_domain side agents radius seed trial max_steps metrics
-            trace_events)
+            trace_events series_file)
 
 let simulate_cmd =
   let trace =
@@ -610,8 +680,8 @@ let simulate_cmd =
       $ radius_arg
       $ protocol_arg $ kernel_arg $ seed_arg $ trial_arg $ max_steps_arg
       $ trace $ render $ torus_arg $ trace_out $ full_rebuild $ metrics_arg
-      $ trace_events_arg $ faults_file_arg $ loss_p_arg $ outage_arg
-      $ churn_arg)
+      $ trace_events_arg $ series_arg $ faults_file_arg $ loss_p_arg
+      $ outage_arg $ churn_arg)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a single simulation and report its outcome.")
@@ -627,12 +697,18 @@ let write_csv dir (result : Experiments.Exp_result.t) =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
-let run_experiments ids quick seed jobs csv_dir metrics trace_events =
+let run_experiments ids quick seed jobs csv_dir metrics trace_events series_dir
+    =
   if jobs < 1 then begin
     Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
     exit 2
   end;
   Runtime.Pool.set_ambient_jobs jobs;
+  Option.iter
+    (fun dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Obs.Series.set_ambient_dir (Some dir))
+    series_dir;
   let finish_metrics = install_metrics ~pool:true metrics in
   let finish_trace = install_trace trace_events in
   let entries =
@@ -676,10 +752,19 @@ let exp_cmd =
     let doc = "Experiment ids to run (default: all). See 'mobisim list'." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
+  let series_dir =
+    let doc =
+      "Also record a per-step timeseries for trial 0 of every grid sweep \
+       point and write each as schema'd NDJSON into $(docv) (one \
+       <config>.series.json per point). Pure observation: results and \
+       experiment output are byte-identical at any --jobs."
+    in
+    Arg.(value & opt (some string) None & info [ "series-dir" ] ~docv:"DIR" ~doc)
+  in
   let term =
     Term.(
       const run_experiments $ ids $ quick_arg $ seed_arg $ jobs_arg
-      $ csv_dir_arg $ metrics_arg $ trace_events_arg)
+      $ csv_dir_arg $ metrics_arg $ trace_events_arg $ series_dir)
   in
   Cmd.v
     (Cmd.info "exp"
@@ -905,14 +990,34 @@ let run_validate_metrics path =
       Printf.eprintf "cannot read metrics snapshot: %s\n" e;
       exit 1
   in
-  (* A trace-event file is a JSON array, a metrics snapshot an object:
-     the first non-whitespace byte picks the validator. *)
+  (* A trace-event file is a JSON array; a series file declares
+     "schema":"mobisim-series/1" in its first line (NDJSON export) or
+     top-level object; anything else is a metrics snapshot. *)
   let rec first_byte i =
     if i >= String.length text then '\x00'
     else
       match text.[i] with
       | ' ' | '\t' | '\n' | '\r' -> first_byte (i + 1)
       | c -> c
+  in
+  let is_series =
+    let declares_series j =
+      match Obs.Json.member "schema" j with
+      | Some (Obs.Json.String s) -> String.equal s Obs.Series.schema
+      | Some _ | None -> false
+    in
+    let first_line =
+      match String.index_opt text '\n' with
+      | Some i -> String.sub text 0 i
+      | None -> text
+    in
+    match Obs.Json.parse first_line with
+    | Ok j -> declares_series j
+    | Error _ -> (
+        (* pretty-printed single-document export *)
+        match Obs.Json.parse text with
+        | Ok j -> declares_series j
+        | Error _ -> false)
   in
   if first_byte 0 = '[' then
     match Obs.Tracer.parse text with
@@ -924,6 +1029,24 @@ let run_validate_metrics path =
           match json with Obs.Json.List events -> List.length events | _ -> 0
         in
         Printf.printf "trace-event file OK: %d events\n" n
+  else if is_series then
+    match Obs.Series.parse text with
+    | Error e ->
+        Printf.eprintf "INVALID series file: %s\n" e;
+        exit 1
+    | Ok json ->
+        let len name =
+          match Obs.Json.member name json with
+          | Some (Obs.Json.List l) -> List.length l
+          | Some _ | None -> 0
+        in
+        let stride =
+          match Obs.Json.member "stride" json with
+          | Some (Obs.Json.Int s) -> s
+          | Some _ | None -> 0
+        in
+        Printf.printf "series file OK: %d columns, %d rows, stride %d\n"
+          (len "columns") (len "data") stride
   else
     match Obs.Snapshot.parse text with
     | Error e ->
@@ -942,16 +1065,18 @@ let run_validate_metrics path =
 let validate_metrics_cmd =
   let path =
     let doc =
-      "Snapshot file written by '--metrics FILE', or a Chrome trace-event \
-       file written by '--trace-events FILE' (auto-detected)."
+      "Snapshot file written by '--metrics FILE', a Chrome trace-event \
+       file written by '--trace-events FILE', or a per-step series file \
+       written by '--series FILE' (auto-detected)."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
   Cmd.v
     (Cmd.info "validate-metrics"
        ~doc:
-         "Parse a metrics snapshot written by --metrics (or a trace-event \
-          file written by --trace-events) and check its structure.")
+         "Parse a metrics snapshot written by --metrics, a trace-event \
+          file written by --trace-events, or a per-step series written by \
+          --series (auto-detected) and check its structure.")
     Term.(const run_validate_metrics $ path)
 
 (* --- bench-check ----------------------------------------------------------- *)
@@ -1211,24 +1336,50 @@ let client_request socket_path req =
       Printf.eprintf "%s\n" msg;
       exit 1
 
-(* The response's first line tells success; the whole response is echoed
-   to stdout either way (NDJSON in, NDJSON out). *)
+(* Exit status from a response's first line: an explicit "ok":false is
+   a daemon-reported failure; an explicit "ok":true a success; anything
+   else (raw-payload ops like metrics, watch or --prom) is success —
+   the daemon reports failures only through "ok":false lines. *)
+let first_line_ok first_line =
+  match Obs.Json.parse first_line with
+  | Error _ -> true
+  | Ok j -> (
+      match Obs.Json.member "ok" j with
+      | Some (Obs.Json.Bool b) -> b
+      | Some _ | None -> true)
+
+(* The whole response is echoed to stdout either way (NDJSON in,
+   NDJSON out). *)
 let print_response response =
   print_string response;
-  let ok =
+  let first =
     match String.index_opt response '\n' with
-    | None -> false
-    | Some i -> (
-        match Obs.Json.parse (String.sub response 0 i) with
-        | Error _ -> false
-        | Ok j -> (
-            match Obs.Json.member "ok" j with
-            | Some (Obs.Json.Bool b) -> b
-            | Some _ | None -> false))
+    | None -> response
+    | Some i -> String.sub response 0 i
   in
-  if not ok then exit 1
+  if not (first_line_ok first) then exit 1
 
-let run_submit path root socket progress =
+(* Streamed variant: print each line the moment it arrives, track the
+   first line's verdict. *)
+let stream_response socket_path req =
+  let first = ref None in
+  (match
+     Service.Daemon.Client.request_stream ~socket_path
+       ~on_line:(fun line ->
+         if !first = None then first := Some line;
+         print_string line;
+         flush stdout)
+       (Obs.Json.to_string req)
+   with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1);
+  match !first with
+  | Some line when not (first_line_ok line) -> exit 1
+  | Some _ | None -> ()
+
+let run_submit path root socket progress series =
   let _, socket_path = resolve_service root socket in
   let text = read_text_file "scenario" path in
   let req =
@@ -1238,18 +1389,30 @@ let run_submit path root socket progress =
          ("text", Obs.Json.String text);
          ("filename", Obs.Json.String path);
        ]
-      @ if progress then [ ("progress", Obs.Json.Bool true) ] else [])
+      @ (if progress then [ ("progress", Obs.Json.Bool true) ] else [])
+      @ if series then [ ("series", Obs.Json.Bool true) ] else [])
   in
-  print_response (client_request socket_path req)
+  if progress then stream_response socket_path req
+  else print_response (client_request socket_path req)
 
 let submit_cmd =
   let progress =
     let doc =
-      "Stream {\"progress\":...} lines while the sweep runs (off by \
-       default, so identical submissions get byte-identical responses \
-       whether served cold or from cache)."
+      "Stream the response: {\"progress\":...} lines and each result line \
+       printed the moment the daemon persists it (off by default, so \
+       identical submissions get byte-identical responses whether served \
+       cold or from cache). The streamed result lines are byte-identical \
+       to the non-streaming body."
     in
     Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  let series =
+    let doc =
+      "Ask the daemon to also record a per-step timeseries per cell into \
+       <root>/series/<cell hash>.series.json (an extra trial-0 run after \
+       the sweep; the response and artifact bytes are unchanged)."
+    in
+    Arg.(value & flag & info [ "series" ] ~doc)
   in
   Cmd.v
     (Cmd.info "submit"
@@ -1258,7 +1421,9 @@ let submit_cmd =
           print the NDJSON response (header line, then one result line per \
           (cell, trial) run). Repeated submissions are served from the \
           result cache, byte-identically.")
-    Term.(const run_submit $ scenario_file_pos $ root_arg $ socket_arg $ progress)
+    Term.(
+      const run_submit $ scenario_file_pos $ root_arg $ socket_arg $ progress
+      $ series)
 
 let run_daemon_op op root socket =
   let _, socket_path = resolve_service root socket in
@@ -1275,12 +1440,59 @@ let serve_health_cmd =
     ~doc:"Print a running daemon's health line (jobs, served, pending)."
     "health"
 
+let run_serve_metrics root socket prom =
+  let _, socket_path = resolve_service root socket in
+  let req =
+    Obs.Json.Assoc
+      ([ ("op", Obs.Json.String "metrics") ]
+      @ if prom then [ ("format", Obs.Json.String "prom") ] else [])
+  in
+  print_response (client_request socket_path req)
+
 let serve_metrics_cmd =
-  daemon_op_cmd "serve-metrics"
-    ~doc:
-      "Print a running daemon's metrics snapshot (cache hits/misses, cells \
-       computed, pool stats) as one JSON line."
-    "metrics"
+  let prom =
+    let doc =
+      "Render the registry in Prometheus text exposition format instead of \
+       JSON (point a Prometheus scraper at this command's output)."
+    in
+    Arg.(value & flag & info [ "prom" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve-metrics"
+       ~doc:
+         "Print a running daemon's metrics snapshot (cache hits/misses, \
+          cells computed, pool stats) as one JSON line, or with $(b,--prom) \
+          in Prometheus text exposition format.")
+    Term.(const run_serve_metrics $ root_arg $ socket_arg $ prom)
+
+let run_serve_watch root socket interval_ms count =
+  let _, socket_path = resolve_service root socket in
+  let req =
+    Obs.Json.Assoc
+      [
+        ("op", Obs.Json.String "watch");
+        ("interval_ms", Obs.Json.Int interval_ms);
+        ("count", Obs.Json.Int count);
+      ]
+  in
+  stream_response socket_path req
+
+let serve_watch_cmd =
+  let interval_ms =
+    let doc = "Milliseconds between snapshots." in
+    Arg.(value & opt int 1000 & info [ "interval-ms" ] ~docv:"MS" ~doc)
+  in
+  let count =
+    let doc = "Stop after $(docv) snapshots (0 = stream until killed)." in
+    Arg.(value & opt int 0 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve-watch"
+       ~doc:
+         "Stream periodic metrics snapshots from a running daemon, one JSON \
+          line per tick (the daemon is single-threaded: a watch occupies it \
+          between submits).")
+    Term.(const run_serve_watch $ root_arg $ socket_arg $ interval_ms $ count)
 
 let serve_stop_cmd =
   daemon_op_cmd "serve-stop" ~doc:"Ask a running daemon to shut down."
@@ -1298,5 +1510,5 @@ let () =
   let group = Cmd.group info [ simulate_cmd; exp_cmd; list_cmd; percolation_cmd; theory_cmd;
        barrier_cmd; continuum_cmd; validate_trace_cmd; validate_metrics_cmd;
        bench_check_cmd; scenario_cmd; serve_cmd; submit_cmd; serve_health_cmd;
-       serve_metrics_cmd; serve_stop_cmd ] in
+       serve_metrics_cmd; serve_watch_cmd; serve_stop_cmd ] in
   exit (Cmd.eval group)

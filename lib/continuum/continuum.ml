@@ -76,9 +76,14 @@ let spec_of_config cfg =
   Engine.default_spec ~agents:cfg.agents ~seed:cfg.seed ~trial:cfg.trial
     ~max_steps:cfg.max_steps
 
-let create ?metrics cfg =
+(* the theory residual's n for a continuum box: its area, the analogue
+   of the grid's side^2 node count *)
+let theory_n cfg = int_of_float (Float.round (cfg.box_side *. cfg.box_side))
+
+let create ?metrics ?series cfg =
   validate cfg;
-  E.create ?metrics ~space:(space_of_config cfg) (spec_of_config cfg)
+  E.create ?metrics ?series ~theory_n:(theory_n cfg)
+    ~space:(space_of_config cfg) (spec_of_config cfg)
 
 let report_of (r : Engine.report) =
   {
@@ -90,9 +95,12 @@ let report_of (r : Engine.report) =
     informed = r.Engine.informed;
   }
 
-let run ?metrics ?(record_history = false) cfg =
+let run ?metrics ?series ?(record_history = false) cfg =
   validate cfg;
   let spec = { (spec_of_config cfg) with Engine.record_history } in
-  E.run (E.create ?metrics ~space:(space_of_config cfg) spec)
+  E.run
+    (E.create ?metrics ?series ~theory_n:(theory_n cfg)
+       ~space:(space_of_config cfg) spec)
 
-let broadcast ?metrics cfg = report_of (E.run (create ?metrics cfg))
+let broadcast ?metrics ?series cfg =
+  report_of (E.run (create ?metrics ?series cfg))

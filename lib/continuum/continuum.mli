@@ -60,16 +60,20 @@ val giant_fraction :
 (** Mean largest-component fraction over fresh uniform placements —
     the continuum order parameter. *)
 
-val broadcast : ?metrics:Obs.Sink.t -> config -> report
+val broadcast : ?metrics:Obs.Sink.t -> ?series:Obs.Series.t -> config -> report
 (** Single-rumor broadcast from a uniformly chosen source under
     reflected-Brownian dynamics with instant component flooding.
     [metrics] (default the ambient sink) receives the engine's
-    per-phase timings, exactly as for {!Mobile_network.Simulation}.
+    per-phase timings, exactly as for {!Mobile_network.Simulation};
+    [series] (default none) a per-step {!Obs.Series} recorder, whose
+    theory-residual column uses [n = box_side²] (the box area, the
+    continuum analogue of the grid's node count).
     @raise Invalid_argument on non-positive box/agents/sigma, negative
     radius or negative step cap. *)
 
 val run :
   ?metrics:Obs.Sink.t ->
+  ?series:Obs.Series.t ->
   ?record_history:bool ->
   config ->
   Mobile_network.Engine.report

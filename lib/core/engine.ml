@@ -85,6 +85,56 @@ type trace_ctx = {
   tgc : Obs.Tracer.gc_track;
 }
 
+(* Per-step timeseries columns (see {!Obs.Series}): the dissemination
+   trajectory itself, one int row per sampled step. [components] is -1
+   on paths that never build the DSU (predator–prey; single-hop with
+   the island metric off). [theory_residual] is
+   informed(t) - round(k * min(1, t / T_B)) with T_B = n/sqrt(k), the
+   paper's Θ̃(n/√k) broadcast bound rendered as a linear ramp — a run
+   tracking the bound stays near 0. [minor_words] and [gc_minor]/
+   [gc_major] are cumulative since engine creation (cumulative counters
+   survive decimation; per-row deltas would not). Phase columns are the
+   same boundaries the histograms and tracer see, in ns. *)
+let series_columns =
+  [
+    "informed"; "components"; "max_island"; "theory_residual"; "move_ns";
+    "index_ns"; "components_ns"; "exchange_ns"; "record_ns"; "minor_words";
+    "gc_minor"; "gc_major";
+  ]
+
+(* Pre-resolved series state, allocated only when a recording series is
+   attached. [ph_ns] stages the step's per-phase durations (indexed by
+   the [ph_*] constants below) so the sample committed at the end of the
+   step sees every phase of that step. *)
+type series_ctx = {
+  sr : Obs.Series.t;
+  sc_informed : Obs.Series.col;
+  sc_components : Obs.Series.col;
+  sc_island : Obs.Series.col;
+  sc_residual : Obs.Series.col;
+  sc_move : Obs.Series.col;
+  sc_index : Obs.Series.col;
+  sc_components_ns : Obs.Series.col;
+  sc_exchange : Obs.Series.col;
+  sc_record : Obs.Series.col;
+  sc_minor : Obs.Series.col;
+  sc_gc_minor : Obs.Series.col;
+  sc_gc_major : Obs.Series.col;
+  ph_ns : int array;  (* 5 slots, one per phase *)
+  dsu_live : bool;  (* does this spec's step path maintain the DSU? *)
+  theory_tb : float;  (* T_B = n/sqrt(k); 0 when n is unknown *)
+  agents_f : float;  (* k as float, for the residual ramp *)
+  base_minor : float;  (* Gc.minor_words at creation *)
+  base_gc_minor : int;
+  base_gc_major : int;
+}
+
+let ph_move = 0
+let ph_index = 1
+let ph_components = 2
+let ph_exchange = 3
+let ph_record = 4
+
 let tracks_coverage = function
   | Protocol.Broadcast_cover | Protocol.Cover_walks -> true
   | Protocol.Broadcast | Protocol.Gossip | Protocol.Frog
@@ -119,19 +169,24 @@ module Make (S : Space.S) = struct
     recorder : recorder option;
     obs : phase_timers option;
     trc : trace_ctx option;
-    timed : bool;  (* obs or trc present: phases read the clock *)
+    ser : series_ctx option;
+    timed : bool;  (* obs, trc or ser present: phases read the clock *)
   }
 
-  (* Timing helpers. With metrics and tracing both off, [phase_start]
-     returns an immediate 0 and [phase_end] is a branch — no clock read,
-     no allocation, so the disabled hot path stays exactly as fast as
-     before the subsystem existed. The [sel]/[tsel] arguments below are
-     closed closures (statically allocated). *)
+  (* Timing helpers. With metrics, tracing and series all off,
+     [phase_start] returns an immediate 0 and [phase_end] is a branch —
+     no clock read, no allocation, so the disabled hot path stays
+     exactly as fast as before the subsystem existed. The [sel]/[tsel]
+     arguments below are closed closures (statically allocated); [ph]
+     is the phase's [ph_ns] staging slot. *)
   let[@inline] phase_start t = if t.timed then Obs.Clock.now_ns () else 0
 
-  let[@inline] phase_end t sel tsel t0 =
+  let[@inline] phase_end t ph sel tsel t0 =
     if t.timed then begin
       let now = Obs.Clock.now_ns () in
+      (match t.ser with
+      | None -> ()
+      | Some s -> s.ph_ns.(ph) <- now - t0);
       (match t.obs with
       | None -> ()
       | Some p -> Obs.Metric.Histogram.observe (sel p) (now - t0));
@@ -140,12 +195,47 @@ module Make (S : Space.S) = struct
       | Some c -> Obs.Tracer.duration c.tc (tsel c) ~ts:t0 ~dur:(now - t0)
     end
 
+  (* One series sample: staged at the end of a step so every phase
+     duration of that step is in [ph_ns]. Gated on [Series.want] so
+     off-stride steps (after a decimation) skip the GC stat reads. *)
+  let series_commit t =
+    match t.ser with
+    | None -> ()
+    | Some s ->
+        if Obs.Series.want s.sr ~step:t.time then begin
+          let sr = s.sr in
+          Obs.Series.stage sr s.sc_informed t.ex.Exchange.informed_count;
+          Obs.Series.stage sr s.sc_components
+            (if s.dsu_live then Dsu.set_count t.dsu else -1);
+          Obs.Series.stage sr s.sc_island t.island;
+          let expected =
+            if s.theory_tb <= 0. then 0.
+            else
+              s.agents_f *. Float.min 1. (float_of_int t.time /. s.theory_tb)
+          in
+          Obs.Series.stage sr s.sc_residual
+            (t.ex.Exchange.informed_count - int_of_float (Float.round expected));
+          Obs.Series.stage sr s.sc_move s.ph_ns.(ph_move);
+          Obs.Series.stage sr s.sc_index s.ph_ns.(ph_index);
+          Obs.Series.stage sr s.sc_components_ns s.ph_ns.(ph_components);
+          Obs.Series.stage sr s.sc_exchange s.ph_ns.(ph_exchange);
+          Obs.Series.stage sr s.sc_record s.ph_ns.(ph_record);
+          Obs.Series.stage sr s.sc_minor
+            (int_of_float (Gc.minor_words () -. s.base_minor));
+          let st = Gc.quick_stat () in
+          Obs.Series.stage sr s.sc_gc_minor
+            (st.Gc.minor_collections - s.base_gc_minor);
+          Obs.Series.stage sr s.sc_gc_major
+            (st.Gc.major_collections - s.base_gc_major);
+          Obs.Series.commit sr ~step:t.time
+        end
+
   (* --- information exchange --------------------------------------------- *)
 
   let rebuild_components t =
     let t0 = phase_start t in
     let upd = S.rebuild_index t.space t.pos in
-    phase_end t (fun p -> p.ph_index) (fun c -> c.tn_index) t0;
+    phase_end t ph_index (fun p -> p.ph_index) (fun c -> c.tn_index) t0;
     let t1 = phase_start t in
     (match upd with
     | Space.Delta ->
@@ -162,7 +252,7 @@ module Make (S : Space.S) = struct
         (* no dissolve happened in this epoch, so the running union
            maximum is exactly the largest set — in O(1) *)
         t.island <- Dsu.max_union_size t.dsu);
-    phase_end t (fun p -> p.ph_components) (fun c -> c.tn_components) t1
+    phase_end t ph_components (fun p -> p.ph_components) (fun c -> c.tn_components) t1
 
   (* Index rebuild without the component (DSU) pass — for exchanges that
      only consume raw pairs when the island metric is off. *)
@@ -170,12 +260,12 @@ module Make (S : Space.S) = struct
     let t0 = phase_start t in
     (* the DSU is not in use on this path, so a Delta report is moot *)
     ignore (S.rebuild_index t.space t.pos : Space.index_update);
-    phase_end t (fun p -> p.ph_index) (fun c -> c.tn_index) t0
+    phase_end t ph_index (fun p -> p.ph_index) (fun c -> c.tn_index) t0
 
   let timed_exchange t f =
     let t0 = phase_start t in
     f t;
-    phase_end t (fun p -> p.ph_exchange) (fun c -> c.tn_exchange) t0
+    phase_end t ph_exchange (fun p -> p.ph_exchange) (fun c -> c.tn_exchange) t0
 
   (* Single-hop exchanges read pairs directly, so the DSU build is pure
      island-metric bookkeeping there; flooding always needs it. *)
@@ -227,7 +317,7 @@ module Make (S : Space.S) = struct
     ignore
       (S.rebuild_index ?present:(Faults.present_mask f) t.space t.pos
         : Space.index_update);
-    phase_end t (fun p -> p.ph_index) (fun c -> c.tn_index) t0;
+    phase_end t ph_index (fun p -> p.ph_index) (fun c -> c.tn_index) t0;
     let t1 = phase_start t in
     Intbuf.clear t.live_pairs;
     if not (Faults.blackout f) then
@@ -237,7 +327,7 @@ module Make (S : Space.S) = struct
       t.iter_live t.union_edge;
       t.island <- Dsu.max_union_size t.dsu
     end;
-    phase_end t (fun p -> p.ph_components) (fun c -> c.tn_components) t1
+    phase_end t ph_components (fun p -> p.ph_components) (fun c -> c.tn_components) t1
 
   let exchange_faulted t f =
     match t.spec.protocol with
@@ -323,7 +413,7 @@ module Make (S : Space.S) = struct
 
   (* --- construction ------------------------------------------------------ *)
 
-  let create ?metrics ?tracer ~space spec =
+  let create ?metrics ?tracer ?series ?theory_n ~space spec =
     if spec.agents <= 0 then invalid_arg "Engine.create: agents <= 0";
     if spec.max_steps < 0 then invalid_arg "Engine.create: negative max_steps";
     if spec.sources < 1 || spec.sources > spec.agents then
@@ -369,6 +459,52 @@ module Make (S : Space.S) = struct
             tn_informed = Obs.Tracer.name tracer "sim.informed";
             tgc = Obs.Tracer.gc_track tracer;
           }
+    in
+    let ser =
+      match series with
+      | None -> None
+      | Some sr when not (Obs.Series.enabled sr) -> None
+      | Some sr ->
+          let n =
+            match theory_n with Some n -> n | None -> S.cover_cells space
+          in
+          let theory_tb =
+            if n > 0 then Theory.broadcast_theta ~n ~k:spec.agents else 0.
+          in
+          let dsu_live =
+            match spec.protocol with
+            | Protocol.Predator_prey _ -> false
+            | Protocol.Cover_walks -> true
+            | Protocol.Broadcast | Protocol.Gossip | Protocol.Frog
+            | Protocol.Broadcast_cover -> (
+                match spec.exchange with
+                | Exchange.Flood_component -> true
+                | Exchange.Single_hop -> spec.track_islands)
+          in
+          let st = Gc.quick_stat () in
+          Some
+            {
+              sr;
+              sc_informed = Obs.Series.col sr "informed";
+              sc_components = Obs.Series.col sr "components";
+              sc_island = Obs.Series.col sr "max_island";
+              sc_residual = Obs.Series.col sr "theory_residual";
+              sc_move = Obs.Series.col sr "move_ns";
+              sc_index = Obs.Series.col sr "index_ns";
+              sc_components_ns = Obs.Series.col sr "components_ns";
+              sc_exchange = Obs.Series.col sr "exchange_ns";
+              sc_record = Obs.Series.col sr "record_ns";
+              sc_minor = Obs.Series.col sr "minor_words";
+              sc_gc_minor = Obs.Series.col sr "gc_minor";
+              sc_gc_major = Obs.Series.col sr "gc_major";
+              ph_ns = Array.make 5 0;
+              dsu_live;
+              theory_tb;
+              agents_f = float_of_int spec.agents;
+              base_minor = Gc.minor_words ();
+              base_gc_minor = st.Gc.minor_collections;
+              base_gc_major = st.Gc.major_collections;
+            }
     in
     let k = spec.agents in
     let population = Protocol.population spec.protocol ~k in
@@ -500,7 +636,8 @@ module Make (S : Space.S) = struct
         time = 0;
         obs;
         trc;
-        timed = (obs <> None || trc <> None);
+        ser;
+        timed = (obs <> None || trc <> None || ser <> None);
         recorder =
           (if spec.record_history then
              Some
@@ -519,6 +656,7 @@ module Make (S : Space.S) = struct
     | Some f -> Faults.begin_step f ~time:0);
     exchange t;
     observe_and_record t;
+    series_commit t;
     t
 
   (* --- stepping ----------------------------------------------------------- *)
@@ -526,6 +664,12 @@ module Make (S : Space.S) = struct
   let step t =
     if not (is_done t) then begin
       t.time <- t.time + 1;
+      (match t.ser with
+      | None -> ()
+      | Some s ->
+          (* phases a protocol skips (e.g. no exchange under cover
+             walks) must sample as 0, not as the previous step's ns *)
+          Array.fill s.ph_ns 0 5 0);
       (match t.faults with
       | None -> ()
       | Some f -> Faults.begin_step f ~time:t.time);
@@ -536,20 +680,21 @@ module Make (S : Space.S) = struct
           S.move_all
             ?present:(Faults.present_mask f)
             t.space t.pos t.rngs t.mobility);
-      phase_end t (fun p -> p.ph_move) (fun c -> c.tn_move) t0;
+      phase_end t ph_move (fun p -> p.ph_move) (fun c -> c.tn_move) t0;
       exchange t;
       let t1 = phase_start t in
       observe_and_record t;
-      phase_end t (fun p -> p.ph_record) (fun c -> c.tn_record) t1;
+      phase_end t ph_record (fun p -> p.ph_record) (fun c -> c.tn_record) t1;
       (match t.obs with
       | None -> ()
       | Some p -> Obs.Metric.Counter.incr p.ph_steps);
-      match t.trc with
+      (match t.trc with
       | None -> ()
       | Some c ->
           Obs.Tracer.counter c.tc c.tn_informed ~ts:(Obs.Clock.now_ns ())
             ~v:t.ex.Exchange.informed_count;
-          Obs.Tracer.gc_sample c.tc c.tgc
+          Obs.Tracer.gc_sample c.tc c.tgc);
+      series_commit t
     end
 
   let run ?on_step t =

@@ -73,10 +73,27 @@ val default_spec : agents:int -> seed:int -> trial:int -> max_steps:int -> spec
 (** Single-source broadcast with component flooding and no recording —
     the satellite engines' common case; override fields as needed. *)
 
+val series_columns : string list
+(** The column set every engine records into an attached {!Obs.Series}:
+    [informed], [components] (DSU set count; [-1] on step paths that
+    never build components), [max_island], [theory_residual] (informed
+    minus the Θ̃(n/√k) linear ramp [round (k * min 1 (t / T_B))] with
+    [T_B = Theory.broadcast_theta]), the five per-phase [_ns] columns,
+    and cumulative-since-creation [minor_words] / [gc_minor] /
+    [gc_major]. Create recorders with
+    [Obs.Series.create ~columns:series_columns ()]. *)
+
 module Make (S : Space.S) : sig
   type t
 
-  val create : ?metrics:Obs.Sink.t -> ?tracer:Obs.Tracer.t -> space:S.t -> spec -> t
+  val create :
+    ?metrics:Obs.Sink.t ->
+    ?tracer:Obs.Tracer.t ->
+    ?series:Obs.Series.t ->
+    ?theory_n:int ->
+    space:S.t ->
+    spec ->
+    t
   (** [metrics] (default {!Obs.Sink.ambient}) selects where per-phase
       timings go; against the null sink instrumentation performs no clock
       reads and no allocation. Against a recording sink the engine
@@ -94,6 +111,18 @@ module Make (S : Space.S) : sig
       instants, and per {!run} one trial-tagged [sim.run] span — all on
       the executing domain's ring. Disabled tracing, like the null sink,
       costs nothing and allocates nothing.
+
+      [series] (default none) attaches a per-step timeseries recorder
+      created over {!series_columns}: one row per step (decimated by
+      {!Obs.Series} once its capacity fills), committed at the end of
+      each step and once for the initial state. [theory_n] is the node
+      count [n] the theory-residual column's [T_B = n/√k] ramp uses;
+      it defaults to the space's [cover_cells] (the grid's [n]; pass it
+      explicitly for spaces whose cover-cell count is not the paper's
+      [n], e.g. the continuum). Series recording, like the other two
+      instruments, is pure observation: results are byte-identical with
+      a recorder attached or not, and passing {!Obs.Series.null} is the
+      same as passing nothing.
       @raise Invalid_argument on non-positive [agents], a negative
       [max_steps], or an out-of-range [source]/[sources]; callers with
       richer configs validate those first with their own messages. *)

@@ -50,7 +50,7 @@ let spec_of_config cfg =
     faults = cfg.Config.faults;
   }
 
-let create ?metrics ?(full_rebuild = false) cfg =
+let create ?metrics ?series ?(full_rebuild = false) cfg =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Simulation.create: " ^ msg));
@@ -63,7 +63,12 @@ let create ?metrics ?(full_rebuild = false) cfg =
     Grid_space.create ~incremental:(not full_rebuild) grid
       ~kernel:cfg.Config.kernel ~radius:cfg.Config.radius
   in
-  { cfg; e = E.create ?metrics ~space (spec_of_config cfg) }
+  {
+    cfg;
+    e =
+      E.create ?metrics ?series ~theory_n:(Config.n cfg) ~space
+        (spec_of_config cfg);
+  }
 
 (* --- running -------------------------------------------------------------- *)
 
@@ -85,8 +90,8 @@ let run ?on_step t =
   let on_step = Option.map (fun f _e -> f t) on_step in
   report_of t (E.run ?on_step t.e)
 
-let run_config ?on_step ?metrics ?full_rebuild cfg =
-  run ?on_step (create ?metrics ?full_rebuild cfg)
+let run_config ?on_step ?metrics ?series ?full_rebuild cfg =
+  run ?on_step (create ?metrics ?series ?full_rebuild cfg)
 
 let completion_time cfg =
   let report = run_config cfg in

@@ -54,7 +54,12 @@ type report = {
   history : history option;
 }
 
-val create : ?metrics:Obs.Sink.t -> ?full_rebuild:bool -> Config.t -> t
+val create :
+  ?metrics:Obs.Sink.t ->
+  ?series:Obs.Series.t ->
+  ?full_rebuild:bool ->
+  Config.t ->
+  t
 (** [full_rebuild] (default [false]) disables the incremental
     component-maintenance path: the visibility-graph DSU is reset and
     re-unioned from scratch every step, the reference behaviour the
@@ -77,6 +82,11 @@ val create : ?metrics:Obs.Sink.t -> ?full_rebuild:bool -> Config.t -> t
     that is how a sweep's trials produce one per-phase cost profile.
     Metrics are pure observation: they never touch the random streams
     or the results.
+
+    [series] (default none) attaches a per-step {!Obs.Series} recorder
+    created over {!Engine.series_columns}; the theory-residual column
+    uses the grid's [n = side²]. Like metrics, recording never touches
+    the random streams or the results.
     @raise Invalid_argument if {!Config.validate} rejects the
     configuration. *)
 
@@ -151,6 +161,7 @@ val run : ?on_step:(t -> unit) -> t -> report
 val run_config :
   ?on_step:(t -> unit) ->
   ?metrics:Obs.Sink.t ->
+  ?series:Obs.Series.t ->
   ?full_rebuild:bool ->
   Config.t ->
   report

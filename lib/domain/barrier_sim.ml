@@ -40,9 +40,11 @@ let spec_of_config cfg =
   Engine.default_spec ~agents:cfg.agents ~seed:cfg.seed ~trial:cfg.trial
     ~max_steps:cfg.max_steps
 
-let create ?metrics cfg =
+let create ?metrics ?series cfg =
   validate cfg;
-  E.create ?metrics ~space:(space_of_config cfg) (spec_of_config cfg)
+  (* the theory residual's n: reachable (free) nodes, not the full grid *)
+  E.create ?metrics ?series ~theory_n:(Domain.free_count cfg.domain)
+    ~space:(space_of_config cfg) (spec_of_config cfg)
 
 let report_of (r : Engine.report) =
   {
@@ -54,9 +56,12 @@ let report_of (r : Engine.report) =
     informed = r.Engine.informed;
   }
 
-let run ?metrics ?(record_history = false) cfg =
+let run ?metrics ?series ?(record_history = false) cfg =
   validate cfg;
   let spec = { (spec_of_config cfg) with Engine.record_history } in
-  E.run (E.create ?metrics ~space:(space_of_config cfg) spec)
+  E.run
+    (E.create ?metrics ?series ~theory_n:(Domain.free_count cfg.domain)
+       ~space:(space_of_config cfg) spec)
 
-let broadcast ?metrics cfg = report_of (E.run (create ?metrics cfg))
+let broadcast ?metrics ?series cfg =
+  report_of (E.run (create ?metrics ?series cfg))

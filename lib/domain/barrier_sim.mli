@@ -36,15 +36,18 @@ type report = {
   informed : int;  (** final informed count *)
 }
 
-val broadcast : ?metrics:Obs.Sink.t -> config -> report
+val broadcast : ?metrics:Obs.Sink.t -> ?series:Obs.Series.t -> config -> report
 (** Run a single-rumor broadcast from a uniformly chosen source agent.
     [metrics] (default the ambient sink) receives the engine's
-    per-phase timings.
+    per-phase timings; [series] (default none) a per-step {!Obs.Series}
+    recorder whose theory-residual column uses [n = Domain.free_count]
+    (the reachable nodes).
     @raise Invalid_argument if [agents <= 0], [radius < 0],
     [max_steps < 0], or the domain has no free node. *)
 
 val run :
   ?metrics:Obs.Sink.t ->
+  ?series:Obs.Series.t ->
   ?record_history:bool ->
   config ->
   Mobile_network.Engine.report

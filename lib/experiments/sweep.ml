@@ -62,9 +62,49 @@ let samples_named name ~trials ~run =
 
 let samples ~trials ~run = samples_named "Sweep.samples" ~trials ~run
 
+(* One series file per sweep point when [--series-dir] installed an
+   ambient destination: trial 0 of each point runs with a recorder and
+   its curve lands in [<dir>/<sanitized config>.series.json]. Pure
+   observation: the recorder cannot perturb results, the file name is a
+   deterministic function of the config, and only trial 0 records — so
+   experiment output stays byte-identical at any --jobs, with or
+   without a series directory. *)
+let sanitize_component s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' -> c
+      | _ -> '_')
+    s
+
+let write_series dir sr config =
+  let label = Mobile_network.Config.to_string config in
+  let file =
+    Filename.concat dir (sanitize_component label ^ ".series.json")
+  in
+  let oc = open_out_bin file in
+  output_string oc
+    (Obs.Series.export_string
+       ~meta:[ ("config", Obs.Json.String label) ]
+       sr);
+  close_out oc
+
 let completion_times ~trials ~cfg =
+  let series_dir = Obs.Series.ambient_dir () in
   samples_named "Sweep.completion_times" ~trials ~run:(fun ~trial ->
-      let report = Mobile_network.Simulation.run_config (cfg ~trial) in
+      let config = cfg ~trial in
+      let series =
+        match series_dir with
+        | Some _ when trial = 0 ->
+            Some
+              (Obs.Series.create
+                 ~columns:Mobile_network.Engine.series_columns ())
+        | Some _ | None -> None
+      in
+      let report = Mobile_network.Simulation.run_config ?series config in
+      (match (series_dir, series) with
+      | Some dir, Some sr -> write_series dir sr config
+      | (Some _ | None), _ -> ());
       ( report.Mobile_network.Simulation.steps,
         match report.Mobile_network.Simulation.outcome with
         | Mobile_network.Simulation.Completed -> false

@@ -35,7 +35,12 @@ val samples : trials:int -> run:(trial:int -> int * bool) -> measured
 val completion_times :
   trials:int -> cfg:(trial:int -> Mobile_network.Config.t) -> measured
 (** Run [trials] independent simulations of the given configuration
-    family. @raise Invalid_argument if [trials <= 0]. *)
+    family. When {!Obs.Series.ambient_dir} is set (the CLI's
+    [--series-dir DIR]), trial 0 of each call additionally records a
+    per-step {!Obs.Series} and writes it to
+    [DIR/<sanitized config>.series.json] — pure observation, so
+    results (and experiment output bytes) are unchanged at any
+    [--jobs]. @raise Invalid_argument if [trials <= 0]. *)
 
 val probability :
   trials:int -> f:(trial:int -> bool) -> float

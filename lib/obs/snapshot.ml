@@ -10,9 +10,56 @@ let partition registry =
 (* [to_list] is name-sorted; the double reversal keeps each class
    sorted too. *)
 
+(* Percentile estimate from the fixed buckets: find the bucket holding
+   the q-th sample and interpolate linearly inside it, using the exact
+   min/max to bound the first occupied and the overflow bucket (so a
+   one-sample histogram reports that sample at every percentile, not a
+   bucket edge). An estimate, as any fixed-bucket percentile is — the
+   error is bounded by the occupied bucket's width. *)
+let percentile_ns h ~q =
+  let count = Metric.Histogram.count h in
+  if count = 0 then None
+  else begin
+    let buckets = Metric.Histogram.buckets h in
+    let min_ns = float_of_int (Metric.Histogram.min_ns h) in
+    let max_ns = float_of_int (Metric.Histogram.max_ns h) in
+    let target = q *. float_of_int count in
+    let result = ref max_ns in
+    let cum = ref 0. in
+    (try
+       Array.iteri
+         (fun i (edge, c) ->
+           if c > 0 then begin
+             let lower =
+               if i = 0 then min_ns
+               else Float.max min_ns (float_of_int (fst buckets.(i - 1)))
+             in
+             let upper =
+               if edge = max_int then max_ns
+               else Float.min max_ns (float_of_int edge)
+             in
+             let lower = Float.min lower upper in
+             let cf = float_of_int c in
+             if !cum +. cf >= target then begin
+               let frac =
+                 Float.max 0. (Float.min 1. ((target -. !cum) /. cf))
+               in
+               result := lower +. (frac *. (upper -. lower));
+               raise Exit
+             end;
+             cum := !cum +. cf
+           end)
+         buckets
+     with Exit -> ());
+    Some !result
+  end
+
 let histogram_json h =
   let count = Metric.Histogram.count h in
   let opt_int v = if count = 0 then Json.Null else Json.Int v in
+  let pct q =
+    match percentile_ns h ~q with None -> Json.Null | Some v -> Json.Float v
+  in
   let buckets =
     Metric.Histogram.buckets h
     |> Array.to_list
@@ -33,6 +80,9 @@ let histogram_json h =
       ( "mean_ns",
         if count = 0 then Json.Null else Json.Float (Metric.Histogram.mean_ns h)
       );
+      ("p50_ns", pct 0.50);
+      ("p95_ns", pct 0.95);
+      ("p99_ns", pct 0.99);
       ("buckets", Json.List buckets);
     ]
 
@@ -83,19 +133,83 @@ let to_table registry =
       gauges
   end;
   if histograms <> [] then begin
-    line "histograms%42s%11s%11s%11s%11s" "count" "mean" "min" "max" "total";
+    line "histograms%42s%11s%11s%11s%11s%11s%11s%11s" "count" "mean" "p50"
+      "p95" "p99" "min" "max" "total";
+    let pct h q =
+      match percentile_ns h ~q with
+      | None -> "-"
+      | Some v -> humanise_ns (int_of_float v)
+    in
     List.iter
       (fun (name, h) ->
         let count = Metric.Histogram.count h in
         if count = 0 then line "  %-48s %9d" name 0
         else
-          line "  %-48s %9d %10s %10s %10s %10s" name count
+          line "  %-48s %9d %10s %10s %10s %10s %10s %10s %10s" name count
             (humanise_ns (int_of_float (Metric.Histogram.mean_ns h)))
+            (pct h 0.50) (pct h 0.95) (pct h 0.99)
             (humanise_ns (Metric.Histogram.min_ns h))
             (humanise_ns (Metric.Histogram.max_ns h))
             (humanise_ns (Metric.Histogram.sum_ns h)))
       histograms
   end;
+  Buffer.contents buf
+
+(* --- Prometheus text exposition -------------------------------------------- *)
+
+(* Metric names: dots (our namespace separator) and anything else
+   outside [a-zA-Z0-9_:] become underscores, under a "mobisim_" prefix.
+   Histograms render with the conventional cumulative le-buckets; the
+   unit stays ns, as the instrument names already say (_ns). *)
+let prom_name name =
+  let b = Buffer.create (String.length name + 8) in
+  Buffer.add_string b "mobisim_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' ->
+          Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    string_of_int (int_of_float f)
+  else Printf.sprintf "%.17g" f
+
+let to_prometheus registry =
+  let buf = Buffer.create 2048 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+  in
+  let counters, gauges, histograms = partition registry in
+  List.iter
+    (fun (name, c) ->
+      let n = prom_name name in
+      line "# TYPE %s counter" n;
+      line "%s %d" n (Metric.Counter.value c))
+    counters;
+  List.iter
+    (fun (name, g) ->
+      let n = prom_name name in
+      line "# TYPE %s gauge" n;
+      line "%s %s" n (prom_float (Metric.Gauge.value g)))
+    gauges;
+  List.iter
+    (fun (name, h) ->
+      let n = prom_name name in
+      line "# TYPE %s histogram" n;
+      let cum = ref 0 in
+      Array.iter
+        (fun (edge, c) ->
+          cum := !cum + c;
+          if edge = max_int then line "%s_bucket{le=\"+Inf\"} %d" n !cum
+          else line "%s_bucket{le=\"%d\"} %d" n edge !cum)
+        (Metric.Histogram.buckets h);
+      line "%s_sum %d" n (Metric.Histogram.sum_ns h);
+      line "%s_count %d" n (Metric.Histogram.count h))
+    histograms;
   Buffer.contents buf
 
 (* --- validation ----------------------------------------------------------- *)

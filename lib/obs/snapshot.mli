@@ -11,11 +11,15 @@
       "histograms": { "<name>": { "count": <int>, "sum_ns": <int>,
                                   "min_ns": <int|null>, "max_ns": <int|null>,
                                   "mean_ns": <float|null>,
+                                  "p50_ns": <float|null>,
+                                  "p95_ns": <float|null>,
+                                  "p99_ns": <float|null>,
                                   "buckets": [[<le_ns|"+Inf">, <count>], ...] },
                       ... } }
     v}
 
     with empty buckets omitted and the overflow bucket keyed ["+Inf"].
+    The [p*_ns] fields are {!percentile_ns} estimates.
 
     Snapshots are reads of lock-free instruments, so a snapshot taken
     {e while domains are still recording} is internally consistent per
@@ -27,8 +31,23 @@ val to_json : Registry.t -> Json.t
 val to_json_string : Registry.t -> string
 (** Pretty-printed {!to_json}, newline-terminated. *)
 
+val percentile_ns : Metric.Histogram.t -> q:float -> float option
+(** The [q]-quantile ([0 < q <= 1]) estimated from the fixed buckets:
+    linear interpolation inside the bucket holding the q-th sample,
+    bounded by the recorded exact min/max. [None] on an empty
+    histogram. The error is at most the occupied bucket's width. *)
+
 val to_table : Registry.t -> string
-(** One line per instrument, aligned, durations humanised. *)
+(** One line per instrument, aligned, durations humanised; histograms
+    include interpolated p50/p95/p99 columns. *)
+
+val to_prometheus : Registry.t -> string
+(** The registry in Prometheus text exposition format: every name
+    sanitized to [mobisim_<name with non-alphanumerics as _>], counters
+    and gauges as single samples, histograms as cumulative
+    [_bucket{le="..."}] series (ns edges, [+Inf] overflow) plus [_sum]
+    and [_count] — what [mobisim serve-metrics --prom] renders for a
+    scrape. *)
 
 val validate : Json.t -> (unit, string) result
 (** Structural check of the documented shape. *)

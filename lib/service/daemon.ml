@@ -83,13 +83,14 @@ let header_line (c : Compile.compiled) =
 
 (* Run a compiled scenario to completion: checkpoint, sweep, persist
    the artifact, clear the checkpoint. Returns the body. *)
-let execute ?on_progress st (text : string) (compiled : Compile.compiled) =
+let execute ?on_progress ?on_line ?series_dir st (text : string)
+    (compiled : Compile.compiled) =
   let root = st.cfg.root in
   let id = compiled.Compile.hash in
   Checkpoint.write ~root ~id ~text;
   let body =
-    Runner.run ~metrics:st.sink ?on_progress ~pool:st.pool ~store:st.store
-      compiled
+    Runner.run ~metrics:st.sink ?on_progress ?on_line ?series_dir
+      ~pool:st.pool ~store:st.store compiled
   in
   Store.write_atomic (artifact_path ~root ~hash:id) body;
   Checkpoint.remove ~root ~id;
@@ -103,6 +104,9 @@ let member_string name j =
 let member_true name j =
   match Json.member name j with Some (Json.Bool b) -> b | Some _ | None -> false
 
+let member_int name j =
+  match Json.member name j with Some (Json.Int n) -> Some n | Some _ | None -> None
+
 let handle_submit st client j =
   match member_string "text" j with
   | None -> write_all client (error_response [ "submit: missing \"text\"" ])
@@ -111,8 +115,9 @@ let handle_submit st client j =
       match Compile.compile ?filename text with
       | Error errors -> write_all client (error_response errors)
       | Ok compiled ->
+          let streaming = member_true "progress" j in
           let on_progress =
-            if member_true "progress" j then
+            if streaming then
               Some
                 (fun ~done_ ~total ->
                   write_all client
@@ -128,9 +133,24 @@ let handle_submit st client j =
                           ])))
             else None
           in
-          let body = execute ?on_progress st text compiled in
+          (* Each result line streams the moment it is persisted; the
+             response header goes first so a streaming client can parse
+             the run count before the first line lands. Without
+             ["progress"] the bytes are exactly [header ^ body], as
+             before. *)
+          let on_line =
+            if streaming then Some (fun line -> write_all client line)
+            else None
+          in
+          let series_dir =
+            if member_true "series" j then
+              Some (Filename.concat st.cfg.root "series")
+            else None
+          in
+          write_all client (header_line compiled);
+          let body = execute ?on_progress ?on_line ?series_dir st text compiled in
           incr st.served;
-          write_all client (header_line compiled ^ body))
+          if not streaming then write_all client body)
 
 let handle_check client j =
   match member_string "text" j with
@@ -154,9 +174,37 @@ let handle_health st client =
             );
           ]))
 
-let handle_metrics st client =
+let handle_metrics st client j =
   Runtime.Pool.publish_stats st.pool;
-  write_all client (Json.to_string (Obs.Snapshot.to_json st.registry) ^ "\n")
+  match member_string "format" j with
+  | Some "prom" -> write_all client (Obs.Snapshot.to_prometheus st.registry)
+  | Some _ | None ->
+      write_all client (Json.to_string (Obs.Snapshot.to_json st.registry) ^ "\n")
+
+(* Periodic metrics snapshots over the same connection: one compact
+   snapshot line per tick. The daemon is single-threaded, so a watch
+   blocks the accept loop for its duration — it is an introspection
+   probe for between-submit monitoring, not a concurrent feed. A client
+   hang-up raises EPIPE, which the serve loop treats as end-of-watch. *)
+let handle_watch st client j =
+  let interval_ms =
+    match member_int "interval_ms" j with Some n when n > 0 -> n | _ -> 1000
+  in
+  let count = match member_int "count" j with Some n when n > 0 -> n | _ -> 0 in
+  let tick () =
+    Runtime.Pool.publish_stats st.pool;
+    write_all client (Json.to_string (Obs.Snapshot.to_json st.registry) ^ "\n")
+  in
+  if count = 0 then
+    while true do
+      tick ();
+      Unix.sleepf (float_of_int interval_ms /. 1000.)
+    done
+  else
+    for i = 1 to count do
+      tick ();
+      if i < count then Unix.sleepf (float_of_int interval_ms /. 1000.)
+    done
 
 let handle_request st client line =
   match Json.parse line with
@@ -166,7 +214,8 @@ let handle_request st client line =
       | Some "submit" -> handle_submit st client j
       | Some "check" -> handle_check client j
       | Some "health" -> handle_health st client
-      | Some "metrics" -> handle_metrics st client
+      | Some "metrics" -> handle_metrics st client j
+      | Some "watch" -> handle_watch st client j
       | Some "shutdown" ->
           st.stop <- true;
           write_all client
@@ -258,6 +307,48 @@ module Client = struct
             write_all sock (line ^ "\n");
             Unix.shutdown sock Unix.SHUTDOWN_SEND;
             Ok (read_all sock)
+        | exception Unix.Unix_error (e, _, _) ->
+            Error
+              (Printf.sprintf "cannot reach daemon at %s: %s" socket_path
+                 (Unix.error_message e)))
+
+  let request_stream ~socket_path ~on_line line =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        try Unix.close sock with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect sock (Unix.ADDR_UNIX socket_path) with
+        | () ->
+            write_all sock (line ^ "\n");
+            Unix.shutdown sock Unix.SHUTDOWN_SEND;
+            (* deliver each complete response line as it arrives; a
+               trailing unterminated fragment is delivered at EOF *)
+            let partial = Buffer.create 4096 in
+            let chunk = Bytes.create 65536 in
+            let rec go () =
+              match Unix.read sock chunk 0 (Bytes.length chunk) with
+              | 0 ->
+                  if Buffer.length partial > 0 then
+                    on_line (Buffer.contents partial);
+                  Ok ()
+              | n ->
+                  Buffer.add_subbytes partial chunk 0 n;
+                  let data = Buffer.contents partial in
+                  Buffer.clear partial;
+                  let rec emit start =
+                    match String.index_from_opt data start '\n' with
+                    | Some i ->
+                        on_line (String.sub data start (i - start + 1));
+                        emit (i + 1)
+                    | None ->
+                        Buffer.add_substring partial data start
+                          (String.length data - start)
+                  in
+                  emit 0;
+                  go ()
+            in
+            go ()
         | exception Unix.Unix_error (e, _, _) ->
             Error
               (Printf.sprintf "cannot reach daemon at %s: %s" socket_path

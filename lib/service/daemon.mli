@@ -11,19 +11,33 @@
     response — one or more JSON lines, then EOF. Requests:
 
     - [{"op":"submit","text":"<scenario file bytes>"}] (optional
-      ["filename"], for diagnostics; optional ["progress":true] to
-      stream [{"progress":{"done":d,"total":n}}] lines while the sweep
-      runs). Response: a header
+      ["filename"], for diagnostics). Response: a header
       [{"ok":true,"hash":H,"cells":C,"trials":T,"runs":R}] followed by
       one result line per run (the {!Runner} body). Without
       ["progress"], a warm submit's response is byte-identical to the
-      cold one — the cache-correctness contract.
+      cold one — the cache-correctness contract. With
+      ["progress":true] the body is {e streamed}: each result line is
+      written the moment it is both persisted and preceded only by
+      already-written lines, interleaved with
+      [{"progress":{"done":d,"total":n}}] lines — the result lines of
+      a streamed response, in order, are byte-identical to the
+      non-streamed body at any jobs count, cold or warm. With
+      ["series":true] the daemon additionally records one per-step
+      {!Obs.Series} per cell into [<root>/series/<cell hash>.series.json]
+      (an extra trial-0 run after the sweep; the artifact bytes are
+      unchanged).
     - [{"op":"check","text":...}]: compile only; [{"ok":true,...}]
       header (no body) or [{"ok":false,"errors":[...]}].
     - [{"op":"health"}]: [{"ok":true,"jobs":J,"served":N,"pending":P}].
     - [{"op":"metrics"}]: one line, the compact {!Obs.Snapshot} of the
       daemon's registry (cache hit/miss and cells-computed counters,
-      pool stats).
+      pool stats). With ["format":"prom"], the same registry in
+      Prometheus text exposition format ({!Obs.Snapshot.to_prometheus})
+      instead.
+    - [{"op":"watch","interval_ms":M,"count":N}]: stream one compact
+      snapshot line every [M] ms (default 1000), [N] times (absent or
+      0 = until the client hangs up). The daemon is single-threaded, so
+      a watch occupies the accept loop for its duration.
     - [{"op":"shutdown"}]: acknowledge and exit the accept loop.
 
     {2 Durability}
@@ -63,4 +77,15 @@ module Client : sig
   (** Send one request line, return the raw response bytes (all lines,
       as sent). [Error] describes a connect/IO failure, e.g. no daemon
       listening. *)
+
+  val request_stream :
+    socket_path:string ->
+    on_line:(string -> unit) ->
+    string ->
+    (unit, string) result
+  (** Like {!request}, but deliver each response line (newline
+      included) to [on_line] as it arrives — the incremental reader
+      behind [submit --progress] and [serve-watch]. The concatenation
+      of the delivered lines equals {!request}'s bytes for the same
+      request. *)
 end

@@ -12,11 +12,12 @@ let outcome_payload ~outcome ~steps ~informed ~covered =
          ("covered", Json.Int covered);
        ])
 
-let run_payload (c : Ast.cell) ~seed ~trial =
+let run_payload ?series (c : Ast.cell) ~seed ~trial =
   match c.Ast.c_space with
   | Ast.Grid ->
       let report =
-        Mobile_network.Simulation.run_config (Ast.cell_config c ~seed ~trial)
+        Mobile_network.Simulation.run_config ?series
+          (Ast.cell_config c ~seed ~trial)
       in
       outcome_payload
         ~outcome:
@@ -30,7 +31,7 @@ let run_payload (c : Ast.cell) ~seed ~trial =
       (* same derived parameters as `mobisim simulate --space continuum` *)
       let radius = float_of_int c.Ast.c_radius in
       let report =
-        Continuum.broadcast
+        Continuum.broadcast ?series
           {
             Continuum.box_side = float_of_int c.Ast.c_side;
             agents = c.Ast.c_agents;
@@ -52,7 +53,7 @@ let run_payload (c : Ast.cell) ~seed ~trial =
   | Ast.Domain ->
       let side = c.Ast.c_side in
       let report =
-        Barriers.Barrier_sim.broadcast
+        Barriers.Barrier_sim.broadcast ?series
           {
             Barriers.Barrier_sim.domain =
               Barriers.Domain.unobstructed (Grid.create ~side ());
@@ -100,7 +101,42 @@ let matrix (compiled : Compile.compiled) =
              }))
        compiled.Compile.cells)
 
-let run ?(metrics = Obs.Sink.null) ?on_progress ~pool ~store compiled =
+let line_of ~seed t payload =
+  Printf.sprintf
+    "{\"cell\":%d,\"hash\":%s,\"seed\":%d,\"trial\":%d,\"result\":%s}\n"
+    t.t_cell_index
+    (Json.to_string (Json.String t.t_hash))
+    seed t.t_trial payload
+
+(* Per-cell series artifacts: one extra trial-0 run per cell with a
+   recorder attached, written to <dir>/<cell hash>.series.json. Runs
+   after the sweep, sequentially — the recorder observes a fresh
+   deterministic replay, so the cached payloads and the body bytes are
+   untouched. *)
+let write_cell_series ~dir ~seed compiled =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun cell ->
+      let sr =
+        Obs.Series.create ~columns:Mobile_network.Engine.series_columns ()
+      in
+      let (_ : string) = run_payload ~series:sr cell ~seed ~trial:0 in
+      let hash = Ast.cell_hash cell in
+      let meta =
+        [
+          ("cell", Ast.cell_json cell);
+          ("hash", Json.String hash);
+          ("seed", Json.Int seed);
+          ("trial", Json.Int 0);
+        ]
+      in
+      Store.write_atomic
+        (Filename.concat dir (hash ^ ".series.json"))
+        (Obs.Series.export_string ~meta sr))
+    compiled.Compile.cells
+
+let run ?(metrics = Obs.Sink.null) ?on_progress ?on_line ?series_dir ~pool
+    ~store compiled =
   let seed = compiled.Compile.seed in
   let computed =
     Option.map
@@ -121,6 +157,29 @@ let run ?(metrics = Obs.Sink.null) ?on_progress ~pool ~store compiled =
       payloads.(t.t_index) <-
         Store.get store ~hash:t.t_hash ~seed ~trial:t.t_trial)
     tasks;
+  (* Streaming: deliver each line once every earlier line has been
+     delivered and its payload persisted — the contiguous-prefix
+     frontier over matrix order. Hits fill the prefix immediately;
+     pool results land in submission (= matrix) order, so the frontier
+     only ever waits for the next line, never reorders. *)
+  let tasks_arr = Array.of_list tasks in
+  let emit_ready =
+    match on_line with
+    | None -> fun () -> ()
+    | Some f ->
+        let next = ref 0 in
+        fun () ->
+          while
+            !next < total && Option.is_some payloads.(!next)
+          do
+            let t = tasks_arr.(!next) in
+            (match payloads.(!next) with
+            | Some payload -> f (line_of ~seed t payload)
+            | None -> assert false);
+            incr next
+          done
+  in
+  emit_ready ();
   let missing =
     List.filter (fun t -> Option.is_none payloads.(t.t_index)) tasks
   in
@@ -140,10 +199,14 @@ let run ?(metrics = Obs.Sink.null) ?on_progress ~pool ~store compiled =
         Option.iter Obs.Metric.Counter.incr computed;
         Store.put store ~hash:t.t_hash ~seed ~trial:t.t_trial payload;
         payloads.(t.t_index) <- Some payload;
+        emit_ready ();
         incr done_count;
         progress !done_count)
       missing
   in
+  (match series_dir with
+  | Some dir -> write_cell_series ~dir ~seed compiled
+  | None -> ());
   (* Pass 3: assemble every line from the cached bytes. *)
   let buf = Buffer.create (256 * total) in
   List.iter
@@ -151,11 +214,6 @@ let run ?(metrics = Obs.Sink.null) ?on_progress ~pool ~store compiled =
       let payload =
         match payloads.(t.t_index) with Some b -> b | None -> assert false
       in
-      Buffer.add_string buf
-        (Printf.sprintf
-           "{\"cell\":%d,\"hash\":%s,\"seed\":%d,\"trial\":%d,\"result\":%s}\n"
-           t.t_cell_index
-           (Json.to_string (Json.String t.t_hash))
-           seed t.t_trial payload))
+      Buffer.add_string buf (line_of ~seed t payload))
     tasks;
   Buffer.contents buf

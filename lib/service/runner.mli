@@ -22,6 +22,8 @@
 val run :
   ?metrics:Obs.Sink.t ->
   ?on_progress:(done_:int -> total:int -> unit) ->
+  ?on_line:(string -> unit) ->
+  ?series_dir:string ->
   pool:Runtime.Pool.t ->
   store:Store.t ->
   Scenario.Compile.compiled ->
@@ -29,10 +31,26 @@ val run :
 (** The NDJSON body (newline-terminated). [on_progress] fires once per
     run in matrix order: immediately for cache hits, on completion for
     computed runs. [metrics] (default {!Obs.Sink.null}) receives
-    [service.cells.computed]. *)
+    [service.cells.computed].
 
-val run_payload : Scenario.Ast.cell -> seed:int -> trial:int -> string
+    [on_line] streams the body: each result line (newline-terminated,
+    byte-identical to its line in the returned body) is delivered as
+    soon as it is both persisted and preceded only by delivered lines —
+    the contiguous-prefix frontier over the matrix order. Because cache
+    hits fill the prefix immediately and pool results land in
+    submission order, the concatenation of the streamed lines equals
+    the returned body at any [--jobs], cold or warm.
+
+    [series_dir] additionally records one per-step {!Obs.Series} for
+    each cell (an extra trial-0 run, after the sweep — the cached
+    result payloads and the body are unaffected) and writes
+    [<series_dir>/<cell hash>.series.json] atomically. *)
+
+val run_payload :
+  ?series:Obs.Series.t -> Scenario.Ast.cell -> seed:int -> trial:int -> string
 (** One engine run, rendered as the compact canonical payload
     [{"outcome":...,"steps":...,"informed":...,"covered":...}]. This is
     what the cache stores; exposed for direct (daemonless)
-    [mobisim simulate --scenario] execution and tests. *)
+    [mobisim simulate --scenario] execution and tests. [series]
+    attaches a per-step recorder to the underlying engine (all three
+    spaces). *)

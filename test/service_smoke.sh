@@ -1,5 +1,5 @@
 #!/bin/sh
-# End-to-end smoke for the mobisim service daemon. Two scenes:
+# End-to-end smoke for the mobisim service daemon. Three scenes:
 #
 #   1. cache: submit the same sweep twice to one daemon — responses must
 #      be byte-identical, and after the warm submit the metrics must show
@@ -10,6 +10,12 @@
 #      and a partial cache were left behind, restart, and wait for the
 #      replayed job's artifact — it must be byte-identical to the same
 #      scenario swept by an uninterrupted daemon in a fresh root.
+#
+#   3. stream: a cold `submit --progress --series` must emit at least
+#      one per-run result line before the sweep completes (i.e. before
+#      the final progress line), the streamed result lines must equal
+#      the persisted artifact bytes, per-cell series files must
+#      validate, and serve-watch / serve-metrics --prom must answer.
 #
 # Needs only the built binary: MOBISIM=... overrides the default path.
 set -eu
@@ -143,4 +149,61 @@ cmp -s "$ARTIFACT_B" "$ARTIFACT_C" \
 "$BIN" serve-stop --root "$ROOT_B" --socket "$SOCK_B" > /dev/null
 "$BIN" serve-stop --root "$ROOT_C" --socket "$SOCK_C" > /dev/null
 echo "service_smoke: crash scene ok (cached at kill: $partial/$SLOW_RUNS)"
+
+# --- scene 3: streaming submit, series artifacts, live introspection ----
+
+ROOT_D=$TMP/d
+SOCK_D=$TMP/d.sock
+"$BIN" serve --quiet --root "$ROOT_D" --socket "$SOCK_D" --jobs 2 &
+PIDS="$PIDS $!"
+wait_health "$ROOT_D" "$SOCK_D"
+
+# cold streaming submit with per-cell series recording
+"$BIN" submit "$TMP/sweep.json" --root "$ROOT_D" --socket "$SOCK_D" \
+  --progress --series > "$TMP/stream.out"
+
+# at least one result line must land before the sweep completes: its
+# line number precedes the final progress line's
+first_result=$(grep -n '"result"' "$TMP/stream.out" | head -n1 | cut -d: -f1)
+last_progress=$(grep -n '"progress"' "$TMP/stream.out" | tail -n1 | cut -d: -f1)
+[ -n "$first_result" ] || fail "streaming submit emitted no result lines"
+[ -n "$last_progress" ] || fail "streaming submit emitted no progress lines"
+[ "$first_result" -lt "$last_progress" ] \
+  || fail "no result line was streamed before sweep completion"
+
+# the streamed result lines are exactly the persisted artifact bytes
+ARTIFACT_D=$(find "$ROOT_D/results" -name '*.ndjson')
+[ -n "$ARTIFACT_D" ] || fail "streaming submit left no artifact"
+grep '"result"' "$TMP/stream.out" > "$TMP/stream_results.out"
+cmp -s "$TMP/stream_results.out" "$ARTIFACT_D" \
+  || fail "streamed result lines differ from the artifact"
+
+# ... and byte-identical to a plain (non-streaming) submit's body
+"$BIN" submit "$TMP/sweep.json" --root "$ROOT_D" --socket "$SOCK_D" \
+  > "$TMP/plain.out"
+tail -n +2 "$TMP/plain.out" > "$TMP/plain_results.out"
+cmp -s "$TMP/stream_results.out" "$TMP/plain_results.out" \
+  || fail "streamed result lines differ from the non-streaming body"
+
+# per-cell series artifacts exist and validate
+n_series=$(find "$ROOT_D/series" -name '*.series.json' | wc -l)
+[ "$n_series" -eq 2 ] \
+  || fail "expected 2 per-cell series artifacts, got $n_series"
+for f in "$ROOT_D"/series/*.series.json; do
+  "$BIN" validate-metrics "$f" > /dev/null \
+    || fail "series artifact $f does not validate"
+done
+
+# live introspection: watch streams the asked-for snapshot count, and
+# the Prometheus rendering is scrapable text
+watch_lines=$("$BIN" serve-watch --root "$ROOT_D" --socket "$SOCK_D" \
+  --interval-ms 50 --count 2 | wc -l)
+[ "$watch_lines" -eq 2 ] \
+  || fail "serve-watch --count 2 produced $watch_lines lines"
+"$BIN" serve-metrics --prom --root "$ROOT_D" --socket "$SOCK_D" \
+  | grep -q '^# TYPE mobisim_' \
+  || fail "serve-metrics --prom produced no exposition lines"
+
+"$BIN" serve-stop --root "$ROOT_D" --socket "$SOCK_D" > /dev/null
+echo "service_smoke: stream scene ok (first result at line $first_result, series files: $n_series)"
 echo "service_smoke: OK"

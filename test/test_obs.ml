@@ -167,6 +167,9 @@ let test_snapshot_golden () =
         "      \"min_ns\": 5,";
         "      \"max_ns\": 500,";
         "      \"mean_ns\": 185.0,";
+        "      \"p50_ns\": 55.0,";
+        "      \"p95_ns\": 439.99999999999989,";
+        "      \"p99_ns\": 487.99999999999989,";
         "      \"buckets\": [";
         "        [10, 1],";
         "        [100, 1],";
@@ -180,6 +183,58 @@ let test_snapshot_golden () =
   in
   Alcotest.(check string) "golden snapshot" expected
     (Snapshot.to_json_string reg)
+
+(* Percentiles are bucket interpolations clamped by the exact min/max:
+   a one-sample histogram must report that sample everywhere, and a
+   uniform fill must put p50 mid-bucket. *)
+let test_percentiles () =
+  let reg = Registry.create () in
+  let one = Registry.histogram reg "one" ~bounds:[| 10; 100 |] in
+  Alcotest.(check (option (float 0.0)))
+    "empty histogram has no percentile" None
+    (Snapshot.percentile_ns one ~q:0.5);
+  Metric.Histogram.observe one 42;
+  List.iter
+    (fun q ->
+      Alcotest.(check (option (float 0.0)))
+        (Printf.sprintf "single sample at q=%.2f" q)
+        (Some 42.0)
+        (Snapshot.percentile_ns one ~q))
+    [ 0.5; 0.95; 0.99; 1.0 ];
+  let h = Registry.histogram reg "h" ~bounds:[| 10; 100 |] in
+  List.iter (Metric.Histogram.observe h) [ 5; 50; 500 ];
+  Alcotest.(check (option (float 1e-9)))
+    "p50 interpolates inside the middle bucket" (Some 55.0)
+    (Snapshot.percentile_ns h ~q:0.5);
+  Alcotest.(check (option (float 1e-9)))
+    "p95 clamps the overflow bucket to max_ns"
+    (Some 440.0)
+    (Snapshot.percentile_ns h ~q:0.95)
+
+let test_prometheus () =
+  let reg = Registry.create () in
+  Metric.Counter.add (Registry.counter reg "cache.hits") 3;
+  Metric.Gauge.set (Registry.gauge reg "pool.busy") 0.5;
+  let h = Registry.histogram reg "sim.step_ns" ~bounds:[| 10; 100 |] in
+  List.iter (Metric.Histogram.observe h) [ 5; 50; 500 ];
+  let expected =
+    String.concat "\n"
+      [
+        "# TYPE mobisim_cache_hits counter";
+        "mobisim_cache_hits 3";
+        "# TYPE mobisim_pool_busy gauge";
+        "mobisim_pool_busy 0.5";
+        "# TYPE mobisim_sim_step_ns histogram";
+        "mobisim_sim_step_ns_bucket{le=\"10\"} 1";
+        "mobisim_sim_step_ns_bucket{le=\"100\"} 2";
+        "mobisim_sim_step_ns_bucket{le=\"+Inf\"} 3";
+        "mobisim_sim_step_ns_sum 555";
+        "mobisim_sim_step_ns_count 3";
+        "";
+      ]
+  in
+  Alcotest.(check string) "prometheus exposition" expected
+    (Snapshot.to_prometheus reg)
 
 let test_snapshot_parse_validate () =
   let reg = Registry.create () in
@@ -274,6 +329,8 @@ let () =
           Alcotest.test_case "json rejects garbage" `Quick
             test_json_rejects_garbage;
           Alcotest.test_case "golden" `Quick test_snapshot_golden;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "prometheus" `Quick test_prometheus;
           Alcotest.test_case "parse + validate" `Quick
             test_snapshot_parse_validate;
         ] );

@@ -130,6 +130,63 @@ let test_runner_progress_order () =
         (List.init total (fun i -> (i + 1, total)))
         (List.rev !seen))
 
+let test_runner_streaming () =
+  (* the streamed lines, concatenated, must equal the returned body —
+     at any jobs count, cold or warm *)
+  List.iter
+    (fun jobs ->
+      with_temp_dir (fun root ->
+          let store = Store.create ~root () in
+          let compiled = compile_exn sweep_text in
+          Runtime.Pool.with_pool ~jobs (fun pool ->
+              let streamed = Buffer.create 256 in
+              let cold =
+                Runner.run
+                  ~on_line:(Buffer.add_string streamed)
+                  ~pool ~store compiled
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "cold streamed lines = body at jobs=%d" jobs)
+                cold (Buffer.contents streamed);
+              Buffer.clear streamed;
+              let warm =
+                Runner.run
+                  ~on_line:(Buffer.add_string streamed)
+                  ~pool ~store compiled
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "warm streamed lines = body at jobs=%d" jobs)
+                warm (Buffer.contents streamed);
+              Alcotest.(check string) "warm body = cold body" cold warm)))
+    [ 1; 2 ]
+
+let test_runner_series_dir () =
+  with_temp_dir (fun root ->
+      let store = Store.create ~root () in
+      let compiled = compile_exn sweep_text in
+      let dir = Filename.concat root "series" in
+      Runtime.Pool.with_pool ~jobs:2 (fun pool ->
+          let plain = Runner.run ~pool ~store compiled in
+          let with_series = Runner.run ~series_dir:dir ~pool ~store compiled in
+          Alcotest.(check string)
+            "series recording leaves the body untouched" plain with_series);
+      List.iter
+        (fun cell ->
+          let path =
+            Filename.concat dir (Scenario.Ast.cell_hash cell ^ ".series.json")
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "series artifact exists for %s"
+               (Scenario.Ast.cell_hash cell))
+            true (Sys.file_exists path);
+          let ic = open_in_bin path in
+          let text = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match Obs.Series.parse text with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "series artifact invalid: %s" e)
+        compiled.Compile.cells)
+
 let test_run_payload_deterministic () =
   let compiled = compile_exn sweep_text in
   let cell = List.hd compiled.Compile.cells in
@@ -178,6 +235,10 @@ let () =
             test_runner_partial_cache_resume;
           Alcotest.test_case "progress ordering" `Quick
             test_runner_progress_order;
+          Alcotest.test_case "streamed lines = body" `Quick
+            test_runner_streaming;
+          Alcotest.test_case "per-cell series artifacts" `Quick
+            test_runner_series_dir;
           Alcotest.test_case "payload determinism" `Quick
             test_run_payload_deterministic;
         ] );
