@@ -57,22 +57,26 @@ bench:
 
 # Static analysis over the typed ASTs: forbidden-identifier scan
 # (determinism + concurrency allowlists), polymorphic-compare detection,
-# and the lib/ layering DAG. `@lib/check @bin/check` emit the .cmt files
-# mobilint reads (a plain `dune build` skips executables' cmts, and the
-# repo-wide `@check` alias is unusable: bechamel ships no bytecode
-# artifacts, so bench/ fails to typecheck under it). The JSON round-trip
-# exercises the report writer and the structural validator on every run.
+# the lib/ layering DAG, and the allocation-discipline + unsafe-access
+# audit over the [@hot] call graph. `@lib/check @bin/check` emit the
+# .cmt files mobilint reads (a plain `dune build` skips executables'
+# cmts, and the repo-wide `@check` alias is unusable: bechamel ships no
+# bytecode artifacts, so bench/ fails to typecheck under it). mobilint
+# exits 2 (not 0) when it finds no .cmt files, so a broken build alias
+# can never masquerade as a clean scan. The JSON round-trip exercises
+# the report writer and the structural validator on every run.
 lint:
 	dune build @lib/check @bin/check bin/mobilint.exe
 	dune exec bin/mobilint.exe --
+	dune exec bin/mobilint.exe -- --rules alloc,unsafe
 	dune exec bin/mobilint.exe -- --json /tmp/mobilint.json
 	dune exec bin/mobilint.exe -- --validate /tmp/mobilint.json
 
 # Machine-readable perf trajectory: one {probe -> ns/step, words/step}
-# JSON per PR, pinned at the repo root (BENCH_PR9.json for this PR).
+# JSON per PR, pinned at the repo root (BENCH_PR10.json for this PR).
 # Compare two with `mobisim bench-check OLD NEW`.
 bench-json:
-	dune exec bench/perf_probe.exe -- --json BENCH_PR9.json
+	dune exec bench/perf_probe.exe -- --json BENCH_PR10.json
 
 clean:
 	dune clean

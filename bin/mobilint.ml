@@ -1,5 +1,6 @@
-(* mobilint — typed-AST determinism & concurrency linter over the
-   repo's own .cmt output. See README "Static analysis".
+(* mobilint — typed-AST determinism, concurrency, allocation-discipline
+   and unsafe-access linter over the repo's own .cmt output. See README
+   "Static analysis".
 
    Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
@@ -12,14 +13,22 @@ let usage () =
      \n\
      Lints dune-emitted .cmt files (typed ASTs) and lib/*/dune layering.\n\
      With no paths, scans lib/ and bin/ under --root. Build the cmts\n\
-     first: dune build @lib/check @bin/check (or make lint).\n\
+     first: dune build @lib/check @bin/check (or make lint). Finding\n\
+     zero cmt files is an error, not a clean scan.\n\
      \n\
      options:\n\
      \  --root DIR       build tree to scan (default _build/default)\n\
      \  --dune-root DIR  source tree for layering dune files (default .)\n\
      \  --rules LIST     comma-separated subset of: determinism,\n\
-     \                   concurrency, poly-compare, layering, io\n\
+     \                   concurrency, poly-compare, layering, io,\n\
+     \                   alloc, unsafe\n\
+     \  --jobs N         scan cmt files over N pool workers (default:\n\
+     \                   Runtime.Pool.recommended_jobs; output is\n\
+     \                   byte-identical at any N)\n\
      \  --baseline FILE  suppress findings listed in FILE (JSON)\n\
+     \  --write-baseline FILE\n\
+     \                   write the surviving findings to FILE as a\n\
+     \                   mobilint-baseline/1 document and exit 0\n\
      \  --json FILE      also write the report as JSON ('-' = stdout)\n\
      \  --validate FILE  structurally check a --json report, then exit\n\
      \  --list-rules     print the rule tags and exit\n\
@@ -43,7 +52,9 @@ let () =
   let root = ref "_build/default" in
   let dune_root = ref "." in
   let rules = ref Lint.Finding.all_rules in
+  let jobs = ref (Runtime.Pool.recommended_jobs ()) in
   let baseline = ref None in
+  let write_baseline = ref None in
   let json_out = ref None in
   let paths = ref [] in
   let args = Array.to_list Sys.argv in
@@ -72,8 +83,16 @@ let () =
               | None -> fail "unknown rule %S (try --list-rules)" tag)
             (String.split_on_char ',' v);
         parse rest
+    | "--jobs" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n >= 1 -> jobs := n
+        | _ -> fail "--jobs wants a positive integer, got %S" v);
+        parse rest
     | "--baseline" :: v :: rest ->
         baseline := Some v;
+        parse rest
+    | "--write-baseline" :: v :: rest ->
+        write_baseline := Some v;
         parse rest
     | "--json" :: v :: rest ->
         json_out := Some v;
@@ -93,8 +112,9 @@ let () =
         | Error e ->
             Printf.eprintf "%s: invalid report: %s\n" v e;
             exit 1)
-    | ("--root" | "--dune-root" | "--rules" | "--baseline" | "--json"
-      | "--validate") :: [] ->
+    | ("--root" | "--dune-root" | "--rules" | "--jobs" | "--baseline"
+      | "--write-baseline" | "--json" | "--validate")
+      :: [] ->
         fail "missing argument (try --help)"
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
         fail "unknown option %s (try --help)" arg
@@ -105,16 +125,35 @@ let () =
   parse (List.tl args);
   let explicit = List.rev !paths in
   let enabled r = List.mem r !rules in
-  let cmt_findings =
-    let scan_path p =
-      if not (Sys.file_exists p) then fail "%s does not exist" p
-      else if Sys.is_directory p then
-        List.concat_map Lint.Cmt_scan.scan_file (Lint.Cmt_scan.find_cmts p)
-      else Lint.Cmt_scan.scan_file p
-    in
+  (* The whole cmt set is scanned as ONE tree — the alloc/unsafe passes
+     resolve calls across files, so per-file scanning would miss
+     hot-calls-cold edges between compilation units. *)
+  let cmts =
     match explicit with
-    | [] -> Lint.Cmt_scan.scan_tree ~root:!root ~subdirs:[ "lib"; "bin" ]
-    | ps -> List.concat_map scan_path ps
+    | [] ->
+        let cmts =
+          Lint.Cmt_scan.tree_cmts ~root:!root ~subdirs:[ "lib"; "bin" ]
+        in
+        if cmts = [] then
+          fail
+            "no .cmt files under %s — build the typed ASTs first (dune \
+             build @lib/check @bin/check, or make lint)"
+            !root;
+        cmts
+    | ps ->
+        List.concat_map
+          (fun p ->
+            if not (Sys.file_exists p) then fail "%s does not exist" p
+            else if Sys.is_directory p then begin
+              match Lint.Cmt_scan.find_cmts p with
+              | [] -> fail "no .cmt files under %s" p
+              | found -> found
+            end
+            else [ p ])
+          ps
+  in
+  let cmt_findings =
+    Lint.Cmt_scan.analyze (Lint.Cmt_scan.scan_files ~jobs:!jobs cmts)
   in
   let cmt_findings =
     List.filter (fun f -> enabled f.Lint.Finding.rule) cmt_findings
@@ -138,6 +177,21 @@ let () =
         | Error e -> fail "%s" e
         | Ok b -> Lint.Report.apply_baseline b findings)
   in
+  (match !write_baseline with
+  | None -> ()
+  | Some file ->
+      let doc =
+        Obs.Json.to_string_pretty (Lint.Report.to_baseline_json findings)
+      in
+      let oc = open_out file in
+      output_string oc doc;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "mobilint: wrote %d baseline entr%s to %s\n"
+        (List.length findings)
+        (if List.length findings = 1 then "y" else "ies")
+        file;
+      exit 0);
   let json () =
     Obs.Json.to_string_pretty (Lint.Report.to_json ~root:!root findings)
   in

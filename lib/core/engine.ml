@@ -198,7 +198,10 @@ module Make (S : Space.S) = struct
   (* One series sample: staged at the end of a step so every phase
      duration of that step is in [ph_ns]. Gated on [Series.want] so
      off-stride steps (after a decimation) skip the GC stat reads. *)
-  let series_commit t =
+  let[@alloc_ok
+       "gated on Series.want: runs only on sampled steps, where the GC \
+        stat reads allocate a stat record and a boxed float per \
+        sample"] series_commit t =
     match t.ser with
     | None -> ()
     | Some s ->
@@ -276,32 +279,40 @@ module Make (S : Space.S) = struct
         if t.spec.track_islands then rebuild_components t
         else rebuild_index_only t
 
+  (* The per-mechanism exchange bodies passed to [timed_exchange] are
+     named module-level functions: selecting one is a code-pointer load,
+     never a closure allocation. *)
+  let ex_flood_single t = Exchange.flood_single t.ex ~dsu:t.dsu
+
+  let ex_single_hop t =
+    Exchange.single_hop_single t.ex ~iter_pairs:t.iter_pairs
+
+  let ex_flood_gossip t = Exchange.flood_gossip t.ex ~dsu:t.dsu
+
+  let ex_single_hop_gossip t =
+    Exchange.single_hop_gossip t.ex ~iter_pairs:t.iter_pairs
+
+  let ex_catch_preys t = Exchange.catch_preys t.ex ~iter_pairs:t.iter_pairs
+
   let exchange_pristine t =
     match t.spec.protocol with
-    | Protocol.Broadcast | Protocol.Frog | Protocol.Broadcast_cover ->
+    | Protocol.Broadcast | Protocol.Frog | Protocol.Broadcast_cover -> (
         prepare_graph t;
-        timed_exchange t
-          (match t.spec.exchange with
-          | Exchange.Flood_component ->
-              fun t -> Exchange.flood_single t.ex ~dsu:t.dsu
-          | Exchange.Single_hop ->
-              fun t -> Exchange.single_hop_single t.ex ~iter_pairs:t.iter_pairs)
+        match t.spec.exchange with
+        | Exchange.Flood_component -> timed_exchange t ex_flood_single
+        | Exchange.Single_hop -> timed_exchange t ex_single_hop)
     | Protocol.Cover_walks ->
         (* everyone is informed from the start; components only matter for
            the island metric *)
         rebuild_components t
-    | Protocol.Gossip ->
+    | Protocol.Gossip -> (
         prepare_graph t;
-        timed_exchange t
-          (match t.spec.exchange with
-          | Exchange.Flood_component ->
-              fun t -> Exchange.flood_gossip t.ex ~dsu:t.dsu
-          | Exchange.Single_hop ->
-              fun t -> Exchange.single_hop_gossip t.ex ~iter_pairs:t.iter_pairs)
+        match t.spec.exchange with
+        | Exchange.Flood_component -> timed_exchange t ex_flood_gossip
+        | Exchange.Single_hop -> timed_exchange t ex_single_hop_gossip)
     | Protocol.Predator_prey _ ->
         rebuild_index_only t;
-        timed_exchange t (fun t ->
-            Exchange.catch_preys t.ex ~iter_pairs:t.iter_pairs)
+        timed_exchange t ex_catch_preys
 
   (* Fault path. The (presence-masked) index is rebuilt, then the live
      edges are collected {e once} into [live_pairs] — every candidate
@@ -329,7 +340,10 @@ module Make (S : Space.S) = struct
     end;
     phase_end t ph_components (fun p -> p.ph_components) (fun c -> c.tn_components) t1
 
-  let exchange_faulted t f =
+  let[@alloc_ok
+       "fault-path dispatch builds one exchange closure over the \
+        adversary per step; the pristine path's closures are closed \
+        and statically allocated"] exchange_faulted t f =
     match t.spec.protocol with
     | Protocol.Broadcast | Protocol.Frog | Protocol.Broadcast_cover -> (
         match t.spec.exchange with
@@ -661,7 +675,7 @@ module Make (S : Space.S) = struct
 
   (* --- stepping ----------------------------------------------------------- *)
 
-  let step t =
+  let[@hot] step t =
     if not (is_done t) then begin
       t.time <- t.time + 1;
       (match t.ser with

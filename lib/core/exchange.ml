@@ -51,7 +51,9 @@ let create ~population ~predators ~informed ~rumors =
 
 (* Fetch slot [i] of a scratch-set array, cleared and ready to
    accumulate; allocates only the first time a slot is touched. *)
-let scratch_set t slots i =
+let[@alloc_ok
+     "allocates a scratch set only the first time a slot is touched; \
+      steady-state steps reuse it"] scratch_set t slots i =
   match slots.(i) with
   | Some s ->
       Rumor_set.clear s;
@@ -64,7 +66,10 @@ let scratch_set t slots i =
 (* Single-rumor flood: a component containing an informed agent becomes
    fully informed. Two passes over agents with a root-flag scratch
    array. *)
-let flood_single t ~dsu =
+let[@hot]
+    [@unsafe_invariant
+      "i < population = length informed = length root_informed, and \
+       Dsu.find returns a validated element id"] flood_single t ~dsu =
   (* unchecked accesses: i < population = length of both arrays, and
      [Dsu.find] returns a validated element id *)
   Array.fill t.root_informed 0 t.population false;
@@ -88,7 +93,7 @@ let flood_single t ~dsu =
    copies back. (Clearing a scratch set and unioning the first member
    into it is the allocation-free equivalent of the copy the
    pre-refactor engine made every step.) *)
-let flood_gossip t ~dsu =
+let[@hot] flood_gossip t ~dsu =
   for i = 0 to t.population - 1 do
     if Dsu.set_size dsu i > 1 then begin
       let root = Dsu.find dsu i in
@@ -134,7 +139,11 @@ let flood_gossip t ~dsu =
    send; deaf agents send what they hold but never accept. With all
    roles true this computes exactly component flooding over the live
    graph (the component/exchange agreement invariant). *)
-let flood_single_masked t ~iter_pairs ~transmits ~accepts =
+let[@hot]
+    [@alloc_ok
+      "fault path: one changed ref and one pair-visitor closure per \
+       step, not per pair"] flood_single_masked t ~iter_pairs ~transmits
+    ~accepts =
   let changed = ref true in
   while !changed do
     changed := false;
@@ -156,7 +165,10 @@ let flood_single_masked t ~iter_pairs ~transmits ~accepts =
 
 (* Role-aware single-hop (the fault path): as [single_hop_single], plus
    the transmit/accept gates, still based on pre-step knowledge. *)
-let single_hop_single_masked t ~iter_pairs ~transmits ~accepts =
+let[@hot]
+    [@alloc_ok
+      "fault path: one pair-visitor closure per step, not per pair"] single_hop_single_masked
+    t ~iter_pairs ~transmits ~accepts =
   Array.fill t.newly_informed 0 t.population false;
   iter_pairs (fun i j ->
       if t.informed.(i) && transmits.(i) && (not t.informed.(j)) && accepts.(j)
@@ -173,7 +185,9 @@ let single_hop_single_masked t ~iter_pairs ~transmits ~accepts =
 
 (* Single-hop exchange (ablation): a rumor crosses at most one
    visibility edge per step, based on pre-step knowledge. *)
-let single_hop_single t ~iter_pairs =
+let[@hot]
+    [@alloc_ok "one pair-visitor closure per step, not per pair"] single_hop_single
+    t ~iter_pairs =
   Array.fill t.newly_informed 0 t.population false;
   iter_pairs (fun i j ->
       if t.informed.(i) && not t.informed.(j) then t.newly_informed.(j) <- true
@@ -186,7 +200,11 @@ let single_hop_single t ~iter_pairs =
     end
   done
 
-let single_hop_gossip t ~iter_pairs =
+let[@hot]
+    [@alloc_ok
+      "snapshot/deliver/visitor closures: a handful per step, not per \
+       pair; the sets themselves are reused scratch"] single_hop_gossip t
+    ~iter_pairs =
   (* exchanges must all read pre-step sets, so snapshot the set of any
      agent involved in at least one pair before mutating; snapshots and
      the pair log are reused storage, not per-step allocations *)
@@ -229,17 +247,19 @@ let single_hop_gossip t ~iter_pairs =
   Intbuf.clear t.snap_used
 
 (* Predator-prey: direct contact only, no chaining through preys. *)
-let catch_preys t ~iter_pairs =
+let[@hot]
+    [@alloc_ok "one pair-visitor closure per step, not per pair"] catch_preys
+    t ~iter_pairs =
   let k = t.predators in
   iter_pairs (fun i j ->
-      let predator, prey =
-        if i < k && j >= k then (Some i, j)
-        else if j < k && i >= k then (Some j, i)
-        else (None, i)
+      (* branchy prey selection: the previous (predator option, prey)
+         pair allocated two blocks per close pair; -1 is the "no
+         predator-prey contact" sentinel *)
+      let prey =
+        if i < k && j >= k then j else if j < k && i >= k then i else -1
       in
-      match predator with
-      | Some _ when not t.informed.(prey) ->
-          t.informed.(prey) <- true;
-          t.informed_count <- t.informed_count + 1;
-          t.live_preys <- t.live_preys - 1
-      | Some _ | None -> ())
+      if prey >= 0 && not t.informed.(prey) then begin
+        t.informed.(prey) <- true;
+        t.informed_count <- t.informed_count + 1;
+        t.live_preys <- t.live_preys - 1
+      end)

@@ -26,7 +26,10 @@ let grid t = t.grid
 
 let kernel t = t.kernel
 
-let vget (v : Walk.vec) i = Int32.to_int (Bigarray.Array1.unsafe_get v i)
+let[@unsafe_invariant
+     "i is an agent index < agents pos = Array1.dim v"] vget (v : Walk.vec)
+    i =
+  Int32.to_int (Bigarray.Array1.unsafe_get v i)
 
 let agents pos = Bigarray.Array1.dim pos.xs
 
@@ -51,7 +54,7 @@ let init_positions t rng ~n =
 let[@inline] is_present present i =
   match present with None -> true | Some pr -> pr.(i)
 
-let move_all ?present t pos rngs mobility =
+let[@hot] move_all ?present t pos rngs mobility =
   let n = agents pos in
   let xs = pos.xs and ys = pos.ys in
   match mobility with
@@ -74,7 +77,7 @@ let move_all ?present t pos rngs mobility =
           Walk.step_inplace t.grid t.kernel rngs.(i) ~xs ~ys i
       done
 
-let rebuild_index ?present t pos =
+let[@hot] rebuild_index ?present t pos =
   match
     Spatial.rebuild_soa ?present t.spatial ~xs:pos.xs ~ys:pos.ys ~n:(agents pos)
   with
@@ -95,7 +98,9 @@ let cover_target t = Grid.nodes t.grid
 (* Accumulating the frontier through a tail-recursive loop instead of a
    [ref] keeps the coverless steady state allocation-free without
    flambda. *)
-let rec frontier_loop (xs : Walk.vec) informed frontier i n =
+let[@unsafe_invariant
+     "i < n = agents pos = length informed = Array1.dim xs"] rec frontier_loop
+    (xs : Walk.vec) informed frontier i n =
   if i >= n then frontier
   else
     let frontier =
@@ -107,7 +112,11 @@ let rec frontier_loop (xs : Walk.vec) informed frontier i n =
     in
     frontier_loop xs informed frontier (i + 1) n
 
-let observe t pos ~informed ~frontier ~cover ~cover_any =
+let[@hot]
+    [@alloc_ok
+      "the covered arm allocates one frontier ref per step; the \
+       coverless steady state takes the allocation-free frontier_loop \
+       arm"] observe t pos ~informed ~frontier ~cover ~cover_any =
   ignore t;
   let n = agents pos in
   match cover with

@@ -8,7 +8,9 @@ let create ?(initial_capacity = 64) () =
 
 let length t = t.length
 
-let push t v =
+let[@alloc_ok
+     "amortized doubling: the backing array grows O(log n) times over a \
+      run, steady-state pushes write in place"] push t v =
   if t.length = Array.length t.data then begin
     let bigger = Array.make (2 * Array.length t.data) 0 in
     Array.blit t.data 0 bigger 0 t.length;

@@ -5,7 +5,7 @@ type t = {
 }
 
 (* popcount of a byte, precomputed once *)
-let popcount_table =
+let[@alloc_ok "module initialisation, runs once"] popcount_table =
   Array.init 256 (fun b ->
       let rec count b acc = if b = 0 then acc else count (b lsr 1) (acc + (b land 1)) in
       count b 0)
@@ -43,23 +43,28 @@ let singleton ~capacity i =
   ignore (add t i);
   t
 
+let rec union_bytes src dst byte stop acc =
+  if byte >= stop then acc
+  else begin
+    let s = Char.code (Bytes.get src byte) in
+    if s = 0 then union_bytes src dst (byte + 1) stop acc
+    else begin
+      let d = Char.code (Bytes.get dst byte) in
+      let fresh = s land lnot d land 0xFF in
+      if fresh = 0 then union_bytes src dst (byte + 1) stop acc
+      else begin
+        Bytes.set dst byte (Char.chr (d lor s));
+        union_bytes src dst (byte + 1) stop (acc + popcount_table.(fresh))
+      end
+    end
+  end
+
 let union_into ~src ~dst =
   if src.capacity <> dst.capacity then
     invalid_arg "Rumor_set.union_into: capacity mismatch";
-  let added = ref 0 in
-  for byte = 0 to Bytes.length src.bits - 1 do
-    let s = Char.code (Bytes.get src.bits byte) in
-    if s <> 0 then begin
-      let d = Char.code (Bytes.get dst.bits byte) in
-      let fresh = s land lnot d land 0xFF in
-      if fresh <> 0 then begin
-        Bytes.set dst.bits byte (Char.chr (d lor s));
-        added := !added + popcount_table.(fresh)
-      end
-    end
-  done;
-  dst.cardinal <- dst.cardinal + !added;
-  !added
+  let added = union_bytes src.bits dst.bits 0 (Bytes.length src.bits) 0 in
+  dst.cardinal <- dst.cardinal + added;
+  added
 
 let copy t =
   { bits = Bytes.copy t.bits; capacity = t.capacity; cardinal = t.cardinal }

@@ -59,14 +59,17 @@ let check t i =
 (* [check] at every public entry point validates the element, so the
    internal accesses below are unchecked: parent pointers only ever hold
    validated element ids. *)
-let heal t i =
+let[@unsafe_invariant
+     "i is validated by [check] at every public entry point"] heal t i =
   if Array.unsafe_get t.stamp i <> t.epoch then begin
     Array.unsafe_set t.stamp i t.epoch;
     Array.unsafe_set t.parent i i;
     Array.unsafe_set t.size i 1
   end
 
-let rec find_root t i =
+let[@unsafe_invariant
+     "i is a validated element and parent pointers only ever hold \
+      validated element ids"] rec find_root t i =
   let p = Array.unsafe_get t.parent i in
   if p = i then i
   else begin
@@ -76,12 +79,15 @@ let rec find_root t i =
     find_root t gp
   end
 
-let find t i =
+let[@hot] find t i =
   check t i;
   heal t i;
   find_root t i
 
-let union t i j =
+let[@hot]
+    [@unsafe_invariant
+      "ri/rj are roots returned by find_root over checked elements"] union t
+    i j =
   check t i;
   check t j;
   heal t i;
@@ -91,7 +97,12 @@ let union t i j =
   else begin
     let si = Array.unsafe_get t.size ri
     and sj = Array.unsafe_get t.size rj in
-    let big, small = if si >= sj then (ri, rj) else (rj, ri) in
+    (* branchy selection instead of a (big, small) tuple: this runs once
+       per close pair per step, and the tuple was the only minor-heap
+       allocation in the whole union-find fast path *)
+    let bigger = si >= sj in
+    let big = if bigger then ri else rj in
+    let small = if bigger then rj else ri in
     Array.unsafe_set t.parent small big;
     let merged = si + sj in
     Array.unsafe_set t.size big merged;
@@ -100,7 +111,8 @@ let union t i j =
     true
   end
 
-let dissolve t i =
+let[@hot]
+    [@unsafe_invariant "i is validated by [check] on entry"] dissolve t i =
   check t i;
   Array.unsafe_set t.stamp i t.epoch;
   Array.unsafe_set t.parent i i;

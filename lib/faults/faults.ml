@@ -382,7 +382,10 @@ let create plan ~population ~seed ~trial =
 
 let plan t = t.plan
 
-let begin_step t ~time =
+let[@alloc_ok
+     "fault-adversary bookkeeping: a scrutinee pair and a handful of \
+      window-predicate closures per step, never per pair; the pristine \
+      engine path skips this function entirely"] begin_step t ~time =
   (* churn: one Bernoulli per agent per step (time 0 starts complete) *)
   (match (t.plan.Plan.churn, t.present) with
   | Some c, Some present when time > 0 ->

@@ -1,0 +1,43 @@
+(* The alloc-discipline rule: every candidate allocation site inside a
+   function reachable from a [@hot] root becomes a finding, unless it
+   sits in an [@alloc_ok "reason"] scope. Malformed escape hatches
+   (attributes without their justification string) are findings
+   unconditionally — an unexplained suppression is an annotation bug
+   whether or not the code is hot today.
+
+   [respect_alloc_ok:false] is the canary mode used by the test suite:
+   it reports the justified sites too (and follows calls out of
+   justified scopes), proving each [@alloc_ok] in the tree is
+   load-bearing — removing one flips the linter's exit code. *)
+
+let check ?(respect_alloc_ok = true) fns =
+  let witness =
+    Callgraph.reachable ~use_suppressed:(not respect_alloc_ok) fns
+  in
+  List.concat_map
+    (fun (f : Callgraph.fn) ->
+      let errs =
+        List.filter (fun e -> e.Finding.rule = Finding.Alloc) f.f_errs
+      in
+      let sites =
+        match Hashtbl.find_opt witness f.f_qual with
+        | None -> []
+        | Some root ->
+            f.f_allocs
+            |> List.filter (fun (s : Callgraph.site) ->
+                   (not respect_alloc_ok) || not s.s_suppressed)
+            |> List.map (fun (s : Callgraph.site) ->
+                   let msg =
+                     if String.equal root f.f_qual then
+                       Printf.sprintf "%s (in [@hot] %s)" s.s_msg f.f_qual
+                     else
+                       Printf.sprintf
+                         "%s (on the hot path: %s is reachable from [@hot] \
+                          %s)"
+                         s.s_msg f.f_qual root
+                   in
+                   Finding.make ~file:f.f_file ~line:s.s_line ~col:s.s_col
+                     ~rule:Finding.Alloc msg)
+      in
+      errs @ sites)
+    fns

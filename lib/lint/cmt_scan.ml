@@ -51,9 +51,20 @@ let first_arg_type ty =
   | Types.Tarrow (_, t1, _, _) -> Some t1
   | _ -> None
 
-let type_to_string ty =
-  (* Printtyp is only used for messages; never for judgements. *)
-  Format.asprintf "%a" Printtyp.type_expr ty
+(* A tiny structural type printer, only for messages, never for
+   judgements. Printtyp would render these more faithfully but keeps
+   global naming state, and the scan runs files in parallel across
+   Runtime.Pool workers. *)
+let rec type_to_string ty =
+  match Types.get_desc ty with
+  | Types.Tvar _ | Types.Tunivar _ -> "'_"
+  | Types.Tpoly (t, _) -> type_to_string t
+  | Types.Ttuple _ -> "a tuple"
+  | Types.Tarrow (_, _, _, _) -> "a function"
+  | Types.Tconstr (p, [ arg ], _) ->
+      type_to_string arg ^ " " ^ Path.name p
+  | Types.Tconstr (p, _, _) -> Path.name p
+  | _ -> "<abstract>"
 
 (* [applied] is true when the primitive is the head of an application
    ([compare a b]), false when it escapes as a first-class closure
@@ -164,15 +175,54 @@ let scan_structure ~file str =
   it.structure it str;
   !findings
 
-let scan_file path =
+(* ---- full per-file scan ----------------------------------------------- *)
+
+(* One file's scan: the immediate single-file findings (determinism,
+   concurrency, poly-compare, io) plus the call-graph nodes the
+   cross-file alloc/unsafe passes consume. *)
+type file_scan = {
+  sf_findings : Finding.t list;
+  sf_fns : Callgraph.fn list;
+}
+
+let empty_scan = { sf_findings = []; sf_fns = [] }
+
+let scan_file_full path =
   let cmt = Cmt_format.read_cmt path in
   let file = src_of_cmt cmt in
   (* dune-generated module aliases ([*.ml-gen]) carry no user code *)
-  if Filename.check_suffix file ".ml-gen" then []
+  if Filename.check_suffix file ".ml-gen" then empty_scan
   else
     match cmt.Cmt_format.cmt_annots with
-    | Cmt_format.Implementation str -> scan_structure ~file str
-    | _ -> []
+    | Cmt_format.Implementation str ->
+        {
+          sf_findings = scan_structure ~file str;
+          sf_fns =
+            Callgraph.collect ~file ~modname:cmt.Cmt_format.cmt_modname str;
+        }
+    | _ -> empty_scan
+
+(* Scans are independent per file, so they fan out through the
+   deterministic domain pool; results come back in submission order, so
+   the merged node list (and with it every alloc/unsafe finding) is
+   byte-identical at any job count. *)
+let scan_files ?(jobs = 1) paths =
+  if jobs <= 1 then List.map scan_file_full paths
+  else
+    Runtime.Pool.with_pool ~jobs (fun pool ->
+        Runtime.Pool.map pool ~f:(fun _ p -> scan_file_full p) paths)
+
+(* The cross-file phase: merge the per-file scans, then resolve the
+   call graph over the whole set. The respect flags are the canary
+   mode (see Alloc / Unsafe_audit). *)
+let analyze ?(respect_alloc_ok = true) ?(respect_unsafe_invariants = true)
+    scans =
+  let fns = List.concat_map (fun s -> s.sf_fns) scans in
+  List.concat_map (fun s -> s.sf_findings) scans
+  @ Alloc.check ~respect_alloc_ok fns
+  @ Unsafe_audit.check ~respect_invariants:respect_unsafe_invariants fns
+
+let scan_file path = analyze [ scan_file_full path ]
 
 (* ---- cmt discovery ---------------------------------------------------- *)
 
@@ -189,11 +239,15 @@ let rec find_cmts acc dir =
 
 let find_cmts dir = List.rev (find_cmts [] dir)
 
-let scan_tree ~root ~subdirs =
+let tree_cmts ~root ~subdirs =
   List.concat_map
     (fun sub ->
       let dir = Filename.concat root sub in
-      if Sys.file_exists dir && Sys.is_directory dir then
-        List.concat_map scan_file (find_cmts dir)
+      if Sys.file_exists dir && Sys.is_directory dir then find_cmts dir
       else [])
     subdirs
+
+let scan_tree ?jobs ?respect_alloc_ok ?respect_unsafe_invariants ~root
+    ~subdirs () =
+  analyze ?respect_alloc_ok ?respect_unsafe_invariants
+    (scan_files ?jobs (tree_cmts ~root ~subdirs))

@@ -4,8 +4,11 @@ type rule =
   | Poly_compare
   | Layering
   | Io
+  | Alloc
+  | Unsafe
 
-let all_rules = [ Determinism; Concurrency; Poly_compare; Layering; Io ]
+let all_rules =
+  [ Determinism; Concurrency; Poly_compare; Layering; Io; Alloc; Unsafe ]
 
 let rule_tag = function
   | Determinism -> "determinism"
@@ -13,6 +16,8 @@ let rule_tag = function
   | Poly_compare -> "poly-compare"
   | Layering -> "layering"
   | Io -> "io"
+  | Alloc -> "alloc"
+  | Unsafe -> "unsafe"
 
 let rule_of_tag = function
   | "determinism" -> Some Determinism
@@ -20,6 +25,8 @@ let rule_of_tag = function
   | "poly-compare" -> Some Poly_compare
   | "layering" -> Some Layering
   | "io" -> Some Io
+  | "alloc" -> Some Alloc
+  | "unsafe" -> Some Unsafe
   | _ -> None
 
 let rule_index = function
@@ -28,6 +35,8 @@ let rule_index = function
   | Poly_compare -> 2
   | Layering -> 3
   | Io -> 4
+  | Alloc -> 5
+  | Unsafe -> 6
 
 type t = {
   file : string;  (* path relative to the repo root, e.g. lib/stats/stats.ml *)

@@ -6,12 +6,18 @@ type rule =
   | Poly_compare  (** polymorphic compare/equality at a concrete unsafe type *)
   | Layering  (** a [lib/*/dune] dependency edge outside the declared DAG *)
   | Io  (** Unix socket/process primitives outside the service layer *)
+  | Alloc
+      (** a minor-heap allocation site reachable from a [\[@hot\]] function
+          without an [\[@alloc_ok "reason"\]] justification *)
+  | Unsafe
+      (** an [unsafe_get]/[unsafe_set] outside the audited-unsafe module
+          table, or inside it but without [\[@unsafe_invariant "..."\]] *)
 
 val all_rules : rule list
 
 val rule_tag : rule -> string
 (** Stable machine-readable tag: ["determinism"], ["concurrency"],
-    ["poly-compare"], ["layering"], ["io"]. *)
+    ["poly-compare"], ["layering"], ["io"], ["alloc"], ["unsafe"]. *)
 
 val rule_of_tag : string -> rule option
 

@@ -180,6 +180,27 @@ let load_baseline path =
     | Ok json -> parse_baseline json
   end
 
+(* The writer: pin every current finding (file + rule + line) so a new
+   rule family can be adopted incrementally — write once, then burn
+   entries down. Line-pinned entries go stale on unrelated edits by
+   design: a moved finding resurfaces rather than staying masked. *)
+let to_baseline_json findings =
+  Obs.Json.Assoc
+    [
+      ("schema", Obs.Json.String baseline_schema);
+      ( "ignore",
+        Obs.Json.List
+          (List.map
+             (fun f ->
+               Obs.Json.Assoc
+                 [
+                   ("file", Obs.Json.String f.Finding.file);
+                   ("rule", Obs.Json.String (Finding.rule_tag f.Finding.rule));
+                   ("line", Obs.Json.Int f.Finding.line);
+                 ])
+             findings) );
+    ]
+
 let apply_baseline baseline findings =
   List.filter
     (fun f ->

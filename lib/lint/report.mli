@@ -27,3 +27,7 @@ val load_baseline : string -> (baseline, string) result
 val apply_baseline : baseline -> Finding.t list -> Finding.t list
 (** Drop findings matched by a baseline entry (file + rule, and line
     when the entry pins one). *)
+
+val to_baseline_json : Finding.t list -> Obs.Json.t
+(** Emit the findings as a [mobilint-baseline/1] document (one
+    line-pinned ignore entry per finding), for [--write-baseline]. *)

@@ -1,0 +1,49 @@
+(* The unsafe-access audit: every [Array.unsafe_get]/[unsafe_set]/
+   [Bigarray.*.unsafe_*] occurrence must sit (a) in a source file listed
+   in rules.ml's audited-unsafe table and (b) inside a binding carrying
+   [@unsafe_invariant "..."] naming the bounds argument. Unlike the
+   alloc rule this is hotness-independent: an unchecked access is wrong
+   wherever it runs.
+
+   [respect_invariants:false] is the canary mode: it reports covered
+   sites too, proving each [@unsafe_invariant] annotation in the
+   audited modules is load-bearing. *)
+
+let check ?(respect_invariants = true) fns =
+  List.concat_map
+    (fun (f : Callgraph.fn) ->
+      let errs =
+        List.filter (fun e -> e.Finding.rule = Finding.Unsafe) f.f_errs
+      in
+      let audited = Rules.is_audited_unsafe f.f_file in
+      let sites =
+        List.filter_map
+          (fun (u : Callgraph.usite) ->
+            let covered = respect_invariants && u.u_covered in
+            let msg =
+              if not audited then
+                Some
+                  (Printf.sprintf
+                     "%s outside the audited-unsafe modules; use the \
+                      bounds-checked accessor, or add this file to \
+                      rules.ml's audited_unsafe table and annotate the \
+                      enclosing binding with [@unsafe_invariant \"...\"]"
+                     (Callgraph.short u.u_name))
+              else if not covered then
+                Some
+                  (Printf.sprintf
+                     "%s in audited module %s, but no enclosing binding \
+                      carries [@unsafe_invariant \"...\"] naming the \
+                      bounds argument"
+                     (Callgraph.short u.u_name) f.f_file)
+              else None
+            in
+            Option.map
+              (fun m ->
+                Finding.make ~file:f.f_file ~line:u.u_line ~col:u.u_col
+                  ~rule:Finding.Unsafe m)
+              msg)
+          f.f_unsafes
+      in
+      errs @ sites)
+    fns

@@ -57,11 +57,14 @@ module Histogram = struct
     let cur = Atomic.get a in
     if v > cur && not (Atomic.compare_and_set a cur v) then update_max a v
 
+  (* bounds are few (default 8): a linear scan beats binary search.
+     Module-level so [observe] builds no closure over [t]/[v]. *)
+  let rec slot t v i =
+    if i >= Array.length t.bounds || v <= t.bounds.(i) then i
+    else slot t v (i + 1)
+
   let observe t v =
-    let n = Array.length t.bounds in
-    (* bounds are few (default 8): a linear scan beats binary search *)
-    let rec slot i = if i >= n || v <= t.bounds.(i) then i else slot (i + 1) in
-    ignore (Atomic.fetch_and_add t.buckets.(slot 0) 1);
+    ignore (Atomic.fetch_and_add t.buckets.(slot t v 0) 1);
     ignore (Atomic.fetch_and_add t.count 1);
     ignore (Atomic.fetch_and_add t.sum v);
     update_min t.minimum v;

@@ -66,7 +66,9 @@ let want t ~step =
    Kept rows sit at the even indices, i.e. at steps that are multiples
    of the doubled stride, so row [i] always holds step [i * stride] and
    the retained series stays uniformly spaced from step 0. *)
-let commit t ~step =
+let[@unsafe_invariant
+     "c < ncols = Array2.dim1 data and row/i/2*i < capacity = Array2.dim2 \
+      data (halving keeps kept - 1 < count <= capacity)"] commit t ~step =
   match t with
   | Nil -> ()
   | Active a ->

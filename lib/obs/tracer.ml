@@ -159,7 +159,9 @@ let gc_track t =
     g_n_major = name t "gc.major";
   }
 
-let gc_sample t g =
+let[@alloc_ok
+     "runs only when tracing is enabled; Gc.quick_stat returns a fresh \
+      stat record per sample"] gc_sample t g =
   match t with
   | Nil -> ()
   | Active _ ->

@@ -213,7 +213,7 @@ let rec reject5 t =
   let v = bits62 t in
   if v <= limit5 then v mod 5 else reject5 t
 
-let int t bound =
+let[@hot] int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   if bound land (bound - 1) = 0 then
     (* power of two: mask is exact *)
@@ -229,7 +229,7 @@ let rec reject_wide t lo hi =
   let v = bits62 t + (min_int / 2) in
   if v >= lo && v <= hi then v else reject_wide t lo hi
 
-let int_incl t lo hi =
+let[@hot] int_incl t lo hi =
   if lo > hi then invalid_arg "Prng.int_incl: empty range";
   if lo = hi then lo
   else
@@ -250,7 +250,7 @@ let float t bound =
     invalid_arg "Prng.float: bound must be positive and finite";
   unit_float t *. bound
 
-let bool t =
+let[@hot] bool t =
   advance t;
   t.rl land 1 = 1
 

@@ -79,9 +79,13 @@ let compact1by1 x =
    and bucket coordinates fit 16 bits ([create] guards per_row), so two
    lookups per axis. The table stays hot in L1 and beats the five-step
    shift/mask cascade by ~3x on the index hot path. *)
-let part1by1_tbl = Array.init 256 part1by1
+let[@alloc_ok "module initialisation, runs once"] part1by1_tbl =
+  Array.init 256 part1by1
 
-let morton bx by =
+let[@unsafe_invariant
+     "bx/by are clamped to per_row - 1 < 0x10000 by callers, so the \
+      byte and high-byte lookups index part1by1_tbl within its 256 \
+      entries"] morton bx by =
   let ex =
     Array.unsafe_get part1by1_tbl (bx land 0xFF)
     lor (Array.unsafe_get part1by1_tbl (bx lsr 8) lsl 16)
@@ -157,7 +161,9 @@ let bucket_of t v =
    and [touched_len]/[dirty_len] count distinct bucket ids, so they
    never exceed [buckets]. *)
 
-let clear_table t =
+let[@unsafe_invariant
+     "touched.(i < touched_len) holds distinct bucket ids < length \
+      count"] clear_table t =
   (* reset only the buckets the previous rebuild used *)
   for i = 0 to t.touched_len - 1 do
     Array.unsafe_set t.count (Array.unsafe_get t.touched i) 0
@@ -210,16 +216,36 @@ let rebuild ?present t ~positions =
     t.start.(b) <- t.start.(b) - t.count.(b)
   done
 
-let mark_dirty t b =
+let[@unsafe_invariant
+     "b is a bucket id < buckets = length dirty = length dirty_stamp, \
+      and dirty_len counts distinct marked buckets"] mark_dirty t b =
   if Array.unsafe_get t.dirty_stamp b <> t.dirty_epoch then begin
     Array.unsafe_set t.dirty_stamp b t.dirty_epoch;
     Array.unsafe_set t.dirty t.dirty_len b;
     t.dirty_len <- t.dirty_len + 1
   end
 
-let vget (v : vec) i = Int32.to_int (Bigarray.Array1.unsafe_get v i)
+let[@unsafe_invariant
+     "i is an agent index < n <= Array1.dim v (rebuild_soa contract)"] vget
+    (v : vec) i =
+  Int32.to_int (Bigarray.Array1.unsafe_get v i)
 
-let rebuild_soa ?present t ~xs ~ys ~n =
+(* Prefix-sum over the touched buckets, as a tail-recursive loop so the
+   hot rebuild carries no [ref] cell. *)
+let[@unsafe_invariant
+     "touched.(i < touched_len) holds distinct bucket ids < length \
+      start = length count"] rec prefix_offsets t i off =
+  if i < t.touched_len then begin
+    let b = Array.unsafe_get t.touched i in
+    Array.unsafe_set t.start b off;
+    prefix_offsets t (i + 1) (off + Array.unsafe_get t.count b)
+  end
+
+let[@hot]
+    [@unsafe_invariant
+      "agent < n with items/prev_bucket grown to n above; bucket ids \
+       come from morton over clamped coordinates < buckets"] rebuild_soa
+    ?present t ~xs ~ys ~n =
   (* Delta eligibility is judged against the *previous* rebuild, before
      prev_bucket is overwritten: radius 0 (bucket = cell, components are
      bucket-local), a previous unmasked SoA rebuild of the same
@@ -237,8 +263,10 @@ let rebuild_soa ?present t ~xs ~ys ~n =
   t.present <- present;
   t.dirty_epoch <- t.dirty_epoch + 1;
   t.dirty_len <- 0;
-  if Array.length t.items < n then t.items <- Array.make n 0;
-  if Array.length t.prev_bucket < n then t.prev_bucket <- Array.make n (-1);
+  if Array.length t.items < n then
+    t.items <- (Array.make n 0 [@alloc_ok "grow-once scratch: reused on every later step of the same population"]);
+  if Array.length t.prev_bucket < n then
+    t.prev_bucket <- (Array.make n (-1) [@alloc_ok "grow-once scratch: reused on every later step of the same population"]);
   let bs = t.bucket_side and clamp_hi = t.per_row - 1 in
   (* pass 1: count agents per bucket, recording first-touched buckets
      and (when eligible) buckets whose membership changed — an agent
@@ -290,12 +318,7 @@ let rebuild_soa ?present t ~xs ~ys ~n =
       end
     done;
   (* pass 2: prefix offsets over touched buckets (order irrelevant) *)
-  let offset = ref 0 in
-  for i = 0 to t.touched_len - 1 do
-    let b = Array.unsafe_get t.touched i in
-    Array.unsafe_set t.start b !offset;
-    offset := !offset + Array.unsafe_get t.count b
-  done;
+  prefix_offsets t 0 0;
   (* pass 3: place agents, reusing the bucket computed in pass 1 *)
   if unmasked then
     for agent = 0 to n - 1 do
@@ -323,7 +346,11 @@ let rebuild_soa ?present t ~xs ~ys ~n =
   t.delta_ok <- (t.radius = 0 && unmasked);
   if eligible then Delta else Full
 
-let reconcile t ~dissolve ~union =
+let[@hot]
+    [@unsafe_invariant
+      "dirty.(idx < dirty_len) holds bucket ids < buckets; start/count \
+       slices lie within items, whose length is >= n"] reconcile t
+    ~dissolve ~union =
   (* Two phases, dissolve-all before union-any: an agent that left a
      dirty bucket is a current member of another dirty bucket (both
      endpoints of a move are marked), so phase 1 detaches every element
@@ -396,15 +423,15 @@ let iter_inter t b b' ~f =
    guarantee each pair is seen exactly once (tiny torus layouts). Must
    honour the rebuild's presence mask, which the bucketed paths get for
    free (absent agents never enter [items]). *)
+let present_at t i =
+  match t.present with None -> true | Some pr -> pr.(i)
+
 let iter_all_pairs t ~f =
   let k = population t in
-  let indexed i =
-    match t.present with None -> true | Some pr -> pr.(i)
-  in
   for i = 0 to k - 1 do
-    if indexed i then
+    if present_at t i then
       for j = i + 1 to k - 1 do
-        if indexed j && close t i j then f i j
+        if present_at t j && close t i j then f i j
       done
   done
 
@@ -421,14 +448,25 @@ let iter_cohabitants t b ~f =
     done
   done
 
-let iter_close_pairs t ~f =
-  let wrap = t.torus in
+(* One forward-neighbour probe of [iter_close_pairs], hoisted to module
+   level: a local [scan] closure would capture b/bx/by/f and allocate
+   once per touched bucket per step. *)
+let scan_neighbour t ~f b bx by dx dy =
+  let nx = bx + dx and ny = by + dy in
+  let nx = if t.torus then (nx + t.per_row) mod t.per_row else nx in
+  let ny = if t.torus then (ny + t.per_row) mod t.per_row else ny in
+  if nx >= 0 && nx < t.per_row && ny >= 0 && ny < t.per_row then begin
+    let b' = morton nx ny in
+    if t.count.(b') > 0 then iter_inter t b b' ~f
+  end
+
+let[@hot] iter_close_pairs t ~f =
   if t.radius = 0 then
     for idx = 0 to t.touched_len - 1 do
       let b = t.touched.(idx) in
       if t.count.(b) > 1 then iter_cohabitants t b ~f
     done
-  else if wrap && t.per_row < 3 then
+  else if t.torus && t.per_row < 3 then
     (* with fewer than 3 bucket columns, wrapped forward scans would
        revisit pairs; fall back to the exhaustive scan *)
     iter_all_pairs t ~f
@@ -439,22 +477,10 @@ let iter_close_pairs t ~f =
       (* scan only forward neighbours (E, N, NE, NW) so each bucket pair
          is considered once; on the torus indices wrap *)
       let bx = morton_x b and by = morton_y b in
-      let scan dx dy =
-        let nx = bx + dx and ny = by + dy in
-        let nx, ny =
-          if wrap then
-            ((nx + t.per_row) mod t.per_row, (ny + t.per_row) mod t.per_row)
-          else (nx, ny)
-        in
-        if nx >= 0 && nx < t.per_row && ny >= 0 && ny < t.per_row then begin
-          let b' = morton nx ny in
-          if t.count.(b') > 0 then iter_inter t b b' ~f
-        end
-      in
-      scan 1 0;
-      scan 0 1;
-      scan 1 1;
-      scan (-1) 1
+      scan_neighbour t ~f b bx by 1 0;
+      scan_neighbour t ~f b bx by 0 1;
+      scan_neighbour t ~f b bx by 1 1;
+      scan_neighbour t ~f b bx by (-1) 1
     done
 
 let count_close_pairs t =

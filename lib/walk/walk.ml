@@ -87,8 +87,15 @@ let jump grid rng rho v =
 
 type vec = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-let vget (v : vec) i = Int32.to_int (Bigarray.Array1.unsafe_get v i)
-let vset (v : vec) i x = Bigarray.Array1.unsafe_set v i (Int32.of_int x)
+let[@unsafe_invariant
+     "i is an agent index < Array1.dim v; every caller iterates or is \
+      handed indices in [0, n)"] vget (v : vec) i =
+  Int32.to_int (Bigarray.Array1.unsafe_get v i)
+
+let[@unsafe_invariant
+     "i is an agent index < Array1.dim v; every caller iterates or is \
+      handed indices in [0, n)"] vset (v : vec) i x =
+  Bigarray.Array1.unsafe_set v i (Int32.of_int x)
 
 (* Uniform over the Manhattan ball: same rejection loops as [jump],
    returning the destination as a packed node index (y * side + x) to
@@ -147,7 +154,7 @@ let simple_inplace grid rng (xs : vec) (ys : vec) i =
     end
   end
 
-let step_inplace grid kernel rng ~xs ~ys i =
+let[@hot] step_inplace grid kernel rng ~xs ~ys i =
   match kernel with
   | Lazy_one_fifth ->
       let d = Prng.int rng 5 in
@@ -189,7 +196,11 @@ let step_inplace grid kernel rng ~xs ~ys i =
    the same values in the same agent order, so streams are unchanged.
    The lazy kernel is the paper's default and the only one specialised;
    the rest delegate to [step_inplace]. *)
-let move_all grid kernel (rngs : Prng.t array) ~(xs : vec) ~(ys : vec) ~n =
+let[@hot]
+    [@unsafe_invariant
+      "loops run i over [0, n) and callers pass n <= Array.length rngs \
+       = Array1.dim xs = Array1.dim ys"] move_all grid kernel
+    (rngs : Prng.t array) ~(xs : vec) ~(ys : vec) ~n =
   match kernel with
   | Lazy_one_fifth ->
       (* The direction is random, so branching on it mispredicts ~half

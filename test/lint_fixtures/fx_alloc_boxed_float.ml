@@ -1,0 +1,2 @@
+(* alloc: a float array literal allocates boxed-float storage. *)
+let[@hot] unit_box () = [| 0.0; 1.0 |]

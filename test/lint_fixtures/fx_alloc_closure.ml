@@ -1,0 +1,4 @@
+(* alloc: the iteration body captures [shift], allocating a closure on
+   every call of this [@hot] function. *)
+let[@hot] iter_shifted (shift : int) (xs : int array) =
+  Array.iter (fun x -> ignore (x + shift)) xs

@@ -1,0 +1,6 @@
+(* alloc: [scratch] itself carries no [@hot], but it is reachable from
+   the [@hot] [driver] through the call graph, so its allocation is
+   still flagged (the finding sits on [Array.make], not on [driver]). *)
+let scratch (n : int) = Array.make n 0
+
+let[@hot] driver (n : int) = Array.length (scratch n)

@@ -1,0 +1,4 @@
+(* clean: a justified allocation inside a hot function — [@alloc_ok]
+   with a reason suppresses the tuple finding. *)
+let[@hot] locate_ok (i : int) (side : int) =
+  ((i mod side, i / side) [@alloc_ok "called once per run for reporting, not per step"])

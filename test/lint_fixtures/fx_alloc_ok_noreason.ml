@@ -1,0 +1,3 @@
+(* alloc: [@alloc_ok] without a justification string is itself a
+   finding — the escape hatch must say why the allocation is fine. *)
+let[@hot] pair_oops (a : int) (b : int) = ((a, b) [@alloc_ok])

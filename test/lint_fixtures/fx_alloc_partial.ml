@@ -1,0 +1,7 @@
+(* alloc: [shift3 x] applies one of three arguments, allocating a
+   partial-application closure inside the hot function. *)
+let shift3 (a : int) (b : int) (c : int) = a + b + c
+
+let[@hot] stage (x : int) =
+  let f = shift3 x in
+  f 1 2

@@ -1,0 +1,3 @@
+(* unsafe: this module IS in the audited-unsafe table, but the access
+   sits in a function with no [@unsafe_invariant "..."] justification. *)
+let peek (a : int array) (i : int) = Array.unsafe_get a i

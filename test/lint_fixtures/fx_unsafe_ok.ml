@@ -1,0 +1,5 @@
+(* clean: the module is in the audited-unsafe table and the access is
+   covered by an [@unsafe_invariant] stating why the index is in range. *)
+let[@unsafe_invariant "i is pre-masked by land (Array.length a - 1)"] peek
+    (a : int array) (i : int) =
+  Array.unsafe_get a (i land (Array.length a - 1))

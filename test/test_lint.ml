@@ -44,6 +44,14 @@ let fixtures =
     ("fx_cmp_tuple", "poly-compare");
     ("fx_cmp_closure", "poly-compare");
     ("fx_io_socket", "io");
+    ("fx_alloc_closure", "alloc");
+    ("fx_alloc_tuple", "alloc");
+    ("fx_alloc_boxed_float", "alloc");
+    ("fx_alloc_partial", "alloc");
+    ("fx_alloc_hot_propagation", "alloc");
+    ("fx_alloc_ok_noreason", "alloc");
+    ("fx_unsafe_unaudited", "unsafe");
+    ("fx_unsafe_no_invariant", "unsafe");
   ]
 
 let test_fixture_diagnostics () =
@@ -65,22 +73,73 @@ let test_fixture_diagnostics () =
     fixtures
 
 let test_clean_fixture () =
-  Alcotest.(check int)
-    "fx_clean has no findings" 0
-    (List.length (Lint.Cmt_scan.scan_file (fixture_cmt "fx_clean")))
+  List.iter
+    (fun name ->
+      Alcotest.(check int)
+        (name ^ " has no findings")
+        0
+        (List.length (Lint.Cmt_scan.scan_file (fixture_cmt name))))
+    [ "fx_clean"; "fx_alloc_ok"; "fx_unsafe_ok" ]
 
 let test_clean_tree () =
   (* the real codebase after this PR's fixes: no typed-AST findings
      over lib/ and bin/, and no layering violations *)
   let cmt =
     Lint.Cmt_scan.scan_tree ~root:Filename.parent_dir_name
-      ~subdirs:[ "lib"; "bin" ]
+      ~subdirs:[ "lib"; "bin" ] ()
   in
   let layering = Lint.Layering.check ~dune_root:(repo_root ()) in
   let all = Lint.Report.sort (cmt @ layering) in
   Alcotest.(check (list string))
     "clean codebase" []
     (List.map Lint.Finding.to_string all)
+
+(* ---- canary: every suppression annotation is load-bearing ------------- *)
+
+let findings_in file rule findings =
+  List.filter
+    (fun f ->
+      f.Lint.Finding.file = file
+      && Lint.Finding.rule_tag f.Lint.Finding.rule = rule)
+    findings
+
+let test_canary_alloc_ok () =
+  (* With [@alloc_ok] justifications ignored, the suppressed allocation
+     sites resurface — i.e. deleting any one of them from a hot module
+     would flip the real scan to exit 1. Intbuf.push (amortized growth)
+     is the designated alloc canary. *)
+  let findings =
+    Lint.Cmt_scan.scan_tree ~respect_alloc_ok:false
+      ~root:Filename.parent_dir_name ~subdirs:[ "lib" ] ()
+  in
+  Alcotest.(check bool)
+    "disabling [@alloc_ok] resurfaces Intbuf.push's growth allocation" true
+    (findings_in "lib/core/intbuf.ml" "alloc" findings <> [])
+
+let test_canary_unsafe_invariant () =
+  (* Same for [@unsafe_invariant]: Dsu's unchecked accesses are the
+     designated unsafe canary. *)
+  let findings =
+    Lint.Cmt_scan.scan_tree ~respect_unsafe_invariants:false
+      ~root:Filename.parent_dir_name ~subdirs:[ "lib" ] ()
+  in
+  Alcotest.(check bool)
+    "disabling [@unsafe_invariant] resurfaces Dsu's unchecked accesses" true
+    (findings_in "lib/dsu/dsu.ml" "unsafe" findings <> [])
+
+(* ---- parallel scan determinism ---------------------------------------- *)
+
+let test_jobs_determinism () =
+  let scan jobs =
+    List.map Lint.Finding.to_string
+      (Lint.Cmt_scan.scan_tree ~jobs ~respect_alloc_ok:false
+         ~root:Filename.parent_dir_name ~subdirs:[ "lib"; "bin" ] ())
+  in
+  (* canary mode guarantees a non-trivial finding list to compare *)
+  let sequential = scan 1 in
+  Alcotest.(check bool) "canary scan is non-empty" true (sequential <> []);
+  Alcotest.(check (list string))
+    "4-worker scan is byte-identical to sequential" sequential (scan 4)
 
 (* ---- CLI exit codes --------------------------------------------------- *)
 
@@ -123,6 +182,40 @@ let test_cli_rules_filter () =
   Alcotest.(check bool)
     "no determinism finding under --rules concurrency" false
     (contains ~needle:"[determinism]" out)
+
+let test_cli_write_baseline () =
+  (* --write-baseline must emit a mobilint-baseline/1 file that, fed
+     back through --baseline, silences the very findings it recorded *)
+  let bl = Filename.temp_file "mobilint_wb" ".json" in
+  let code, out =
+    run_cli
+      (Printf.sprintf "--write-baseline %s %s %s" bl
+         (fixture_cmt "fx_det_random")
+         (fixture_cmt "fx_cmp_tuple"))
+  in
+  Alcotest.(check int) "--write-baseline exits 0" 0 code;
+  Alcotest.(check bool)
+    "reports how many entries were written" true
+    (contains ~needle:"wrote 2 baseline entries" out);
+  (match Lint.Report.load_baseline bl with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "written baseline should load: %s" e);
+  let code, _ =
+    run_cli
+      (Printf.sprintf "--baseline %s %s %s" bl
+         (fixture_cmt "fx_det_random")
+         (fixture_cmt "fx_cmp_tuple"))
+  in
+  Sys.remove bl;
+  Alcotest.(check int) "round-trip: baselined scan exits 0" 0 code
+
+let test_cli_zero_cmts_fails () =
+  (* an unbuilt tree must fail loudly (exit 2), not pass as clean *)
+  let code, out = run_cli "--root /nonexistent-mobilint-root" in
+  Alcotest.(check int) "zero cmts exits 2" 2 code;
+  Alcotest.(check bool)
+    "error names the missing cmts" true
+    (contains ~needle:"no .cmt files" out)
 
 let test_cli_baseline () =
   let bl = Filename.temp_file "mobilint_baseline" ".json" in
@@ -374,12 +467,25 @@ let () =
       ( "clean-tree",
         [ Alcotest.test_case "real codebase is clean" `Quick test_clean_tree ]
       );
+      ( "canary",
+        [
+          Alcotest.test_case "[@alloc_ok] is load-bearing" `Quick
+            test_canary_alloc_ok;
+          Alcotest.test_case "[@unsafe_invariant] is load-bearing" `Quick
+            test_canary_unsafe_invariant;
+          Alcotest.test_case "parallel scan determinism" `Quick
+            test_jobs_determinism;
+        ] );
       ( "cli",
         [
           Alcotest.test_case "exit codes per fixture" `Quick
             test_cli_exit_codes;
           Alcotest.test_case "--rules filter" `Quick test_cli_rules_filter;
           Alcotest.test_case "--baseline suppression" `Quick test_cli_baseline;
+          Alcotest.test_case "--write-baseline round-trip" `Quick
+            test_cli_write_baseline;
+          Alcotest.test_case "zero cmts fail loudly" `Quick
+            test_cli_zero_cmts_fails;
         ] );
       ( "json",
         [
